@@ -1,0 +1,225 @@
+use std::collections::BTreeSet;
+
+use sherlock_core::{InferenceReport, Role, TestCase};
+use sherlock_racer::SyncSpec;
+use sherlock_trace::{OpId, OpRef};
+
+/// How an inferred operation scores against an application's ground truth —
+/// the four columns of the paper's Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// A real synchronization ("Syncs").
+    TrueSync,
+    /// An access participating in a seeded true data race, misread as
+    /// synchronization ("Data Racy").
+    DataRacy,
+    /// A misclassification attributable to the instrumentation heuristics
+    /// hiding the real synchronization ("Instr. Errors").
+    InstrError,
+    /// A plain false positive ("Not Sync").
+    NotSync,
+}
+
+/// One semantically distinct synchronization the application performs, with
+/// every trace-level operation that legitimately evidences it.
+///
+/// SherLock observes synchronization at instruction granularity; e.g. the
+/// Monitor release may surface as `Exit-Begin` or `Exit-End` depending on
+/// where the window boundary falls — both are the same synchronization.
+#[derive(Clone, Debug)]
+pub struct SyncGroup {
+    /// Short description (mirrors the right column of paper Tables 8–9).
+    pub description: String,
+    /// The role this synchronization plays.
+    pub role: Role,
+    /// Acceptable operations evidencing it.
+    pub ops: Vec<OpId>,
+}
+
+impl SyncGroup {
+    /// Builds a group.
+    pub fn new(description: &str, role: Role, ops: Vec<OpId>) -> Self {
+        SyncGroup {
+            description: description.to_string(),
+            role,
+            ops,
+        }
+    }
+
+    /// Whether `(op, role)` evidences this synchronization.
+    pub fn matches(&self, op: OpId, role: Role) -> bool {
+        self.role == role && self.ops.contains(&op)
+    }
+}
+
+/// Both trace events of a library API call site (`Begin` and `End`).
+pub fn lib_site(class: &str, method: &str) -> Vec<OpId> {
+    vec![
+        OpRef::lib_begin(class, method).intern(),
+        OpRef::lib_end(class, method).intern(),
+    ]
+}
+
+/// An application method's entry op.
+pub fn app_begin(class: &str, method: &str) -> Vec<OpId> {
+    vec![OpRef::app_begin(class, method).intern()]
+}
+
+/// An application method's exit op.
+pub fn app_end(class: &str, method: &str) -> Vec<OpId> {
+    vec![OpRef::app_end(class, method).intern()]
+}
+
+/// A field's write op.
+pub fn field_write(class: &str, field: &str) -> Vec<OpId> {
+    vec![OpRef::field_write(class, field).intern()]
+}
+
+/// A field's read op.
+pub fn field_read(class: &str, field: &str) -> Vec<OpId> {
+    vec![OpRef::field_read(class, field).intern()]
+}
+
+/// Ground truth for one application, assembled by its author.
+#[derive(Clone, Debug, Default)]
+pub struct GroundTruth {
+    /// The application's real synchronizations.
+    pub sync_groups: Vec<SyncGroup>,
+    /// Operations participating in seeded true data races.
+    pub racy_ops: BTreeSet<OpId>,
+    /// Classes whose real synchronizations are invisible because the
+    /// Observer's name heuristics skip them.
+    pub hidden_classes: BTreeSet<String>,
+    /// `Class::field` locations of seeded true races.
+    pub race_locations: BTreeSet<String>,
+    /// Fields a manual annotator would mark volatile (they are declared so
+    /// in the "source").
+    pub volatile_fields: Vec<(String, String)>,
+    /// Thread delegates a manual annotator can see at `new Thread(...)`
+    /// sites.
+    pub delegates: Vec<(String, String)>,
+}
+
+impl GroundTruth {
+    /// Scores one inferred operation.
+    pub fn classify(&self, op: OpId, role: Role) -> Verdict {
+        if self.sync_groups.iter().any(|g| g.matches(op, role)) {
+            Verdict::TrueSync
+        } else if self.racy_ops.contains(&op) {
+            Verdict::DataRacy
+        } else if self
+            .hidden_classes
+            .contains(op.resolve().class())
+        {
+            Verdict::InstrError
+        } else {
+            Verdict::NotSync
+        }
+    }
+
+    /// How many distinct synchronizations the report covers (for recall).
+    pub fn groups_covered(&self, report: &InferenceReport) -> usize {
+        self.sync_groups
+            .iter()
+            .filter(|g| report.inferred.iter().any(|i| g.matches(i.op, i.role)))
+            .count()
+    }
+
+    /// Whether a race report location corresponds to a seeded true race.
+    pub fn is_true_race(&self, location: &str) -> bool {
+        let loc = location.split('@').next().unwrap_or(location);
+        self.race_locations.contains(loc)
+    }
+
+    /// The Manual_dr specification for this app: the classic API baseline
+    /// plus the app's visible volatile/delegate annotations (paper §5.4).
+    pub fn manual_spec(&self) -> SyncSpec {
+        let mut spec = SyncSpec::manual();
+        for (c, f) in &self.volatile_fields {
+            spec = spec.with_volatile(c, f);
+        }
+        for (c, m) in &self.delegates {
+            spec = spec.with_delegate(c, m);
+        }
+        spec
+    }
+}
+
+/// One benchmark application: metadata, unit tests, and ground truth
+/// (one row of paper Table 1).
+pub struct App {
+    /// Paper-style id (`App-1` … `App-8`).
+    pub id: &'static str,
+    /// Human name.
+    pub name: &'static str,
+    /// Source size (lines of the Rust module implementing it).
+    pub loc: usize,
+    /// The unit-test suite SherLock observes.
+    pub tests: Vec<TestCase>,
+    /// Ground truth for scoring.
+    pub truth: GroundTruth,
+}
+
+impl App {
+    /// Number of unit tests.
+    pub fn num_tests(&self) -> usize {
+        self.tests.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_precedence_true_sync_first() {
+        let op = OpRef::field_write("GT", "flag").intern();
+        let mut t = GroundTruth::default();
+        t.sync_groups.push(SyncGroup::new(
+            "write flag",
+            Role::Release,
+            field_write("GT", "flag"),
+        ));
+        t.racy_ops.insert(op);
+        assert_eq!(t.classify(op, Role::Release), Verdict::TrueSync);
+        // Wrong role falls through to the racy bucket.
+        assert_eq!(t.classify(op, Role::Acquire), Verdict::DataRacy);
+    }
+
+    #[test]
+    fn hidden_class_maps_to_instr_error() {
+        let mut t = GroundTruth::default();
+        t.hidden_classes.insert("Shadowed".to_string());
+        let op = OpRef::app_end("Shadowed", "Other").intern();
+        assert_eq!(t.classify(op, Role::Release), Verdict::InstrError);
+        let op = OpRef::app_end("Visible", "Other").intern();
+        assert_eq!(t.classify(op, Role::Release), Verdict::NotSync);
+    }
+
+    #[test]
+    fn true_race_lookup_strips_object() {
+        let mut t = GroundTruth::default();
+        t.race_locations.insert("GT::counter".to_string());
+        assert!(t.is_true_race("GT::counter@17"));
+        assert!(!t.is_true_race("GT::other@17"));
+    }
+
+    #[test]
+    fn manual_spec_includes_annotations() {
+        let mut t = GroundTruth::default();
+        t.volatile_fields.push(("Buf".into(), "eof".into()));
+        t.delegates.push(("Worker".into(), "Run".into()));
+        let spec = t.manual_spec();
+        assert!(spec.is_release(OpRef::field_write("Buf", "eof").intern()));
+        assert!(spec.is_acquire(OpRef::app_begin("Worker", "Run").intern()));
+        assert!(spec.is_acquire(OpRef::lib_end("System.Threading.Monitor", "Enter").intern()));
+    }
+
+    #[test]
+    fn lib_site_helper_interns_both_ends() {
+        let ops = lib_site("C", "M");
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].resolve(), OpRef::lib_begin("C", "M"));
+        assert_eq!(ops[1].resolve(), OpRef::lib_end("C", "M"));
+    }
+}

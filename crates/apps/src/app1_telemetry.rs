@@ -1,0 +1,515 @@
+//! App-1 — `Telemetry` (modeled on ApplicationInsights, paper Table 1/Fig 3.E).
+//!
+//! The largest application of the suite: a telemetry pipeline with a
+//! test-fixture initialization ordering (`TestInitialize` happens before
+//! every test method — Fig. 3.E), a monitor-protected channel buffer,
+//! task-based senders signalling through an `EventWaitHandle`, a dev-mode
+//! flag, and — deliberately — several *unsynchronized* diagnostics counters:
+//! the seeded data races behind App-1's ten "Data Racy" misclassifications
+//! (paper Table 2).
+
+use sherlock_core::{Role, TestCase};
+use sherlock_sim::prims::{
+    testfx, EventWaitHandle, Interlocked, Monitor, SimThread, Task, TracedVar, UnsafeList,
+};
+use sherlock_sim::api;
+use sherlock_trace::{OpRef, Time};
+
+use crate::app::{
+    app_begin, app_end, field_read, field_write, lib_site, App, GroundTruth, SyncGroup,
+};
+
+const CONFIG: &str = "Microsoft.ApplicationInsights.TelemetryConfiguration";
+const CHANNEL: &str = "Microsoft.ApplicationInsights.InMemoryChannel";
+const SENDER: &str = "Microsoft.ApplicationInsights.TelemetrySender";
+const DIAG: &str = "Microsoft.ApplicationInsights.DiagnosticsTelemetry";
+const FIXTURE: &str = "TelemetryClientTests";
+
+/// The monitor-protected channel buffer.
+#[derive(Clone)]
+struct Channel {
+    monitor: Monitor,
+    buffered: TracedVar<u32>,
+    capacity_hits: TracedVar<u32>,
+    items: UnsafeList<u32>,
+}
+
+impl Channel {
+    fn new() -> Self {
+        Channel {
+            monitor: Monitor::new(),
+            buffered: TracedVar::new(CHANNEL, "bufferedItems", 0),
+            capacity_hits: TracedVar::new(CHANNEL, "capacityHits", 0),
+            items: UnsafeList::new(),
+        }
+    }
+
+    fn send(&self, n: u32) {
+        let this = self.clone();
+        api::app_method(CHANNEL, "Send", self.buffered.object(), move || {
+            this.monitor.with_lock(|| {
+                let b = this.buffered.update(|x| x + n);
+                // The thread-unsafe item list is safe only under the lock.
+                this.items.add(n);
+                if b > 8 {
+                    this.capacity_hits.update(|x| x + 1);
+                }
+            });
+        });
+    }
+
+    fn flush(&self) -> u32 {
+        let this = self.clone();
+        api::app_method(CHANNEL, "Flush", self.buffered.object(), move || {
+            this.monitor.with_lock(|| {
+                let b = this.buffered.get();
+                let _ = this.items.len();
+                this.items.clear();
+                this.buffered.set(0);
+                b
+            })
+        })
+    }
+}
+
+fn tests() -> Vec<TestCase> {
+    let mut tests = Vec::new();
+
+    // Fig. 3.E: TestInitialize configures the client; the framework
+    // guarantees it completes before any test method runs.
+    tests.push(TestCase::new("fixture_basic_start_operation", || {
+        let ikey = TracedVar::new(CONFIG, "instrumentationKey", 0u64);
+        let endpoint = TracedVar::new(CONFIG, "endpointAddress", 0u64);
+        let quota = TracedVar::new(CONFIG, "samplingQuota", 0u64);
+        let cap = TracedVar::new(CONFIG, "channelCapacity", 0u64);
+        let (k, e, q, c) = (ikey.clone(), endpoint.clone(), quota.clone(), cap.clone());
+        let (k2, e2) = (ikey.clone(), endpoint.clone());
+        let (q3, c3) = (quota.clone(), cap.clone());
+        let handles = testfx::run_fixture(
+            FIXTURE,
+            "TestInitialize",
+            move || {
+                api::sleep(Time::from_millis(1));
+                k.set(0xABCD);
+                e.set(0x1111);
+                q.set(50);
+                c.set(512);
+            },
+            vec![
+                (
+                    "BasicStartOperationWithActivity".to_string(),
+                    Box::new(move || {
+                        // Telemetry code reads its configuration on every
+                        // operation — a popular, frequently-read variable.
+                        for _ in 0..6 {
+                            assert_eq!(k2.get(), 0xABCD);
+                            assert_eq!(e2.get(), 0x1111);
+                        }
+                    }),
+                ),
+                (
+                    "StartOperationWithoutActivity".to_string(),
+                    Box::new(move || {
+                        for _ in 0..6 {
+                            assert_eq!(q3.get(), 50);
+                            assert_eq!(c3.get(), 512);
+                        }
+                    }),
+                ),
+            ],
+        );
+        for h in handles {
+            h.join();
+        }
+    }));
+
+    // Concurrent senders on the monitor-protected channel.
+    tests.push(TestCase::new("channel_concurrent_send", || {
+        let channel = Channel::new();
+        let batch_size = TracedVar::new(SENDER, "batchSize", 0u32);
+        let flush_interval = TracedVar::new(SENDER, "flushInterval", 0u32);
+        let endpoint = TracedVar::new(SENDER, "senderEndpoint", 0u64);
+        batch_size.set(4);
+        flush_interval.set(30);
+        endpoint.set(0xBEEF);
+        let mut tasks = Vec::new();
+        for _ in 0..3 {
+            let c = channel.clone();
+            let (b, f, e) = (batch_size.clone(), flush_interval.clone(), endpoint.clone());
+            tasks.push(Task::run(SENDER, "SendLoop", move || {
+                let n = b.get();
+                let _ = f.get();
+                let _ = e.get();
+                for _ in 0..n {
+                    c.send(1);
+                }
+            }));
+        }
+        for t in &tasks {
+            t.wait();
+        }
+        assert_eq!(channel.flush(), 12);
+    }));
+
+    // The transmission sender signals completion via an event.
+    tests.push(TestCase::new("sender_transmission_complete", || {
+        let sent = TracedVar::new(SENDER, "transmittedBytes", 0u32);
+        let status = TracedVar::new(SENDER, "transmissionStatus", 0u32);
+        let done = EventWaitHandle::new(false);
+        let (s2, st2, d2) = (sent.clone(), status.clone(), done.clone());
+        Task::run(SENDER, "TransmitAsync", move || {
+            api::sleep(Time::from_millis(2));
+            s2.set(512);
+            st2.set(200);
+            d2.set();
+        });
+        done.wait_one();
+        api::sleep(Time::from_millis(25)); // response processing
+        for _ in 0..4 {
+            assert_eq!(sent.get(), 512);
+            assert_eq!(status.get(), 200);
+        }
+    }));
+
+    // A flush notification through the same EventWaitHandle APIs as the
+    // sender test but over different payload fields: the shared API ops are
+    // the economical explanation across both tests.
+    tests.push(TestCase::new("flush_notification", || {
+        let flushed = TracedVar::new(CHANNEL, "flushedBytes", 0u32);
+        let flush_gen = TracedVar::new(CHANNEL, "flushGeneration", 0u32);
+        let done = EventWaitHandle::new(false);
+        let (f2, g2, d2) = (flushed.clone(), flush_gen.clone(), done.clone());
+        Task::run(SENDER, "FlushAsync", move || {
+            api::sleep(Time::from_millis(1));
+            f2.set(2048);
+            g2.set(3);
+            d2.set();
+        });
+        done.wait_one();
+        api::sleep(Time::from_millis(12));
+        for _ in 0..4 {
+            assert_eq!(flushed.get(), 2048);
+            assert_eq!(flush_gen.get(), 3);
+        }
+    }));
+
+    // Developer-mode flag consumed by a polling worker.
+    tests.push(TestCase::new("developer_mode_flag", || {
+        let dev_mode = TracedVar::new(CONFIG, "developerMode", false);
+        let d2 = dev_mode.clone();
+        let toggler = SimThread::start(CONFIG, "EnableDeveloperMode", move || {
+            api::sleep(Time::from_millis(2));
+            d2.set(true);
+        });
+        dev_mode.spin_until(Time::from_millis(1), |v| v);
+        toggler.join();
+    }));
+
+    // Seeded race #1: the metric preaggregation counter is written from a
+    // *task* and the main thread with no synchronization at all. The task
+    // also hands a session buffer to the main thread through Task.Wait —
+    // ordering a manual annotator misses (the TPL is not on the classic
+    // list), so Manual_dr's first report is the *false* sessionBuffer race,
+    // masking the true metricCount race behind it (paper §5.4).
+    tests.push(TestCase::new("racy_metric_counter", || {
+        // Phase A: a task-ordered handoff Manual_dr cannot see — its first
+        // (false) report lands here and masks the real race behind it.
+        let session = TracedVar::new(SENDER, "sessionBuffer", 0u32);
+        let s2 = session.clone();
+        let setup = Task::run(DIAG, "SessionSetup", move || {
+            s2.set(1);
+        });
+        setup.wait();
+        session.get();
+        // Phase B: the true write/write race, genuinely concurrent.
+        let count = TracedVar::new(DIAG, "metricCount", 0u32);
+        let c2 = count.clone();
+        let t = Task::run(DIAG, "AggregateWorker", move || {
+            for i in 0..3 {
+                c2.set(i);
+            }
+        });
+        for i in 10..13 {
+            count.set(i);
+        }
+        t.wait();
+    }));
+
+    // Seeded race #2: lastError written by two faulting tasks concurrently
+    // (write/write), again behind task-ordered setup.
+    tests.push(TestCase::new("racy_last_error", || {
+        let ready = TracedVar::new(SENDER, "faultInjector", 0u32);
+        let r2 = ready.clone();
+        let setup = Task::run(DIAG, "FaultSetup", move || {
+            r2.set(1);
+        });
+        setup.wait();
+        ready.get();
+        let last_error = TracedVar::new(DIAG, "lastError", 0u32);
+        let e2 = last_error.clone();
+        let t = Task::run(DIAG, "FaultingWorker", move || {
+            e2.set(0xE);
+        });
+        last_error.set(0xF);
+        last_error.set(0x10);
+        t.wait();
+    }));
+
+    // Seeded race #3: two threads both claim the active activity id
+    // (write/write with no ordering whatsoever).
+    tests.push(TestCase::new("racy_activity_id", || {
+        let config = TracedVar::new(SENDER, "activityConfig", 0u32);
+        let c2 = config.clone();
+        let setup = Task::run(DIAG, "ActivityConfigSetup", move || {
+            c2.set(3);
+        });
+        setup.wait();
+        config.get();
+        let activity = TracedVar::new(DIAG, "activityId", 0u32);
+        let a2 = activity.clone();
+        let t = Task::run(DIAG, "ActivityStarter", move || {
+            a2.set(1);
+        });
+        activity.set(2);
+        t.wait();
+    }));
+
+    // An Interlocked statistics counter: atomic increments from several
+    // threads with *no* happens-before intent — the paper's introductory
+    // example of an atomic that must NOT be inferred as synchronization.
+    tests.push(TestCase::new("interlocked_statistics", || {
+        let tracked = Interlocked::new(0);
+        let mut tasks = Vec::new();
+        for _ in 0..3 {
+            let t2 = tracked.clone();
+            tasks.push(Task::run(SENDER, "TrackLoop", move || {
+                for _ in 0..4 {
+                    t2.increment();
+                }
+            }));
+        }
+        for t in &tasks {
+            t.wait();
+        }
+        assert_eq!(tracked.read(), 12);
+    }));
+
+    // A fixture variant whose test bodies also use the channel, mixing the
+    // framework edge with the monitor edges.
+    tests.push(TestCase::new("fixture_channel_interaction", || {
+        let channel = Channel::new();
+        let c1 = channel.clone();
+        let c2 = channel.clone();
+        let handles = testfx::run_fixture(
+            FIXTURE,
+            "TestInitialize",
+            move || {
+                c1.send(2);
+            },
+            vec![(
+                "FlushSendsBufferedItems".to_string(),
+                Box::new(move || {
+                    assert!(c2.flush() >= 2);
+                }),
+            )],
+        );
+        for h in handles {
+            h.join();
+        }
+    }));
+
+    tests
+}
+
+fn truth() -> GroundTruth {
+    let mut t = GroundTruth::default();
+    t.sync_groups = vec![
+        SyncGroup::new(
+            "end of TestInitialize (framework ordering)",
+            Role::Release,
+            app_end(FIXTURE, "TestInitialize"),
+        ),
+        SyncGroup::new(
+            "start of test methods (framework ordering)",
+            Role::Acquire,
+            [
+                app_begin(FIXTURE, "BasicStartOperationWithActivity"),
+                app_begin(FIXTURE, "StartOperationWithoutActivity"),
+                app_begin(FIXTURE, "FlushSendsBufferedItems"),
+            ]
+            .concat(),
+        ),
+        SyncGroup::new(
+            "release lock",
+            Role::Release,
+            lib_site("System.Threading.Monitor", "Exit"),
+        ),
+        SyncGroup::new(
+            "acquire lock",
+            Role::Acquire,
+            lib_site("System.Threading.Monitor", "Enter"),
+        ),
+        SyncGroup::new(
+            "create new task",
+            Role::Release,
+            lib_site("System.Threading.Tasks.Task", "Run"),
+        ),
+        SyncGroup::new(
+            "task wait returns",
+            Role::Acquire,
+            lib_site("System.Threading.Tasks.Task", "Wait"),
+        ),
+        SyncGroup::new(
+            "start of task delegates",
+            Role::Acquire,
+            [
+                app_begin(SENDER, "SendLoop"),
+                app_begin(SENDER, "TransmitAsync"),
+                app_begin(SENDER, "FlushAsync"),
+            ]
+            .concat(),
+        ),
+        SyncGroup::new(
+            "end of task delegates",
+            Role::Release,
+            [
+                app_end(SENDER, "SendLoop"),
+                app_end(SENDER, "TransmitAsync"),
+                app_end(SENDER, "FlushAsync"),
+            ]
+            .concat(),
+        ),
+        SyncGroup::new(
+            "release semaphore (event set)",
+            Role::Release,
+            lib_site("System.Threading.EventWaitHandle", "Set"),
+        ),
+        SyncGroup::new(
+            "wait for semaphore (event wait)",
+            Role::Acquire,
+            lib_site("System.Threading.WaitHandle", "WaitOne"),
+        ),
+        SyncGroup::new(
+            "write flag (developer mode)",
+            Role::Release,
+            field_write(CONFIG, "developerMode"),
+        ),
+        SyncGroup::new(
+            "read flag (developer mode)",
+            Role::Acquire,
+            field_read(CONFIG, "developerMode"),
+        ),
+        SyncGroup::new(
+            "start of thread delegates",
+            Role::Acquire,
+            app_begin(CONFIG, "EnableDeveloperMode"),
+        ),
+        SyncGroup::new(
+            "end of thread delegates (join edge)",
+            Role::Release,
+            app_end(CONFIG, "EnableDeveloperMode"),
+        ),
+        SyncGroup::new(
+            "join returns",
+            Role::Acquire,
+            lib_site("System.Threading.Thread", "Join"),
+        ),
+    ];
+    for (class, field) in [
+        (DIAG, "metricCount"),
+        (DIAG, "lastError"),
+        (DIAG, "activityId"),
+    ] {
+        t.racy_ops.insert(OpRef::field_read(class, field).intern());
+        t.racy_ops.insert(OpRef::field_write(class, field).intern());
+        t.race_locations.insert(format!("{class}::{field}"));
+    }
+    // The racy worker delegates are genuine task fork/join edges.
+    t.sync_groups.push(SyncGroup::new(
+        "start of racy-test task delegates",
+        Role::Acquire,
+        [
+            app_begin(DIAG, "AggregateWorker"),
+            app_begin(DIAG, "FaultingWorker"),
+            app_begin(DIAG, "ActivityStarter"),
+            app_begin(DIAG, "SessionSetup"),
+            app_begin(DIAG, "FaultSetup"),
+            app_begin(DIAG, "ActivityConfigSetup"),
+        ]
+        .concat(),
+    ));
+    t.sync_groups.push(SyncGroup::new(
+        "end of racy-test task delegates",
+        Role::Release,
+        [
+            app_end(DIAG, "AggregateWorker"),
+            app_end(DIAG, "FaultingWorker"),
+            app_end(DIAG, "ActivityStarter"),
+            app_end(DIAG, "SessionSetup"),
+            app_end(DIAG, "FaultSetup"),
+            app_end(DIAG, "ActivityConfigSetup"),
+        ]
+        .concat(),
+    ));
+    // The setup handoff fields are task-protected payloads.
+    t.sync_groups.push(SyncGroup::new(
+        "task payload publication",
+        Role::Release,
+        [
+            field_write(SENDER, "sessionBuffer"),
+            field_write(SENDER, "faultInjector"),
+            field_write(SENDER, "activityConfig"),
+        ]
+        .concat(),
+    ));
+    t.sync_groups.push(SyncGroup::new(
+        "task payload consumption",
+        Role::Acquire,
+        [
+            field_read(SENDER, "sessionBuffer"),
+            field_read(SENDER, "faultInjector"),
+            field_read(SENDER, "activityConfig"),
+        ]
+        .concat(),
+    ));
+    t.volatile_fields = vec![(CONFIG.into(), "developerMode".into())];
+    t.delegates = vec![(CONFIG.into(), "EnableDeveloperMode".into())];
+    t
+}
+
+/// Builds App-1.
+pub fn app() -> App {
+    App {
+        id: "App-1",
+        name: "Telemetry",
+        loc: include_str!("app1_telemetry.rs").lines().count(),
+        tests: tests(),
+        truth: truth(),
+    }
+}
+
+#[cfg(test)]
+mod tests_mod {
+    use super::*;
+    use sherlock_sim::SimConfig;
+
+    #[test]
+    fn all_tests_run_clean() {
+        for (i, t) in app().tests.iter().enumerate() {
+            let r = t.run(SimConfig::with_seed(100 + i as u64));
+            assert!(r.is_clean(), "test {} failed: {:?}", t.name(), r.panics);
+        }
+    }
+
+    #[test]
+    fn channel_flush_returns_buffered_total() {
+        let r = sherlock_sim::Sim::new(SimConfig::with_seed(199)).run(|| {
+            let c = Channel::new();
+            c.send(3);
+            c.send(4);
+            assert_eq!(c.flush(), 7);
+            assert_eq!(c.flush(), 0);
+        });
+        assert!(r.is_clean(), "{:?}", r.panics);
+    }
+}

@@ -1,0 +1,259 @@
+//! App-2 — `DateTime` (modeled on DataTimeExtension, paper Table 1/9).
+//!
+//! A small date-computation library whose synchronization comes from three
+//! idioms the paper reports for this app:
+//!
+//! * a lazy concurrent dictionary (`ConcurrentLazyDictionary::GetOrAdd`)
+//!   whose value delegates are atomic with respect to each other — the exit
+//!   of one delegate happens before the entry of the next (paper Fig. 3.C);
+//! * a static constructor (`EasterCalculator::.cctor`) whose completion
+//!   happens before any use of the class;
+//! * a volatile flag (`ChristianHolidays::ascension`) written by the
+//!   computing thread and checked by readers.
+
+use std::sync::Arc;
+
+use sherlock_core::{Role, TestCase};
+use sherlock_sim::prims::{ConcurrentMap, SimThread, StaticCtor, TracedVar};
+use sherlock_sim::api;
+use sherlock_trace::Time;
+
+use crate::app::{
+    app_begin, app_end, field_read, field_write, lib_site, App, GroundTruth, SyncGroup,
+};
+
+const CACHE: &str = "App.Common.ConcurrentLazyDictionary";
+const EASTER: &str = "App.WorkingDays.EasterBasedHoliday.EasterCalculator";
+const HOLIDAYS: &str = "App.WorkingDays.ChristianHolidays";
+
+/// The lazy dictionary: an application-level `GetOrAdd` wrapper (the op the
+/// paper's Table 9 lists) around the concurrent-dictionary primitive.
+#[derive(Clone)]
+struct DayCache {
+    map: ConcurrentMap<u32, u32>,
+    easter_day: TracedVar<u32>,
+    lent_start: TracedVar<u32>,
+    compute_count: TracedVar<u32>,
+}
+
+impl DayCache {
+    fn new() -> Self {
+        DayCache {
+            map: ConcurrentMap::new(),
+            easter_day: TracedVar::new(EASTER, "cachedEaster", 0),
+            lent_start: TracedVar::new(EASTER, "cachedLentStart", 0),
+            compute_count: TracedVar::new(EASTER, "computeCount", 0),
+        }
+    }
+
+    /// The delegate populates several cache fields at once — the atomic
+    /// region is the synchronization, not any single field.
+    fn get_or_add(&self, year: u32, delegate: &str) -> u32 {
+        let this = self.clone();
+        let delegate = delegate.to_string();
+        api::app_method(CACHE, "GetOrAdd", self.easter_day.object(), move || {
+            let inner = this.clone();
+            let day = this.map.get_or_add(year, CACHE, &delegate, move || {
+                let day = 81 + (year % 19); // toy Easter computus
+                inner.easter_day.set(day);
+                inner.lent_start.set(day - 46);
+                inner.compute_count.update(|c| c + 1);
+                day
+            });
+            // Post-lookup verification reads the cached values.
+            this.easter_day.get();
+            this.lent_start.get();
+            day
+        })
+    }
+}
+
+fn tests() -> Vec<TestCase> {
+    let mut tests = Vec::new();
+
+    // Two threads race to populate the same year; delegate atomicity plus
+    // the GetOrAdd wrapper order the underlying cache writes.
+    tests.push(TestCase::new("day_cache_concurrent_get_or_add", || {
+        let cache = DayCache::new();
+        let c1 = cache.clone();
+        let t1 = SimThread::start("App.WorkingDays.Tests", "CacheWorkerA", move || {
+            let d = c1.get_or_add(2020, "<GetOrAdd>d1");
+            assert_eq!(d, 81 + (2020 % 19));
+        });
+        let c2 = cache.clone();
+        let t2 = SimThread::start("App.WorkingDays.Tests", "CacheWorkerB", move || {
+            c2.get_or_add(2020, "<GetOrAdd>d2");
+        });
+        t1.join();
+        t2.join();
+    }));
+
+    // The static constructor initializes the golden-number table; the first
+    // access after it (CalculateEasterDate) is the acquire.
+    tests.push(TestCase::new("easter_static_ctor", || {
+        let cctor = StaticCtor::new(EASTER);
+        let golden = TracedVar::new(EASTER, "goldenNumbers", 0u64);
+        let epacts = TracedVar::new(EASTER, "epactTable", 0u64);
+        let moons = TracedVar::new(EASTER, "paschalMoons", 0u64);
+        let mut threads = Vec::new();
+        for i in 0..3 {
+            let (cctor, golden) = (cctor.clone(), golden.clone());
+            let (epacts, moons) = (epacts.clone(), moons.clone());
+            threads.push(SimThread::start(
+                "App.WorkingDays.Tests",
+                "EasterWorker",
+                move || {
+                    // The CLR runs a class's static constructor before any
+                    // method of the class *enters*: the blocking happens at
+                    // the call site, so CalculateEasterDate-Begin lands
+                    // strictly after .cctor-End.
+                    cctor.ensure(|| {
+                        api::sleep(Time::from_micros(200 * (i + 1)));
+                        golden.set(0xDEAD_BEEF);
+                        epacts.set(0xFEED);
+                        moons.set(0xB00C);
+                    });
+                    api::app_method(EASTER, "CalculateEasterDate", golden.object(), || {
+                        assert_eq!(golden.get(), 0xDEAD_BEEF);
+                        assert_eq!(epacts.get(), 0xFEED);
+                        assert_eq!(moons.get(), 0xB00C);
+                    });
+                },
+            ));
+        }
+        for t in threads {
+            t.join();
+        }
+    }));
+
+    // A volatile flag: the computing thread publishes `ascension`; the
+    // checking thread polls it (if-check with retry). A deliberate ~30 ms
+    // think-time separates the write from the final confirming read so a
+    // too-small `Near` (Table 7's 0.01 s row) loses the pair.
+    tests.push(TestCase::new("ascension_flag_publication", || {
+        let flag = TracedVar::new(HOLIDAYS, "ascension", false);
+        let date = TracedVar::new(HOLIDAYS, "ascensionDate", 0u32);
+        let (f2, d2) = (flag.clone(), date.clone());
+        let writer = SimThread::start(HOLIDAYS, "ComputeAscension", move || {
+            api::sleep(Time::from_millis(5));
+            d2.set(139);
+            f2.set(true);
+        });
+        flag.spin_until(Time::from_millis(10), |v| v);
+        api::sleep(Time::from_millis(30)); // think time
+        assert_eq!(date.get(), 139);
+        writer.join();
+    }));
+
+    // Two widely separated phases reusing the same cache: with the default
+    // `Near` the phases never pair across the 2.5 s gap; a 100 s `Near`
+    // (Table 7) pairs them and floods the windows with noise.
+    tests.push(TestCase::new("two_phase_working_days", || {
+        let cache = Arc::new(DayCache::new());
+        let c1 = Arc::clone(&cache);
+        let t = SimThread::start("App.WorkingDays.Tests", "PhaseOne", move || {
+            c1.get_or_add(2021, "<GetOrAdd>d1");
+            c1.easter_day.get();
+        });
+        t.join();
+        api::sleep(Time::from_secs(3));
+        let c2 = Arc::clone(&cache);
+        let t = SimThread::start("App.WorkingDays.Tests", "PhaseTwo", move || {
+            c2.get_or_add(2022, "<GetOrAdd>d1");
+            c2.easter_day.get();
+        });
+        t.join();
+    }));
+
+    tests
+}
+
+fn truth() -> GroundTruth {
+    let mut t = GroundTruth::default();
+    t.sync_groups = vec![
+        SyncGroup::new(
+            "end of atomic region (GetOrAdd)",
+            Role::Release,
+            [
+                app_end(CACHE, "GetOrAdd"),
+                lib_site("System.Collections.Concurrent.ConcurrentDictionary", "GetOrAdd"),
+                app_end(CACHE, "<GetOrAdd>d1"),
+                app_end(CACHE, "<GetOrAdd>d2"),
+            ]
+            .concat(),
+        ),
+        SyncGroup::new(
+            "start of atomic region (GetOrAdd)",
+            Role::Acquire,
+            [
+                app_begin(CACHE, "GetOrAdd"),
+                lib_site("System.Collections.Concurrent.ConcurrentDictionary", "GetOrAdd"),
+                app_begin(CACHE, "<GetOrAdd>d1"),
+                app_begin(CACHE, "<GetOrAdd>d2"),
+            ]
+            .concat(),
+        ),
+        SyncGroup::new(
+            "end of static constructor",
+            Role::Release,
+            app_end(EASTER, ".cctor"),
+        ),
+        SyncGroup::new(
+            "first access after static constructor",
+            Role::Acquire,
+            app_begin(EASTER, "CalculateEasterDate"),
+        ),
+        SyncGroup::new(
+            "write flag",
+            Role::Release,
+            field_write(HOLIDAYS, "ascension"),
+        ),
+        SyncGroup::new("check flag", Role::Acquire, field_read(HOLIDAYS, "ascension")),
+    ];
+    t.volatile_fields = vec![(HOLIDAYS.into(), "ascension".into())];
+    t.delegates = vec![
+        ("App.WorkingDays.Tests".into(), "CacheWorkerA".into()),
+        ("App.WorkingDays.Tests".into(), "CacheWorkerB".into()),
+        ("App.WorkingDays.Tests".into(), "EasterWorker".into()),
+        (HOLIDAYS.into(), "ComputeAscension".into()),
+        ("App.WorkingDays.Tests".into(), "PhaseOne".into()),
+        ("App.WorkingDays.Tests".into(), "PhaseTwo".into()),
+    ];
+    t
+}
+
+/// Builds App-2.
+pub fn app() -> App {
+    App {
+        id: "App-2",
+        name: "DateTime",
+        loc: include_str!("app2_datetime.rs").lines().count(),
+        tests: tests(),
+        truth: truth(),
+    }
+}
+
+#[cfg(test)]
+mod tests_mod {
+    use super::*;
+    use sherlock_sim::SimConfig;
+
+    #[test]
+    fn all_tests_run_clean() {
+        for (i, t) in app().tests.iter().enumerate() {
+            let r = t.run(SimConfig::with_seed(100 + i as u64));
+            assert!(r.is_clean(), "test {} failed: {:?}", t.name(), r.panics);
+            assert!(!r.trace.is_empty());
+        }
+    }
+
+    #[test]
+    fn metadata_sane() {
+        let a = app();
+        assert_eq!(a.id, "App-2");
+        assert_eq!(a.num_tests(), 4);
+        assert!(a.loc > 100);
+        assert_eq!(a.truth.sync_groups.len(), 6);
+        assert!(a.truth.racy_ops.is_empty());
+    }
+}

@@ -1,0 +1,253 @@
+//! App-3 — `Assertions` (modeled on FluentAssertion, paper Table 1/8).
+//!
+//! An assertion library: the `AssertionScope` static constructor, a monitor
+//! guarding the scope stack, `Task.Run` for the concurrency tests, and an
+//! `ExecutionTime` helper with an `isRunning` flag. Two latch helpers carry
+//! names the Observer's heuristics mistakenly skip, contributing App-3's two
+//! instrumentation errors (paper Table 2).
+
+use sherlock_core::{Role, TestCase};
+use sherlock_sim::prims::{EventWaitHandle, Monitor, StaticCtor, Task, TracedVar};
+use sherlock_sim::api;
+use sherlock_trace::Time;
+
+use crate::app::{
+    app_begin, app_end, field_read, field_write, lib_site, App, GroundTruth, SyncGroup,
+};
+
+const SCOPE: &str = "FluentAssertions.Execution.AssertionScope";
+const SPECS: &str = "AssertionOptionsSpecs";
+const EXEC: &str = "FluentAssertions.Specialized.ExecutionTime";
+const LATCH: &str = "FluentAssertions.Execution.LatchHelper";
+
+fn tests() -> Vec<TestCase> {
+    let mut tests = Vec::new();
+
+    // The static constructor installs the default equality strategy; the
+    // concurrent-access spec races to read it from task delegates (the
+    // paper's `When_concurrently_getting_equality_strategy` rows).
+    tests.push(TestCase::new("concurrent_equality_strategy", || {
+        let cctor = StaticCtor::new(SCOPE);
+        let strategy = TracedVar::new(SCOPE, "equalityStrategy", 0u32);
+        let formatters = TracedVar::new(SCOPE, "defaultFormatters", 0u32);
+        let options = TracedVar::new(SCOPE, "defaultOptions", 0u32);
+        let mut tasks = Vec::new();
+        for (i, delegate) in [
+            "<When_concurrently_getting_equality_strategy>b__2",
+            "<When_concurrently_getting_equality_strategy>b__3",
+        ]
+        .iter()
+        .enumerate()
+        {
+            let (c, s) = (cctor.clone(), strategy.clone());
+            let (f, o) = (formatters.clone(), options.clone());
+            tasks.push(Task::run(SPECS, *delegate, move || {
+                // CLR: the class initializer completes before
+                // GetEqualityStrategy enters.
+                c.ensure(|| {
+                    api::sleep(Time::from_micros(300 * (i as u64 + 1)));
+                    s.set(1);
+                    f.set(4);
+                    o.set(9);
+                });
+                api::app_method(SCOPE, "GetEqualityStrategy", 0, || {
+                    assert_eq!(s.get(), 1);
+                    assert_eq!(f.get(), 4);
+                    assert_eq!(o.get(), 9);
+                });
+            }));
+        }
+        for t in &tasks {
+            t.wait();
+        }
+    }));
+
+    // The monitor guards the scope stack fields.
+    tests.push(TestCase::new("nested_scopes_locked", || {
+        let monitor = Monitor::new();
+        let depth = TracedVar::new(SCOPE, "scopeDepth", 0u32);
+        let failures = TracedVar::new(SCOPE, "failureCount", 0u32);
+        let mut tasks = Vec::new();
+        for i in 0..3 {
+            let (m, d, f) = (monitor.clone(), depth.clone(), failures.clone());
+            tasks.push(Task::run(SPECS, "<Nested_scopes>b__0", move || {
+                for _ in 0..2 {
+                    m.with_lock(|| {
+                        d.update(|x| x + 1);
+                        if i == 0 {
+                            f.update(|x| x + 1);
+                        }
+                        d.update(|x| x - 1);
+                    });
+                }
+            }));
+        }
+        for t in &tasks {
+            t.wait();
+        }
+        assert_eq!(depth.get(), 0);
+    }));
+
+    // ExecutionTime: a polling loop on the isRunning flag (Table 8's
+    // `<IsRunning>` rows) around a measured task.
+    tests.push(TestCase::new("execution_time_is_running", || {
+        let is_running = TracedVar::new(EXEC, "<IsRunning>", true);
+        let elapsed = TracedVar::new(EXEC, "elapsed", 0u64);
+        let (r2, e2) = (is_running.clone(), elapsed.clone());
+        let measured = Task::run(EXEC, "<.ctor>b__0", move || {
+            api::sleep(Time::from_millis(8));
+            e2.set(8_000_000);
+            r2.set(false);
+        });
+        is_running.spin_until(Time::from_millis(3), |v| !v);
+        api::sleep(Time::from_millis(15)); // report generation
+        assert_eq!(elapsed.get(), 8_000_000);
+        measured.wait();
+    }));
+
+    // Two latch helpers hidden from the Observer: the real synchronization
+    // (signal/await inside them) is invisible, so the shared fields in the
+    // same class take the blame — App-3's two instrumentation errors.
+    tests.push(TestCase::new("hidden_latch_helpers", || {
+        let ev = EventWaitHandle::new(false);
+        let formatted = TracedVar::new(LATCH, "formattedMessage", 0u32);
+        let rendered = TracedVar::new(LATCH, "renderedCount", 0u32);
+        let (ev2, f2, r2) = (ev.clone(), formatted.clone(), rendered.clone());
+        let producer = Task::run(LATCH, "Producer", move || {
+            api::app_method(LATCH, "<Signal>b__hidden0", f2.object(), || {
+                f2.set(5);
+                r2.set(6);
+                ev2.set_untraced();
+            });
+        });
+        api::app_method(LATCH, "<Await>b__hidden1", formatted.object(), || {
+            ev.wait_one_untraced();
+        });
+        assert_eq!(formatted.get(), 5);
+        assert_eq!(rendered.get(), 6);
+        producer.wait();
+    }));
+
+    // A pure single-threaded formatting test.
+    tests.push(TestCase::new("format_single_threaded", || {
+        let buf = TracedVar::new(SCOPE, "formatBuffer", 0u32);
+        for i in 0..5 {
+            buf.set(i);
+        }
+        assert_eq!(buf.get(), 4);
+    }));
+
+    tests
+}
+
+fn truth() -> GroundTruth {
+    let mut t = GroundTruth::default();
+    t.sync_groups = vec![
+        SyncGroup::new(
+            "end of static constructor",
+            Role::Release,
+            app_end(SCOPE, ".cctor"),
+        ),
+        SyncGroup::new(
+            "release lock",
+            Role::Release,
+            lib_site("System.Threading.Monitor", "Exit"),
+        ),
+        SyncGroup::new(
+            "acquire lock",
+            Role::Acquire,
+            lib_site("System.Threading.Monitor", "Enter"),
+        ),
+        SyncGroup::new(
+            "create new task",
+            Role::Release,
+            lib_site("System.Threading.Tasks.Task", "Run"),
+        ),
+        SyncGroup::new(
+            "write flag",
+            Role::Release,
+            field_write(EXEC, "<IsRunning>"),
+        ),
+        SyncGroup::new(
+            "read flag",
+            Role::Acquire,
+            field_read(EXEC, "<IsRunning>"),
+        ),
+        SyncGroup::new(
+            "start of task (spec delegates)",
+            Role::Acquire,
+            [
+                app_begin(SPECS, "<When_concurrently_getting_equality_strategy>b__2"),
+                app_begin(SPECS, "<When_concurrently_getting_equality_strategy>b__3"),
+                app_begin(SPECS, "<Nested_scopes>b__0"),
+            ]
+            .concat(),
+        ),
+        SyncGroup::new(
+            "start of task (ExecutionTime ctor delegate)",
+            Role::Acquire,
+            app_begin(EXEC, "<.ctor>b__0"),
+        ),
+        SyncGroup::new(
+            "end of task / wait",
+            Role::Release,
+            [
+                app_end(SPECS, "<When_concurrently_getting_equality_strategy>b__2"),
+                app_end(SPECS, "<When_concurrently_getting_equality_strategy>b__3"),
+                app_end(SPECS, "<Nested_scopes>b__0"),
+                app_end(EXEC, "<.ctor>b__0"),
+            ]
+            .concat(),
+        ),
+        SyncGroup::new(
+            "task wait returns",
+            Role::Acquire,
+            lib_site("System.Threading.Tasks.Task", "Wait"),
+        ),
+        SyncGroup::new(
+            "first access after static constructor",
+            Role::Acquire,
+            [
+                app_begin(SCOPE, "GetEqualityStrategy"),
+                app_begin(SPECS, "<When_concurrently_getting_equality_strategy>b__2"),
+                app_begin(SPECS, "<When_concurrently_getting_equality_strategy>b__3"),
+            ]
+            .concat(),
+        ),
+    ];
+    t.hidden_classes.insert(LATCH.to_string());
+    t
+}
+
+/// Builds App-3.
+pub fn app() -> App {
+    App {
+        id: "App-3",
+        name: "Assertions",
+        loc: include_str!("app3_assertions.rs").lines().count(),
+        tests: tests(),
+        truth: truth(),
+    }
+}
+
+#[cfg(test)]
+mod tests_mod {
+    use super::*;
+    use sherlock_sim::SimConfig;
+
+    #[test]
+    fn all_tests_run_clean() {
+        for (i, t) in app().tests.iter().enumerate() {
+            let r = t.run(SimConfig::with_seed(300 + i as u64));
+            assert!(r.is_clean(), "test {} failed: {:?}", t.name(), r.panics);
+        }
+    }
+
+    #[test]
+    fn metadata_sane() {
+        let a = app();
+        assert_eq!(a.id, "App-3");
+        assert_eq!(a.num_tests(), 5);
+        assert!(a.truth.hidden_classes.contains(LATCH));
+    }
+}

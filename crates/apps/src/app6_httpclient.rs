@@ -1,0 +1,334 @@
+//! App-6 — `HttpClient` (modeled on RestSharp, paper Table 1/8).
+//!
+//! An HTTP client with its test web server: work queued through
+//! `ThreadPool.QueueUserWorkItem`, request/response rendezvous through
+//! `EventWaitHandle.Set`/`WaitHandle.WaitOne`, a producer/consumer stream
+//! (`Stream.CopyTo` → `Stream.Read`), and lambda-lowered handler names like
+//! `<Run>b__40` — visible to the Observer, unlike the `b__hidden` ones.
+
+use sherlock_core::{Role, TestCase};
+use sherlock_sim::prims::{
+    CountdownEvent, EventWaitHandle, Monitor, SimThread, Task, ThreadPool, TracedVar, UnsafeList,
+};
+use sherlock_sim::api;
+use sherlock_trace::Time;
+
+use crate::app::{
+    app_begin, app_end, field_read, field_write, lib_site, App, GroundTruth, SyncGroup,
+};
+
+const HTTP: &str = "RestSharp.Http";
+const CLIENT: &str = "RestSharp.RestClient";
+const SERVER: &str = "RestSharp.Tests.Shared.Fixtures.WebServer";
+const HANDLERS: &str = "RestSharp.Tests.Shared.Fixtures.Handlers";
+const STREAM: &str = "System.IO.Stream";
+
+/// A monitor-protected byte stream bridging producer and consumer.
+#[derive(Clone)]
+struct BodyStream {
+    monitor: Monitor,
+    bytes: TracedVar<u32>,
+    complete: TracedVar<bool>,
+}
+
+impl BodyStream {
+    fn new() -> Self {
+        BodyStream {
+            monitor: Monitor::new(),
+            bytes: TracedVar::new(HTTP, "bodyBytes", 0),
+            complete: TracedVar::new(HTTP, "bodyComplete", false),
+        }
+    }
+
+    /// Producer side: `Stream.CopyTo` call site.
+    fn copy_to(&self, n: u32) {
+        let this = self.clone();
+        api::lib_call(STREAM, "CopyTo", self.bytes.object(), move || {
+            this.monitor.with_lock(|| {
+                this.bytes.update(|b| b + n);
+            });
+        });
+        self.complete.set(true);
+    }
+
+    /// Consumer side: `Stream.Read` call site.
+    fn read(&self) -> u32 {
+        let this = self.clone();
+        api::lib_call(STREAM, "Read", self.bytes.object(), move || {
+            this.monitor.with_lock(|| this.bytes.get())
+        })
+    }
+}
+
+fn tests() -> Vec<TestCase> {
+    let mut tests = Vec::new();
+
+    // An async request on the thread pool; completion signalled through an
+    // event wait handle (Table 8's QueueUserWorkItem / Set / WaitOne rows).
+    tests.push(TestCase::new("async_request_round_trip", || {
+        let response = TracedVar::new(CLIENT, "responseCode", 0u32);
+        let done = EventWaitHandle::new(false);
+        let (r2, d2) = (response.clone(), done.clone());
+        ThreadPool::queue_user_work_item(HANDLERS, "<Generic>b__30", move || {
+            api::sleep(Time::from_millis(2));
+            r2.set(200);
+            d2.set();
+        });
+        done.wait_one();
+        api::sleep(Time::from_millis(20)); // deserialize response
+        assert_eq!(response.get(), 200);
+    }));
+
+    // The request body streamed from producer to consumer.
+    tests.push(TestCase::new("write_request_body_stream", || {
+        let stream = BodyStream::new();
+        let s2 = stream.clone();
+        let producer = Task::run(HTTP, "<WriteRequestBodyAsync>b__2", move || {
+            for _ in 0..3 {
+                s2.copy_to(128);
+            }
+        });
+        let s3 = stream.clone();
+        let consumer = Task::run(HTTP, "<WriteRequestBodyAsync>b__0", move || {
+            s3.complete.spin_until(Time::from_millis(1), |v| v);
+            assert!(s3.read() >= 128);
+        });
+        producer.wait();
+        consumer.wait();
+    }));
+
+    // The test web server accepting one request: server loop thread +
+    // request handler thread, rendezvous through events.
+    tests.push(TestCase::new("web_server_handles_request", || {
+        let request_ready = EventWaitHandle::new(false);
+        let response_ready = EventWaitHandle::new(false);
+        let request = TracedVar::new(SERVER, "pendingRequest", 0u32);
+        let response = TracedVar::new(SERVER, "pendingResponse", 0u32);
+        let request_log: UnsafeList<u32> = UnsafeList::new();
+
+        let (rq, rr, req2, resp2, log2) = (
+            request_ready.clone(),
+            response_ready.clone(),
+            request.clone(),
+            response.clone(),
+            request_log.clone(),
+        );
+        let server = SimThread::start(SERVER, "<Run>b__40", move || {
+            rq.wait_one();
+            let r = req2.get();
+            log2.add(r); // thread-unsafe log, safe thanks to the events
+            resp2.set(r + 1000);
+            rr.set();
+        });
+
+        request.set(42);
+        request_ready.set();
+        response_ready.wait_one();
+        assert_eq!(response.get(), 1042);
+        assert_eq!(request_log.get(0), Some(42));
+        server.join();
+    }));
+
+    // BeginGetResponse releases toward the server thread's callback.
+    tests.push(TestCase::new("begin_get_response_callback", || {
+        let payload = TracedVar::new(HTTP, "requestPayload", 0u32);
+        let p2 = payload.clone();
+        payload.set(7);
+        api::lib_call("System.Net.WebRequest", "BeginGetResponse", payload.object(), || {
+            SimThread::start(HTTP, "<WriteRequestBodyAsync>gRequestStreamCallback1", move || {
+                assert_eq!(p2.get(), 7);
+            })
+        })
+        .join();
+    }));
+
+    // One long test with well-separated request phases (Near sensitivity).
+    tests.push(TestCase::new("two_requests_far_apart", || {
+        let stream = BodyStream::new();
+        let s2 = stream.clone();
+        let t = Task::run(HTTP, "<GetStyleMethodInternalAsync>b__0", move || {
+            s2.copy_to(64);
+        });
+        t.wait();
+        api::sleep(Time::from_secs(3));
+        let s3 = stream.clone();
+        let t = Task::run(HTTP, "<GetStyleMethodInternalAsync>b__0", move || {
+            assert!(s3.read() >= 64);
+        });
+        t.wait();
+    }));
+
+    // Parallel downloads joined by a CountdownEvent before assembling the
+    // combined response.
+    tests.push(TestCase::new("parallel_downloads_countdown", || {
+        let countdown = CountdownEvent::new(3);
+        let chunks = TracedVar::new(CLIENT, "downloadedChunks", 0u32);
+        let bytes = TracedVar::new(CLIENT, "downloadedBytes", 0u32);
+        for i in 0..3u32 {
+            let (c2, ch2, by2) = (countdown.clone(), chunks.clone(), bytes.clone());
+            ThreadPool::queue_user_work_item(CLIENT, "<DownloadPart>b__7", move || {
+                api::sleep(Time::from_micros(300 * u64::from(i + 1)));
+                ch2.update(|c| c + 1);
+                by2.update(|b| b + 1024);
+                c2.signal();
+            });
+        }
+        countdown.wait();
+        api::sleep(Time::from_millis(12)); // assemble response
+        for _ in 0..3 {
+            assert_eq!(chunks.get(), 3);
+            assert_eq!(bytes.get(), 3072);
+        }
+    }));
+
+    tests
+}
+
+fn truth() -> GroundTruth {
+    let mut t = GroundTruth::default();
+    t.sync_groups = vec![
+        SyncGroup::new(
+            "create new task (thread pool)",
+            Role::Release,
+            lib_site("System.Threading.ThreadPool", "QueueUserWorkItem"),
+        ),
+        SyncGroup::new(
+            "end of task (generic handler)",
+            Role::Release,
+            app_end(HANDLERS, "<Generic>b__30"),
+        ),
+        SyncGroup::new(
+            "release semaphore (event set)",
+            Role::Release,
+            lib_site("System.Threading.EventWaitHandle", "Set"),
+        ),
+        SyncGroup::new(
+            "wait for semaphore",
+            Role::Acquire,
+            lib_site("System.Threading.WaitHandle", "WaitOne"),
+        ),
+        SyncGroup::new(
+            "producer (CopyTo)",
+            Role::Release,
+            [
+                lib_site(STREAM, "CopyTo"),
+                field_write(HTTP, "bodyComplete"),
+                app_end(HTTP, "<WriteRequestBodyAsync>b__2"),
+            ]
+            .concat(),
+        ),
+        SyncGroup::new(
+            "consumer (Read)",
+            Role::Acquire,
+            [lib_site(STREAM, "Read"), field_read(HTTP, "bodyComplete")].concat(),
+        ),
+        SyncGroup::new(
+            "start of task/message handlers",
+            Role::Acquire,
+            [
+                app_begin(HANDLERS, "<Generic>b__30"),
+                app_begin(HTTP, "<WriteRequestBodyAsync>b__0"),
+                app_begin(HTTP, "<WriteRequestBodyAsync>b__2"),
+                app_begin(HTTP, "<GetStyleMethodInternalAsync>b__0"),
+                app_begin(SERVER, "<Run>b__40"),
+                app_begin(HTTP, "<WriteRequestBodyAsync>gRequestStreamCallback1"),
+            ]
+            .concat(),
+        ),
+        SyncGroup::new(
+            "send network request (producer)",
+            Role::Release,
+            lib_site("System.Net.WebRequest", "BeginGetResponse"),
+        ),
+        SyncGroup::new(
+            "release lock",
+            Role::Release,
+            lib_site("System.Threading.Monitor", "Exit"),
+        ),
+        SyncGroup::new(
+            "acquire lock",
+            Role::Acquire,
+            lib_site("System.Threading.Monitor", "Enter"),
+        ),
+        SyncGroup::new(
+            "end of task (client execute)",
+            Role::Release,
+            [
+                app_end(HTTP, "<GetStyleMethodInternalAsync>b__0"),
+                app_end(SERVER, "<Run>b__40"),
+                app_end(HTTP, "<WriteRequestBodyAsync>gRequestStreamCallback1"),
+            ]
+            .concat(),
+        ),
+        SyncGroup::new(
+            "join/wait returns",
+            Role::Acquire,
+            [
+                lib_site("System.Threading.Thread", "Join"),
+                lib_site("System.Threading.Tasks.Task", "Wait"),
+            ]
+            .concat(),
+        ),
+    ];
+    t.sync_groups.push(SyncGroup::new(
+        "countdown signal (fan-in release)",
+        Role::Release,
+        lib_site("System.Threading.CountdownEvent", "Signal"),
+    ));
+    t.sync_groups.push(SyncGroup::new(
+        "countdown wait (fan-in acquire)",
+        Role::Acquire,
+        lib_site("System.Threading.CountdownEvent", "Wait"),
+    ));
+    t.sync_groups.push(SyncGroup::new(
+        "start of download parts",
+        Role::Acquire,
+        app_begin(CLIENT, "<DownloadPart>b__7"),
+    ));
+    t.sync_groups.push(SyncGroup::new(
+        "end of download parts",
+        Role::Release,
+        app_end(CLIENT, "<DownloadPart>b__7"),
+    ));
+    t.delegates = vec![
+        (SERVER.into(), "<Run>b__40".into()),
+        (HTTP.into(), "<WriteRequestBodyAsync>gRequestStreamCallback1".into()),
+    ];
+    t
+}
+
+/// Builds App-6.
+pub fn app() -> App {
+    App {
+        id: "App-6",
+        name: "HttpClient",
+        loc: include_str!("app6_httpclient.rs").lines().count(),
+        tests: tests(),
+        truth: truth(),
+    }
+}
+
+#[cfg(test)]
+mod tests_mod {
+    use super::*;
+    use sherlock_sim::SimConfig;
+
+    #[test]
+    fn all_tests_run_clean() {
+        for (i, t) in app().tests.iter().enumerate() {
+            let r = t.run(SimConfig::with_seed(600 + i as u64));
+            assert!(r.is_clean(), "test {} failed: {:?}", t.name(), r.panics);
+        }
+    }
+
+    #[test]
+    fn body_stream_accumulates() {
+        let r = sherlock_sim::Sim::new(SimConfig::with_seed(666)).run(|| {
+            let s = BodyStream::new();
+            s.copy_to(10);
+            s.copy_to(20);
+            assert_eq!(s.read(), 30);
+        });
+        assert!(r.is_clean(), "{:?}", r.panics);
+    }
+}

@@ -1,0 +1,285 @@
+//! App-7 — `Statsd` (modeled on Stastd, paper Table 1/Fig 3.A/3.D).
+//!
+//! A metrics daemon: a dataflow block parses posted events on its own
+//! consumer thread (Fig. 3.A — `Post` releases into the handler, `Receive`
+//! acquires the handler's output), task continuations chain aggregation
+//! after parsing (Fig. 3.D), and two seeded racy counters — one of which
+//! fails a test assertion under unlucky interleavings, matching the paper's
+//! observation that two seeded races are *harmful* (§5.5).
+
+use sherlock_core::{Role, TestCase};
+use sherlock_sim::prims::{DataflowBlock, Task, TracedVar, UnsafeList};
+use sherlock_sim::api;
+use sherlock_trace::{OpRef, Time};
+
+use crate::app::{app_begin, app_end, field_read, field_write, lib_site, App, GroundTruth, SyncGroup};
+
+const PARSER: &str = "Stastd.MessageParser";
+const AGG: &str = "Stastd.Aggregator";
+const STATS: &str = "Stastd.Statistics";
+const DATAFLOW: &str = "System.Threading.Tasks.Dataflow.DataflowBlock";
+
+fn tests() -> Vec<TestCase> {
+    let mut tests = Vec::new();
+
+    // Fig. 3.A: _block.Post(e) … Messagehandler(e) … _block.Receive().
+    tests.push(TestCase::new("dataflow_parse_pipeline", || {
+        let parsed = TracedVar::new(PARSER, "parsedCount", 0u32);
+        let bytes = TracedVar::new(PARSER, "byteTotal", 0u32);
+        let (p2, b2) = (parsed.clone(), bytes.clone());
+        let block = DataflowBlock::new(PARSER, "Messagehandler", move |x: u32| {
+            p2.update(|c| c + 1);
+            b2.update(|b| b + x);
+            x * 10
+        });
+        for i in 1..=3 {
+            block.post(i);
+        }
+        let mut total = 0;
+        for _ in 0..3 {
+            total += block.receive();
+        }
+        assert_eq!(total, 60);
+        api::sleep(Time::from_millis(18)); // flush interval
+        for _ in 0..4 {
+            assert_eq!(parsed.get(), 3);
+            assert_eq!(bytes.get(), 6);
+        }
+    }));
+
+    // Fig. 3.D: task a1, then a2 = a1.ContinueWith(...).
+    tests.push(TestCase::new("continuation_aggregation", || {
+        let bucket = TracedVar::new(AGG, "bucketTotal", 0u32);
+        let samples = TracedVar::new(AGG, "bucketSamples", 0u32);
+        let (b1, s1) = (bucket.clone(), samples.clone());
+        let a1 = Task::run(AGG, "<ParseMetrics>a1", move || {
+            b1.set(21);
+            s1.set(3);
+        });
+        let (b2, s2) = (bucket.clone(), samples.clone());
+        let a2 = a1.continue_with(AGG, "<AggregateMetrics>a2", move || {
+            let v = b2.get();
+            let _ = s2.get();
+            b2.set(v * 2);
+        });
+        a2.wait();
+        assert_eq!(bucket.get(), 42);
+        assert_eq!(samples.get(), 3);
+    }));
+
+    // Seeded race pair #1: flushCount is updated unsynchronized from the
+    // flusher thread and the main thread. The assertion can fail when an
+    // update is lost — a *harmful* race.
+    tests.push(TestCase::new("racy_flush_count", || {
+        let flush_count = TracedVar::new(STATS, "flushCount", 0u32);
+        let metrics_log: UnsafeList<u32> = UnsafeList::new();
+        let (f2, m2) = (flush_count.clone(), metrics_log.clone());
+        let t = Task::run(STATS, "FlushWorker", move || {
+            f2.update(|x| x + 1);
+            m2.add(1); // unsynchronized List.Add — a thread-safety violation
+        });
+        flush_count.update(|x| x + 1);
+        metrics_log.add(2);
+        t.wait();
+        // Harmful: lost updates make this fire under some interleavings.
+        sherlock_sim::prims::testfx::Assert::are_equal(
+            flush_count.get(),
+            2,
+            "flush count lost an update",
+        );
+    }));
+
+    // Seeded race pair #2: the gauge snapshot is written by a task and the
+    // main thread concurrently (write/write), behind task-ordered setup that
+    // Manual_dr cannot see.
+    tests.push(TestCase::new("racy_gauge_snapshot", || {
+        let snapshot = TracedVar::new(STATS, "snapshotBuffer", 0u32);
+        let s2 = snapshot.clone();
+        let setup = Task::run(STATS, "SnapshotSetup", move || {
+            s2.set(1);
+        });
+        setup.wait();
+        snapshot.get();
+        let gauge = TracedVar::new(STATS, "gaugeValue", 0u32);
+        let g2 = gauge.clone();
+        let t = Task::run(STATS, "GaugeWriter", move || {
+            for i in 0..4 {
+                g2.set(i);
+            }
+        });
+        for i in 10..14 {
+            gauge.set(i);
+        }
+        t.wait();
+    }));
+
+    // Dataflow feeding a continuation: both idioms in one pipeline.
+    tests.push(TestCase::new("pipeline_with_continuation", || {
+        let sink = TracedVar::new(AGG, "sinkTotal", 0u32);
+        let water_mark = TracedVar::new(AGG, "sinkWaterMark", 0u32);
+        let block = DataflowBlock::new(PARSER, "Messagehandler2", |x: u32| x + 1);
+        block.post(9);
+        let received = block.receive();
+        let (s2, w2) = (sink.clone(), water_mark.clone());
+        let publish = Task::run(AGG, "<Publish>a1", move || {
+            s2.set(received);
+            w2.set(received + 1);
+        });
+        let (s3, w3) = (sink.clone(), water_mark.clone());
+        let verify = publish.continue_with(AGG, "<Verify>a2", move || {
+            assert_eq!(s3.get(), 10);
+            assert_eq!(w3.get(), 11);
+        });
+        verify.wait();
+    }));
+
+    tests
+}
+
+fn truth() -> GroundTruth {
+    let mut t = GroundTruth::default();
+    t.sync_groups = vec![
+        SyncGroup::new("post event (producer)", Role::Release, lib_site(DATAFLOW, "Post")),
+        SyncGroup::new("receive result (consumer)", Role::Acquire, lib_site(DATAFLOW, "Receive")),
+        SyncGroup::new(
+            "start of message handler",
+            Role::Acquire,
+            [
+                app_begin(PARSER, "Messagehandler"),
+                app_begin(PARSER, "Messagehandler2"),
+            ]
+            .concat(),
+        ),
+        SyncGroup::new(
+            "end of message handler",
+            Role::Release,
+            [
+                app_end(PARSER, "Messagehandler"),
+                app_end(PARSER, "Messagehandler2"),
+            ]
+            .concat(),
+        ),
+        SyncGroup::new(
+            "end of antecedent task (a1)",
+            Role::Release,
+            [
+                app_end(AGG, "<ParseMetrics>a1"),
+                app_end(AGG, "<Publish>a1"),
+                lib_site("System.Threading.Tasks.Task", "ContinueWith"),
+            ]
+            .concat(),
+        ),
+        SyncGroup::new(
+            "start of continuation (a2)",
+            Role::Acquire,
+            [
+                app_begin(AGG, "<AggregateMetrics>a2"),
+                app_begin(AGG, "<Verify>a2"),
+            ]
+            .concat(),
+        ),
+        SyncGroup::new(
+            "create new task",
+            Role::Release,
+            lib_site("System.Threading.Tasks.Task", "Run"),
+        ),
+        SyncGroup::new(
+            "task wait returns",
+            Role::Acquire,
+            lib_site("System.Threading.Tasks.Task", "Wait"),
+        ),
+        SyncGroup::new(
+            "start of task delegates",
+            Role::Acquire,
+            [app_begin(AGG, "<ParseMetrics>a1"), app_begin(AGG, "<Publish>a1")].concat(),
+        ),
+    ];
+    for (class, field) in [(STATS, "flushCount"), (STATS, "gaugeValue")] {
+        t.racy_ops.insert(OpRef::field_read(class, field).intern());
+        t.racy_ops.insert(OpRef::field_write(class, field).intern());
+        t.race_locations.insert(format!("{class}::{field}"));
+    }
+    t.sync_groups.push(SyncGroup::new(
+        "start of stats task delegates",
+        Role::Acquire,
+        [
+            app_begin(STATS, "FlushWorker"),
+            app_begin(STATS, "GaugeWriter"),
+            app_begin(STATS, "SnapshotSetup"),
+        ]
+        .concat(),
+    ));
+    t.sync_groups.push(SyncGroup::new(
+        "end of stats task delegates",
+        Role::Release,
+        [
+            app_end(STATS, "FlushWorker"),
+            app_end(STATS, "GaugeWriter"),
+            app_end(STATS, "SnapshotSetup"),
+        ]
+        .concat(),
+    ));
+    t.sync_groups.push(SyncGroup::new(
+        "snapshot buffer publication",
+        Role::Release,
+        field_write(STATS, "snapshotBuffer"),
+    ));
+    t.sync_groups.push(SyncGroup::new(
+        "snapshot buffer consumption",
+        Role::Acquire,
+        field_read(STATS, "snapshotBuffer"),
+    ));
+    // parsedCount is protected by handler atomicity (single consumer
+    // thread); its accesses can still surface in windows.
+    t.sync_groups.push(SyncGroup::new(
+        "parsed counter publication",
+        Role::Release,
+        field_write(PARSER, "parsedCount"),
+    ));
+    t.sync_groups.push(SyncGroup::new(
+        "parsed counter check",
+        Role::Acquire,
+        field_read(PARSER, "parsedCount"),
+    ));
+    t
+}
+
+/// Builds App-7.
+pub fn app() -> App {
+    App {
+        id: "App-7",
+        name: "Statsd",
+        loc: include_str!("app7_statsd.rs").lines().count(),
+        tests: tests(),
+        truth: truth(),
+    }
+}
+
+#[cfg(test)]
+mod tests_mod {
+    use super::*;
+    use sherlock_sim::SimConfig;
+
+    #[test]
+    fn non_racy_tests_run_clean() {
+        for (i, t) in app().tests.iter().enumerate() {
+            if t.name().starts_with("racy_") {
+                continue; // seeded races may fail assertions by design
+            }
+            let r = t.run(SimConfig::with_seed(700 + i as u64));
+            assert!(r.is_clean(), "test {} failed: {:?}", t.name(), r.panics);
+        }
+    }
+
+    #[test]
+    fn racy_tests_complete_even_when_assertions_fire() {
+        use sherlock_sim::Outcome;
+        let a = app();
+        for t in a.tests.iter().filter(|t| t.name().starts_with("racy_")) {
+            for seed in 0..5 {
+                let r = t.run(SimConfig::with_seed(7000 + seed));
+                assert_eq!(r.outcome, Outcome::Completed, "{}", t.name());
+            }
+        }
+    }
+}

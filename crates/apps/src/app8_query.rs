@@ -1,0 +1,256 @@
+//! App-8 — `Query` (modeled on System.Linq.Dynamic, paper Table 1/9).
+//!
+//! A tiny dynamic-class factory: a static constructor builds the factory,
+//! a `ReaderWriterLock` guards the class table, and worker tasks are spawned
+//! through `TaskFactory.StartNew`. The interesting wrinkle is
+//! `UpgradeToWriterLock`, which releases a reader lock *and* acquires the
+//! writer lock inside one API — the violation of SherLock's Single-Role
+//! assumption behind the paper's Double-Roles false positives (§5.5).
+
+use sherlock_core::{Role, TestCase};
+use sherlock_sim::prims::{RwLock, SimThread, StaticCtor, Task, TracedVar};
+use sherlock_sim::api;
+use sherlock_trace::Time;
+
+use crate::app::{app_begin, app_end, lib_site, App, GroundTruth, SyncGroup};
+
+const FACTORY: &str = "System.Linq.Dynamic.ClassFactory";
+const TESTS: &str = "System.Linq.Dynamic.Test.DynamicExpressionTests";
+const RW: &str = "System.Threading.ReaderWriterLock";
+
+#[derive(Clone)]
+struct ClassFactory {
+    cctor: StaticCtor,
+    table: TracedVar<u64>,
+    class_count: TracedVar<u32>,
+    module_builder: TracedVar<u32>,
+    generated_types: TracedVar<u32>,
+    lock: RwLock,
+}
+
+impl ClassFactory {
+    fn new() -> Self {
+        ClassFactory {
+            cctor: StaticCtor::new(FACTORY),
+            table: TracedVar::new(FACTORY, "classTable", 0),
+            class_count: TracedVar::new(FACTORY, "classCount", 0),
+            module_builder: TracedVar::new(FACTORY, "moduleBuilder", 0),
+            generated_types: TracedVar::new(FACTORY, "generatedTypes", 0),
+            lock: RwLock::new(),
+        }
+    }
+
+    /// Looks a dynamic class up, creating it under the writer lock on miss —
+    /// the paper's `GetDynamicClass` ("first access after static ctor").
+    fn get_dynamic_class(&self, signature: u64) -> u32 {
+        // CLR semantics: the static constructor completes before any method
+        // of the class enters, so the ensure-blocking happens at the call
+        // site and GetDynamicClass-Begin follows .cctor-End.
+        self.cctor.ensure(|| {
+            self.table.set(0x1234);
+            self.module_builder.set(1);
+            self.generated_types.set(0);
+        });
+        let this = self.clone();
+        api::app_method(FACTORY, "GetDynamicClass", self.table.object(), move || {
+            let _ = this.module_builder.get();
+            let _ = this.generated_types.get();
+            this.lock.acquire_reader_lock();
+            let present = this.table.get() & signature != 0;
+            let count = if !present {
+                this.lock.upgrade_to_writer_lock();
+                this.table.set(this.table.get() | signature);
+                let c = this.class_count.update(|c| c + 1);
+                this.lock.downgrade_from_writer_lock();
+                c
+            } else {
+                this.class_count.get()
+            };
+            this.lock.release_reader_lock();
+            count
+        })
+    }
+}
+
+fn tests() -> Vec<TestCase> {
+    let mut tests = Vec::new();
+
+    // The paper's CreateClass_TheadSafe [sic] test: several threads create
+    // classes concurrently through the reader/writer lock.
+    tests.push(TestCase::new("create_class_thread_safe", || {
+        let factory = ClassFactory::new();
+        let mut threads = Vec::new();
+        for i in 0..3u64 {
+            let f = factory.clone();
+            threads.push(SimThread::start(
+                TESTS,
+                "<CreateClass_TheadSafe>",
+                move || {
+                    f.get_dynamic_class(1 << i);
+                    f.get_dynamic_class(1 << i); // hit path takes reader only
+                },
+            ));
+        }
+        for t in threads {
+            t.join();
+        }
+    }));
+
+    // Dynamic queries dispatched through TaskFactory.StartNew (Table 9 lists
+    // StartNew as this app's release).
+    tests.push(TestCase::new("start_new_parses_queries", || {
+        let factory = ClassFactory::new();
+        let result = TracedVar::new(TESTS, "parseResult", 0u32);
+        let duration = TracedVar::new(TESTS, "parseDuration", 0u32);
+        let plan = TracedVar::new(TESTS, "queryPlan", 0u64);
+        plan.set(0xCAFE); // prepared by the test before dispatch
+        let (f2, r2, d2, p2) = (factory.clone(), result.clone(), duration.clone(), plan.clone());
+        let task = Task::start_new(TESTS, "ParseWorker", move || {
+            assert_eq!(p2.get(), 0xCAFE);
+            let c = f2.get_dynamic_class(0b1000);
+            r2.set(c);
+            d2.set(17);
+        });
+        task.wait();
+        for _ in 0..3 {
+            assert!(result.get() >= 1);
+            assert_eq!(duration.get(), 17);
+        }
+    }));
+
+    // A second StartNew dispatch over different fields: the shared
+    // TaskFactory ops become the economical cross-test explanation.
+    tests.push(TestCase::new("start_new_compiles_expressions", || {
+        let compiled = TracedVar::new(TESTS, "compiledCount", 0u32);
+        let cache_hits = TracedVar::new(TESTS, "expressionCacheHits", 0u32);
+        let (c2, h2) = (compiled.clone(), cache_hits.clone());
+        let task = Task::start_new(TESTS, "CompileWorker", move || {
+            c2.set(3);
+            h2.set(1);
+        });
+        task.wait();
+        for _ in 0..3 {
+            assert_eq!(compiled.get(), 3);
+            assert_eq!(cache_hits.get(), 1);
+        }
+    }));
+
+    // A single-threaded parser path: realistic tests that produce no
+    // conflicting accesses at all.
+    tests.push(TestCase::new("parser_single_threaded", || {
+        let factory = ClassFactory::new();
+        let c = factory.get_dynamic_class(0b1);
+        assert_eq!(c, 1);
+        api::sleep(Time::from_millis(1));
+        assert_eq!(factory.get_dynamic_class(0b1), 1);
+    }));
+
+    tests
+}
+
+fn truth() -> GroundTruth {
+    let mut t = GroundTruth::default();
+    t.sync_groups = vec![
+        SyncGroup::new(
+            "create new Task",
+            Role::Release,
+            lib_site("System.Threading.Tasks.TaskFactory", "StartNew"),
+        ),
+        SyncGroup::new(
+            "end of static constructor",
+            Role::Release,
+            app_end(FACTORY, ".cctor"),
+        ),
+        SyncGroup::new(
+            "release lock (downgrade/release writer)",
+            Role::Release,
+            [
+                lib_site(RW, "DowngradeFromWriterLock"),
+                lib_site(RW, "ReleaseWriterLock"),
+                lib_site(RW, "ReleaseReaderLock"),
+            ]
+            .concat(),
+        ),
+        SyncGroup::new(
+            "first access after static constructor",
+            Role::Acquire,
+            app_begin(FACTORY, "GetDynamicClass"),
+        ),
+        SyncGroup::new(
+            "start of thread",
+            Role::Acquire,
+            [
+                app_begin(TESTS, "<CreateClass_TheadSafe>"),
+                app_begin(TESTS, "ParseWorker"),
+                app_begin(TESTS, "CompileWorker"),
+                lib_site("System.Threading.Tasks.Task", "Wait"),
+            ]
+            .concat(),
+        ),
+        SyncGroup::new(
+            "end of worker delegates (join edge)",
+            Role::Release,
+            [
+                app_end(TESTS, "ParseWorker"),
+                app_end(TESTS, "CompileWorker"),
+                app_end(TESTS, "<CreateClass_TheadSafe>"),
+            ]
+            .concat(),
+        ),
+        SyncGroup::new(
+            "require lock (upgrade/acquire writer)",
+            Role::Acquire,
+            [
+                lib_site(RW, "UpgradeToWriterLock"),
+                lib_site(RW, "AcquireWriterLock"),
+                lib_site(RW, "AcquireReaderLock"),
+            ]
+            .concat(),
+        ),
+    ];
+    // `UpgradeToWriterLock` also *releases* — SherLock's Single-Role
+    // assumption forbids inferring both, so one side shows up as a
+    // misclassification (the Double-Roles row of paper Table 4); whatever is
+    // inferred instead of the suppressed side lands in Not-Sync.
+    t.delegates = vec![
+        (TESTS.into(), "<CreateClass_TheadSafe>".into()),
+        (TESTS.into(), "ParseWorker".into()),
+    ];
+    t
+}
+
+/// Builds App-8.
+pub fn app() -> App {
+    App {
+        id: "App-8",
+        name: "Query",
+        loc: include_str!("app8_query.rs").lines().count(),
+        tests: tests(),
+        truth: truth(),
+    }
+}
+
+#[cfg(test)]
+mod tests_mod {
+    use super::*;
+    use sherlock_sim::SimConfig;
+
+    #[test]
+    fn all_tests_run_clean() {
+        for (i, t) in app().tests.iter().enumerate() {
+            let r = t.run(SimConfig::with_seed(800 + i as u64));
+            assert!(r.is_clean(), "test {} failed: {:?}", t.name(), r.panics);
+        }
+    }
+
+    #[test]
+    fn factory_counts_distinct_classes() {
+        let r = sherlock_sim::Sim::new(SimConfig::with_seed(808)).run(|| {
+            let f = ClassFactory::new();
+            assert_eq!(f.get_dynamic_class(0b1), 1);
+            assert_eq!(f.get_dynamic_class(0b10), 2);
+            assert_eq!(f.get_dynamic_class(0b1), 2);
+        });
+        assert!(r.is_clean(), "{:?}", r.panics);
+    }
+}

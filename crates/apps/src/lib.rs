@@ -1,0 +1,98 @@
+//! The benchmark suite for SherLock-rs: eight applications modeled on the
+//! paper's Table 1 suite, each with a unit-test workload and a
+//! machine-readable ground truth.
+//!
+//! The paper evaluates on open-source C# projects; this crate substitutes
+//! synthetic applications exercising the same synchronization idioms those
+//! projects contain (per paper Tables 8–9): monitor locks, fork/join
+//! threads, tasks and continuations, thread pools, events and semaphores,
+//! reader-writer locks (including the Single-Role-violating
+//! `UpgradeToWriterLock`), dataflow blocks, flag variables and spin loops,
+//! static constructors, finalizers/dispose, `GetOrAdd` delegates,
+//! test-framework initialization ordering — plus seeded data races and
+//! instrumentation-hidden helpers that reproduce the paper's
+//! misclassification categories.
+//!
+//! # Example
+//!
+//! ```
+//! use sherlock_apps::all_apps;
+//!
+//! let apps = all_apps();
+//! assert_eq!(apps.len(), 8);
+//! assert!(apps.iter().all(|a| a.num_tests() >= 3));
+//! ```
+
+mod app;
+
+pub mod app1_telemetry;
+pub mod app2_datetime;
+pub mod app3_assertions;
+pub mod app4_k8sclient;
+pub mod app5_broker;
+pub mod app6_httpclient;
+pub mod app7_statsd;
+pub mod app8_query;
+
+pub use app::{
+    app_begin, app_end, field_read, field_write, lib_site, App, GroundTruth, SyncGroup, Verdict,
+};
+
+/// Builds the full suite, App-1 through App-8.
+pub fn all_apps() -> Vec<App> {
+    vec![
+        app1_telemetry::app(),
+        app2_datetime::app(),
+        app3_assertions::app(),
+        app4_k8sclient::app(),
+        app5_broker::app(),
+        app6_httpclient::app(),
+        app7_statsd::app(),
+        app8_query::app(),
+    ]
+}
+
+/// Looks an application up by its paper id (`"App-3"`) or name.
+pub fn app_by_id(id: &str) -> Option<App> {
+    all_apps()
+        .into_iter()
+        .find(|a| a.id.eq_ignore_ascii_case(id) || a.name.eq_ignore_ascii_case(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_ids_are_paper_ordered() {
+        let ids: Vec<_> = all_apps().iter().map(|a| a.id).collect();
+        assert_eq!(
+            ids,
+            ["App-1", "App-2", "App-3", "App-4", "App-5", "App-6", "App-7", "App-8"]
+        );
+    }
+
+    #[test]
+    fn lookup_by_id_and_name() {
+        assert_eq!(app_by_id("App-5").unwrap().name, "Broker");
+        assert_eq!(app_by_id("statsd").unwrap().id, "App-7");
+        assert!(app_by_id("App-9").is_none());
+    }
+
+    #[test]
+    fn every_app_has_ground_truth() {
+        for a in all_apps() {
+            assert!(!a.truth.sync_groups.is_empty(), "{} has no truth", a.id);
+            assert!(a.loc > 50, "{} suspiciously small", a.id);
+        }
+    }
+
+    #[test]
+    fn seeded_races_only_where_documented() {
+        for a in all_apps() {
+            let has_races = !a.truth.race_locations.is_empty();
+            let expected = matches!(a.id, "App-1" | "App-5" | "App-7");
+            assert_eq!(has_races, expected, "{}", a.id);
+        }
+    }
+}

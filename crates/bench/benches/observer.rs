@@ -1,0 +1,50 @@
+//! Observer-side analyses: acquire/release window extraction and method
+//! duration extraction over large traces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sherlock_trace::windows::{self, WindowConfig};
+use sherlock_trace::{durations, OpRef, Time, Trace, TraceBuilder};
+
+fn synthetic_trace(events: usize) -> Trace {
+    let mut tb = TraceBuilder::new();
+    let fields: Vec<_> = (0..16)
+        .map(|i| {
+            (
+                OpRef::field_write("Obs.Cls", format!("f{i}")).intern(),
+                OpRef::field_read("Obs.Cls", format!("f{i}")).intern(),
+            )
+        })
+        .collect();
+    let m_begin = OpRef::app_begin("Obs.Cls", "work").intern();
+    let m_end = OpRef::app_end("Obs.Cls", "work").intern();
+    for e in 0..events {
+        let t = Time::from_micros(e as u64);
+        let thread = (e % 3) as u32;
+        match e % 5 {
+            0 => tb.push(t, thread, fields[e % 16].0, (e % 16) as u64 + 1),
+            1 | 2 => tb.push(t, thread, fields[e % 16].1, (e % 16) as u64 + 1),
+            3 => tb.push(t, thread, m_begin, 1),
+            _ => tb.push(t, thread, m_end, 1),
+        }
+    }
+    tb.finish()
+}
+
+fn bench_observer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observer");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        let trace = synthetic_trace(n);
+        let cfg = WindowConfig::default();
+        group.bench_with_input(BenchmarkId::new("extract_windows", n), &trace, |b, t| {
+            b.iter(|| windows::extract(t, &cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("extract_durations", n), &trace, |b, t| {
+            b.iter(|| durations::extract(t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_observer);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! End-to-end overhead: a representative unit test run bare (instrumentation
+//! disabled) vs traced vs a full SherLock round — the paper's Sec. 5.6
+//! overhead study as a benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sherlock_apps::app_by_id;
+use sherlock_core::{SherLock, SherLockConfig};
+use sherlock_sim::{InstrumentConfig, SimConfig};
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead");
+    group.sample_size(10);
+
+    let app = app_by_id("App-2").expect("App-2 exists");
+    let test = app.tests[0].clone();
+
+    group.bench_function("bare_run", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::with_seed(1);
+            cfg.instrument = InstrumentConfig {
+                skip_method_substrings: vec![String::new()],
+                classify_unsafe_apis: false,
+            };
+            test.run(cfg)
+        })
+    });
+
+    group.bench_function("traced_run", |b| {
+        b.iter(|| test.run(SimConfig::with_seed(1)))
+    });
+
+    group.bench_function("full_round", |b| {
+        let app = app_by_id("App-2").expect("App-2 exists");
+        b.iter(|| {
+            let mut sl = SherLock::new(SherLockConfig::default());
+            sl.run_round(&app.tests).expect("solver failed");
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! FastTrack throughput over traces, with and without synchronization specs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sherlock_racer::{detect, SyncSpec};
+use sherlock_sim::prims::{Monitor, SimThread, TracedVar};
+use sherlock_sim::{Sim, SimConfig};
+use sherlock_trace::Trace;
+
+fn locked_trace(iterations: u32) -> Trace {
+    Sim::new(SimConfig::with_seed(99))
+        .run(move || {
+            let m = Monitor::new();
+            let v = TracedVar::new("RaceBench", "shared", 0u32);
+            let (m2, v2) = (m.clone(), v.clone());
+            let t = SimThread::start("RaceBench", "Worker", move || {
+                for _ in 0..iterations {
+                    m2.with_lock(|| {
+                        v2.update(|x| x + 1);
+                    });
+                }
+            });
+            for _ in 0..iterations {
+                m.with_lock(|| {
+                    v.update(|x| x + 1);
+                });
+            }
+            t.join();
+        })
+        .trace
+}
+
+fn bench_racer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fasttrack");
+    for &iters in &[50u32, 400] {
+        let trace = locked_trace(iters);
+        let manual = SyncSpec::manual();
+        let empty = SyncSpec::empty();
+        group.bench_with_input(
+            BenchmarkId::new("manual_spec", trace.len()),
+            &trace,
+            |b, t| b.iter(|| detect(t, &manual)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("empty_spec", trace.len()),
+            &trace,
+            |b, t| b.iter(|| detect(t, &empty)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_racer);
+criterion_main!(benches);

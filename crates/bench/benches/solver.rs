@@ -1,0 +1,59 @@
+//! Solver scaling: LP encode+solve time against the number of observed
+//! windows and candidate operations (the paper attributes 94% overhead to
+//! solving).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sherlock_core::{solver, Observations, SherLockConfig};
+use sherlock_trace::windows::{Candidate, Window};
+use sherlock_trace::{ObjectId, OpRef, ThreadId, Time};
+
+fn synthetic_observations(num_pairs: usize, windows_per_pair: usize) -> Observations {
+    let mut obs = Observations::new();
+    for p in 0..num_pairs {
+        let class = format!("Bench.C{}", p % 7);
+        let w = OpRef::field_write(&class, format!("f{p}")).intern();
+        let r = OpRef::field_read(&class, format!("f{p}")).intern();
+        let rel_m = OpRef::app_end(&class, format!("publish{}", p % 5)).intern();
+        let acq_m = OpRef::app_begin(&class, format!("consume{}", p % 5)).intern();
+        for k in 0..windows_per_pair {
+            let window = Window {
+                a_op: w,
+                b_op: r,
+                a_thread: ThreadId(0),
+                b_thread: ThreadId(1),
+                a_time: Time::from_micros((p * windows_per_pair + k) as u64 * 10),
+                b_time: Time::from_micros((p * windows_per_pair + k) as u64 * 10 + 5),
+                object: ObjectId(p as u64 + 1),
+                release: vec![
+                    Candidate { op: w, count: 1 },
+                    Candidate { op: rel_m, count: (k % 3 + 1) as u32 },
+                ],
+                acquire: vec![
+                    Candidate { op: r, count: (k % 4 + 1) as u32 },
+                    Candidate { op: acq_m, count: 1 },
+                ],
+                release_capable: true,
+                acquire_capable: true,
+            };
+            obs.add_window(&window);
+        }
+        obs.finish_run();
+    }
+    obs
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let cfg = SherLockConfig::default();
+    let mut group = c.benchmark_group("solver");
+    group.sample_size(10);
+    for &pairs in &[10usize, 40, 160] {
+        let obs = synthetic_observations(pairs, 5);
+        group.bench_with_input(BenchmarkId::new("solve", pairs * 5), &obs, |b, obs| {
+            b.iter(|| solver::solve(obs, &cfg).expect("solvable"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

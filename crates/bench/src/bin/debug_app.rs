@@ -1,0 +1,46 @@
+//! Diagnostic: dump inference details for one app (not a paper table).
+
+use sherlock_apps::{all_apps, app_by_id};
+use sherlock_bench::{run_inference, score};
+use sherlock_core::SherLockConfig;
+
+fn main() {
+    std::panic::set_hook(Box::new(|_| {}));
+    let id = std::env::args().nth(1).unwrap_or_else(|| "App-2".into());
+    let apps = if id == "all" {
+        all_apps()
+    } else {
+        vec![app_by_id(&id).expect("unknown app")]
+    };
+    for app in apps {
+        let cfg = SherLockConfig::default();
+        let sl = run_inference(&app, &cfg, 3);
+        let report = sl.report();
+        let s = score(&app, report);
+        println!(
+            "== {} windows={} vars={} racy={} obj={:.2} stats={:?}",
+            app.id, report.num_windows, report.num_variables, report.racy_pairs,
+            report.objective, sl.stats().last().unwrap()
+        );
+        for o in &s.ops {
+            println!("  [{:?}] {:?} {}", o.verdict, o.role, o.op.resolve());
+        }
+        println!("  -- fractional probabilities (0.05..0.9):");
+        for ((op, role), pr) in &report.probabilities {
+            if *pr > 0.05 && *pr < 0.9 {
+                println!("     {pr:.2} {role:?} {}", op.resolve());
+            }
+        }
+        println!("  -- uncovered groups:");
+        for g in &app.truth.sync_groups {
+            if !report.inferred.iter().any(|i| g.matches(i.op, i.role)) {
+                let best = g
+                    .ops
+                    .iter()
+                    .map(|&op| report.probability(op, g.role))
+                    .fold(0.0f64, f64::max);
+                println!("     {:?} {} (best p={best:.2})", g.role, g.description);
+            }
+        }
+    }
+}

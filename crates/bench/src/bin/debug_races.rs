@@ -1,0 +1,36 @@
+//! Diagnostic: per-test first races under Manual_dr and SherLock_dr.
+
+use sherlock_apps::{all_apps, app_by_id};
+use sherlock_bench::run_inference;
+use sherlock_core::SherLockConfig;
+use sherlock_racer::{first_race, SyncSpec};
+use sherlock_sim::SimConfig;
+
+fn main() {
+    std::panic::set_hook(Box::new(|_| {}));
+    let id = std::env::args().nth(1).unwrap_or_else(|| "App-1".into());
+    let apps = if id == "all" { all_apps() } else { vec![app_by_id(&id).unwrap()] };
+    for app in apps {
+        let sl = run_inference(&app, &SherLockConfig::default(), 3);
+        let manual = app.truth.manual_spec();
+        let inferred = SyncSpec::from_report(sl.report());
+        println!("== {}", app.id);
+        for (i, test) in app.tests.iter().enumerate() {
+            let run = test.run(SimConfig::with_seed(0xD00Du64.wrapping_add(i as u64)));
+            for (name, spec) in [("manual ", &manual), ("sherlock", &inferred)] {
+                match first_race(&run.trace, spec) {
+                    Some(r) => println!(
+                        "  {name} {:28} -> {} race at {} ({:?} {} / {})",
+                        test.name(),
+                        if app.truth.is_true_race(&r.location) { "TRUE " } else { "false" },
+                        r.location,
+                        r.kind,
+                        r.prior_op.map(|o| o.resolve().to_string()).unwrap_or_default(),
+                        r.current_op.resolve(),
+                    ),
+                    None => println!("  {name} {:28} -> no race", test.name()),
+                }
+            }
+        }
+    }
+}

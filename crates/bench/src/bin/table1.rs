@@ -1,0 +1,23 @@
+//! Regenerates paper Table 1: the benchmark-application inventory.
+
+use sherlock_apps::all_apps;
+use sherlock_bench::{cells, TablePrinter};
+
+fn main() {
+    let p = TablePrinter::new(&[6, 12, 8, 7]);
+    println!("Table 1: Applications in benchmarks");
+    println!("{}", p.row(cells!["ID", "Name", "LoC", "#Tests"]));
+    println!("{}", p.rule());
+    let mut loc = 0;
+    let mut tests = 0;
+    for app in all_apps() {
+        println!(
+            "{}",
+            p.row(cells![app.id, app.name, app.loc, app.num_tests()])
+        );
+        loc += app.loc;
+        tests += app.num_tests();
+    }
+    println!("{}", p.rule());
+    println!("{}", p.row(cells!["Sum", "", loc, tests]));
+}

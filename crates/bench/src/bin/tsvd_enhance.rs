@@ -1,0 +1,42 @@
+//! Regenerates the paper's §5.6 "Enhancing TSVD inference" study: TSVD's
+//! delay-propagation happens-before heuristic vs the happens-before implied
+//! by SherLock's inferred synchronizations, over conflicting thread-unsafe
+//! API call pairs.
+
+use sherlock_apps::all_apps;
+use sherlock_bench::run_inference;
+use sherlock_core::SherLockConfig;
+use sherlock_racer::SyncSpec;
+use sherlock_sim::SimConfig;
+use sherlock_trace::Time;
+use sherlock_tsvd::{conflicting_api_pairs, run_tsvd, synchronized_pairs};
+
+fn main() {
+    std::panic::set_hook(Box::new(|_| {}));
+    let cfg = SherLockConfig::default();
+    let mut conflicting = 0usize;
+    let mut tsvd_hb = 0usize;
+    let mut sherlock_hb = 0usize;
+
+    for app in all_apps() {
+        let sl = run_inference(&app, &cfg, 3);
+        let spec = SyncSpec::from_report(sl.report());
+        for (i, test) in app.tests.iter().enumerate() {
+            let seed = 0x75D0u64.wrapping_add(i as u64);
+            let report = run_tsvd(test, 3, seed, Time::from_millis(100));
+            tsvd_hb += report.hb_pairs().count();
+
+            let run = test.run(SimConfig::with_seed(seed));
+            conflicting += conflicting_api_pairs(&run.trace).len();
+            sherlock_hb += synchronized_pairs(&run.trace, &spec).len();
+        }
+    }
+
+    println!("TSVD enhancement study (paper Sec. 5.6)");
+    println!("  conflicting thread-unsafe API pairs observed: {conflicting}");
+    println!("  pairs with happens-before per TSVD's delay heuristic: {tsvd_hb}");
+    println!("  pairs synchronized per SherLock-inferred happens-before: {sherlock_hb}");
+    println!(
+        "\n(paper: TSVD reports 8 pairs (7 truly synchronized); SherLock identifies\n 20 truly synchronized pairs — SherLock should cover at least TSVD's pairs)"
+    );
+}

@@ -1,0 +1,195 @@
+//! Evaluation harness for SherLock-rs: runs inference over the benchmark
+//! suite, scores it against ground truth, and formats the paper's tables.
+//!
+//! Each table/figure of the paper's evaluation section has a regenerating
+//! binary in `src/bin/` built on this library:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — application inventory |
+//! | `table2` | Table 2 — inferred results after 3 rounds |
+//! | `table3` | Table 3 — Manual_dr vs SherLock_dr race detection |
+//! | `table4` | Table 4 — false-positive/negative breakdown |
+//! | `table5` | Table 5 — hypothesis ablations |
+//! | `table6` | Table 6 — λ sensitivity |
+//! | `table7` | Table 7 — `Near` sensitivity |
+//! | `table8_9` | Tables 8–9 — inferred synchronization listings |
+//! | `fig4` | Figure 4 — rounds × Perturber/feedback settings |
+//! | `tsvd_enhance` | §5.6 — TSVD happens-before enhancement |
+//! | `overhead` | §5.6 — instrumentation/solving overhead |
+
+use std::collections::BTreeSet;
+
+use sherlock_apps::{App, Verdict};
+use sherlock_core::{InferenceReport, Role, SherLock, SherLockConfig};
+use sherlock_racer::{first_race, SyncSpec};
+use sherlock_sim::SimConfig;
+use sherlock_trace::OpId;
+
+/// Runs a full SherLock session (default 3 rounds) over one app's tests.
+///
+/// # Panics
+///
+/// Panics if the LP solver fails (cannot happen with this encoding short of
+/// an iteration-limit blowup).
+pub fn run_inference(app: &App, cfg: &SherLockConfig, rounds: usize) -> SherLock {
+    let mut sl = SherLock::new(cfg.clone());
+    sl.run_rounds(&app.tests, rounds).expect("solver failed");
+    sl
+}
+
+/// One inferred operation with its ground-truth verdict.
+#[derive(Clone, Debug)]
+pub struct ScoredOp {
+    /// The operation.
+    pub op: OpId,
+    /// Its inferred role.
+    pub role: Role,
+    /// Ground-truth verdict.
+    pub verdict: Verdict,
+}
+
+/// Table 2 row: counts per verdict class.
+#[derive(Clone, Debug, Default)]
+pub struct Score {
+    /// Every inferred op with its verdict.
+    pub ops: Vec<ScoredOp>,
+    /// Distinct ground-truth synchronizations covered (recall numerator).
+    pub groups_covered: usize,
+    /// Total ground-truth synchronizations.
+    pub groups_total: usize,
+}
+
+impl Score {
+    /// Count of ops with the given verdict.
+    pub fn count(&self, v: Verdict) -> usize {
+        self.ops.iter().filter(|o| o.verdict == v).count()
+    }
+
+    /// Total inferred operations.
+    pub fn total(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Inferred operations that are correct.
+    pub fn correct(&self) -> usize {
+        self.count(Verdict::TrueSync)
+    }
+}
+
+/// Scores a report against one app's ground truth.
+pub fn score(app: &App, report: &InferenceReport) -> Score {
+    let ops = report
+        .inferred
+        .iter()
+        .map(|i| ScoredOp {
+            op: i.op,
+            role: i.role,
+            verdict: app.truth.classify(i.op, i.role),
+        })
+        .collect();
+    Score {
+        ops,
+        groups_covered: app.truth.groups_covered(report),
+        groups_total: app.truth.sync_groups.len(),
+    }
+}
+
+/// Deduplicates inferred (op, role) pairs across apps (the paper's "unique
+/// synchronizations across applications", Table 2 footnote).
+pub fn unique_ops(scores: &[Score]) -> BTreeSet<(OpId, Role)> {
+    scores
+        .iter()
+        .flat_map(|s| s.ops.iter().map(|o| (o.op, o.role)))
+        .collect()
+}
+
+/// Unique *correct* inferred pairs across apps.
+pub fn unique_correct(scores: &[Score]) -> BTreeSet<(OpId, Role)> {
+    scores
+        .iter()
+        .flat_map(|s| {
+            s.ops
+                .iter()
+                .filter(|o| o.verdict == Verdict::TrueSync)
+                .map(|o| (o.op, o.role))
+        })
+        .collect()
+}
+
+/// Table 3 row: first-report race counts under one sync spec.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RaceCounts {
+    /// First reports matching a seeded race location.
+    pub true_races: usize,
+    /// First reports on non-racy locations.
+    pub false_races: usize,
+}
+
+/// Runs every test of an app once and counts first-race reports under a
+/// sync spec (the paper's §5.4 counting rule).
+pub fn race_eval(app: &App, spec: &SyncSpec, base_seed: u64) -> RaceCounts {
+    let mut counts = RaceCounts::default();
+    for (i, test) in app.tests.iter().enumerate() {
+        let run = test.run(SimConfig::with_seed(base_seed.wrapping_add(i as u64)));
+        if let Some(race) = first_race(&run.trace, spec) {
+            if app.truth.is_true_race(&race.location) {
+                counts.true_races += 1;
+            } else {
+                counts.false_races += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// First-race reports (not just counts), for the Table 4 breakdown.
+pub fn race_reports(app: &App, spec: &SyncSpec, base_seed: u64) -> Vec<sherlock_racer::Race> {
+    let mut out = Vec::new();
+    for (i, test) in app.tests.iter().enumerate() {
+        let run = test.run(SimConfig::with_seed(base_seed.wrapping_add(i as u64)));
+        if let Some(race) = first_race(&run.trace, spec) {
+            out.push(race);
+        }
+    }
+    out
+}
+
+/// Fixed-width table printer.
+pub struct TablePrinter {
+    widths: Vec<usize>,
+}
+
+impl TablePrinter {
+    /// Creates a printer with the given column widths.
+    pub fn new(widths: &[usize]) -> Self {
+        TablePrinter {
+            widths: widths.to_vec(),
+        }
+    }
+
+    /// Renders one row.
+    pub fn row(&self, cells: &[String]) -> String {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let w = self.widths.get(i).copied().unwrap_or(12);
+            if i == 0 {
+                out.push_str(&format!("{cell:<w$}"));
+            } else {
+                out.push_str(&format!("  {cell:>w$}"));
+            }
+        }
+        out
+    }
+
+    /// Renders a separator line.
+    pub fn rule(&self) -> String {
+        "-".repeat(self.widths.iter().sum::<usize>() + 2 * (self.widths.len() - 1))
+    }
+}
+
+/// Convenience: string cells from displayables.
+#[macro_export]
+macro_rules! cells {
+    ($($x:expr),* $(,)?) => { &[$(format!("{}", $x)),*] };
+}

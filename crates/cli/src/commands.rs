@@ -1,0 +1,207 @@
+//! Implementations of the `sherlock` subcommands.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use sherlock_apps::{all_apps, app_by_id, App};
+use sherlock_core::{solver, Observations, SherLock, SherLockConfig};
+use sherlock_racer::{first_race, SyncSpec};
+use sherlock_sim::SimConfig;
+use sherlock_trace::{durations, windows, Time, Trace};
+
+type Flags = BTreeMap<String, String>;
+
+fn flag_u64(flags: &Flags, name: &str, default: u64) -> Result<u64, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got {v:?}")),
+    }
+}
+
+fn flag_f64(flags: &Flags, name: &str, default: f64) -> Result<f64, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got {v:?}")),
+    }
+}
+
+fn the_app(positional: &[String]) -> Result<App, String> {
+    let name = positional
+        .first()
+        .ok_or_else(|| "expected an application (try `sherlock list`)".to_string())?;
+    app_by_id(name).ok_or_else(|| format!("unknown application {name:?} (try `sherlock list`)"))
+}
+
+fn config_from(flags: &Flags) -> Result<SherLockConfig, String> {
+    let mut cfg = SherLockConfig::default();
+    cfg.lambda = flag_f64(flags, "lambda", cfg.lambda)?;
+    cfg.near = Time::from_millis(flag_u64(flags, "near-ms", 1000)?);
+    cfg.delay = Time::from_millis(flag_u64(flags, "delay-ms", 100)?);
+    cfg.delay_probability = flag_f64(flags, "delay-probability", 1.0)?;
+    cfg.soft_single_role = flags.contains_key("soft-single-role");
+    Ok(cfg)
+}
+
+/// `sherlock list`
+pub fn list() -> Result<(), String> {
+    for app in all_apps() {
+        println!("{}  {} ({} LoC, {} tests)", app.id, app.name, app.loc, app.num_tests());
+        for t in &app.tests {
+            println!("    - {}", t.name());
+        }
+    }
+    Ok(())
+}
+
+/// A serializable rendering of an inference report.
+#[derive(Serialize, Deserialize)]
+struct ReportFile {
+    releases: Vec<String>,
+    acquires: Vec<String>,
+    num_windows: usize,
+    num_variables: usize,
+    racy_pairs: usize,
+    objective: f64,
+}
+
+impl ReportFile {
+    fn from_report(report: &sherlock_core::InferenceReport) -> Self {
+        ReportFile {
+            releases: report.releases().map(|op| op.resolve().to_string()).collect(),
+            acquires: report.acquires().map(|op| op.resolve().to_string()).collect(),
+            num_windows: report.num_windows,
+            num_variables: report.num_variables,
+            racy_pairs: report.racy_pairs,
+            objective: report.objective,
+        }
+    }
+}
+
+fn emit_report(
+    report: &sherlock_core::InferenceReport,
+    flags: &Flags,
+) -> Result<(), String> {
+    print!("{}", report.render());
+    println!(
+        "({} windows, {} variables, {} racy pairs pruned)",
+        report.num_windows, report.num_variables, report.racy_pairs
+    );
+    if let Some(path) = flags.get("out") {
+        let json = serde_json::to_string_pretty(&ReportFile::from_report(report))
+            .map_err(|e| e.to_string())?;
+        fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("report written to {path}");
+    }
+    Ok(())
+}
+
+/// `sherlock infer <app> [...]`
+pub fn infer(positional: &[String], flags: &Flags) -> Result<(), String> {
+    let app = the_app(positional)?;
+    let rounds = flag_u64(flags, "rounds", 3)? as usize;
+    let cfg = config_from(flags)?;
+    let mut sl = SherLock::new(cfg);
+    sl.run_rounds(&app.tests, rounds)
+        .map_err(|e| format!("solver failed: {e}"))?;
+    println!("== {} ({}) after {rounds} round(s)", app.id, app.name);
+    emit_report(sl.report(), flags)
+}
+
+/// `sherlock observe <app> [...]`
+pub fn observe(positional: &[String], flags: &Flags) -> Result<(), String> {
+    let app = the_app(positional)?;
+    let seed = flag_u64(flags, "seed", 0)?;
+    let default_dir = format!("traces/{}", app.id);
+    let dir = flags.get("out-dir").cloned().unwrap_or(default_dir);
+    fs::create_dir_all(&dir).map_err(|e| format!("creating {dir}: {e}"))?;
+    for (i, test) in app.tests.iter().enumerate() {
+        let run = test.run(SimConfig::with_seed(seed.wrapping_add(i as u64)));
+        let path = Path::new(&dir).join(format!("{}.trace.json", test.name()));
+        let json = serde_json::to_string(&run.trace).map_err(|e| e.to_string())?;
+        fs::write(&path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!(
+            "{:40} {:>6} events, {:>2} panics -> {}",
+            test.name(),
+            run.trace.len(),
+            run.panics.len(),
+            path.display()
+        );
+    }
+    Ok(())
+}
+
+/// `sherlock solve <trace.json>... [...]`
+pub fn solve(positional: &[String], flags: &Flags) -> Result<(), String> {
+    if positional.is_empty() {
+        return Err("expected at least one trace file".into());
+    }
+    let cfg = config_from(flags)?;
+    let wcfg = windows::WindowConfig {
+        near: cfg.near,
+        cap_per_pair: cfg.cap_per_pair,
+    };
+    let mut obs = Observations::new();
+    for path in positional {
+        let json = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let trace: Trace = serde_json::from_str(&json).map_err(|e| format!("{path}: {e}"))?;
+        for w in windows::extract(&trace, &wcfg) {
+            if w.is_racy() {
+                obs.mark_racy(w.pair());
+            }
+            obs.add_window(&w);
+        }
+        obs.add_durations(durations::extract(&trace));
+        obs.finish_run();
+    }
+    let report = solver::solve(&obs, &cfg).map_err(|e| format!("solver failed: {e}"))?;
+    println!("== inference over {} trace file(s)", positional.len());
+    emit_report(&report, flags)
+}
+
+/// `sherlock races <app> [...]`
+pub fn races(positional: &[String], flags: &Flags) -> Result<(), String> {
+    let app = the_app(positional)?;
+    let spec_name = flags.get("spec").map(String::as_str).unwrap_or("inferred");
+    let spec = match spec_name {
+        "manual" => app.truth.manual_spec(),
+        "none" => SyncSpec::empty(),
+        "inferred" => {
+            let rounds = flag_u64(flags, "rounds", 3)? as usize;
+            let mut sl = SherLock::new(config_from(flags)?);
+            sl.run_rounds(&app.tests, rounds)
+                .map_err(|e| format!("solver failed: {e}"))?;
+            SyncSpec::from_report(sl.report())
+        }
+        other => return Err(format!("--spec expects manual|inferred|none, got {other:?}")),
+    };
+    println!(
+        "== {} under the {} spec ({} acquires, {} releases)",
+        app.id,
+        spec_name,
+        spec.acquires.len(),
+        spec.releases.len()
+    );
+    let seed = flag_u64(flags, "seed", 0xD00D)?;
+    let mut trues = 0;
+    let mut falses = 0;
+    for (i, test) in app.tests.iter().enumerate() {
+        let run = test.run(SimConfig::with_seed(seed.wrapping_add(i as u64)));
+        match first_race(&run.trace, &spec) {
+            Some(r) => {
+                let verdict = if app.truth.is_true_race(&r.location) {
+                    trues += 1;
+                    "TRUE "
+                } else {
+                    falses += 1;
+                    "false"
+                };
+                println!("  {:40} {verdict} {:?} at {}", test.name(), r.kind, r.location);
+            }
+            None => println!("  {:40} no race", test.name()),
+        }
+    }
+    println!("{trues} true, {falses} false first reports");
+    Ok(())
+}

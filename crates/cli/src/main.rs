@@ -1,0 +1,102 @@
+//! `sherlock` — the command-line interface, mirroring the paper artifact's
+//! workflow (`Loop-delay-solve.ps1 [appname] [#round]`, §A.5):
+//!
+//! ```text
+//! sherlock list                                # the benchmark suite
+//! sherlock infer  <app> [--rounds N] [--lambda X] [--near-ms N] [--out FILE]
+//! sherlock observe <app> [--seed N] [--out-dir DIR]   # save traces as JSON
+//! sherlock solve  <trace.json>...              # inference over saved traces
+//! sherlock races  <app> [--spec manual|inferred|none]
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    // Seeded racy workloads fail assertions by design; the simulator catches
+    // the panics and the reports note them — keep stderr readable.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let (positional, flags) = match parse(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let result = match command.as_str() {
+        "list" => commands::list(),
+        "infer" => commands::infer(&positional, &flags),
+        "observe" => commands::observe(&positional, &flags),
+        "solve" => commands::solve(&positional, &flags),
+        "races" => commands::races(&positional, &flags),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+sherlock — unsupervised synchronization-operation inference
+
+USAGE:
+  sherlock list
+      List the benchmark applications and their unit tests.
+
+  sherlock infer <app> [--rounds N] [--lambda X] [--near-ms N]
+                 [--delay-ms N] [--soft-single-role] [--out report.json]
+      Run the full Observer -> Solver -> Perturber pipeline on an
+      application's test suite (3 rounds by default, like the paper) and
+      print the inferred synchronizations.
+
+  sherlock observe <app> [--seed N] [--out-dir DIR]
+      Run each unit test once and write its trace as JSON (default DIR:
+      traces/<app>).
+
+  sherlock races <app> [--spec manual|inferred|none] [--rounds N]
+      Run the FastTrack race detector over the application's tests under
+      the chosen synchronization specification (first report per run).
+
+  sherlock solve <trace.json>... [--lambda X] [--near-ms N]
+      Run window extraction and the Solver over previously saved traces.
+";
+
+type Flags = BTreeMap<String, String>;
+
+/// Splits `--flag value` / `--flag` pairs from positional arguments.
+fn parse(args: impl Iterator<Item = String>) -> Result<(Vec<String>, Flags), String> {
+    let mut positional = Vec::new();
+    let mut flags = Flags::new();
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = match args.peek() {
+                Some(v) if !v.starts_with("--") => args.next().expect("peeked"),
+                _ => String::from("true"),
+            };
+            flags.insert(name.to_string(), value);
+        } else {
+            positional.push(a);
+        }
+    }
+    Ok((positional, flags))
+}

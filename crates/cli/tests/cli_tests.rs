@@ -1,0 +1,99 @@
+//! End-to-end tests of the `sherlock` binary.
+
+use std::process::Command;
+
+fn sherlock(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_sherlock"))
+        .args(args)
+        .current_dir(env!("CARGO_TARGET_TMPDIR"))
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn list_names_all_eight_apps() {
+    let (ok, stdout, _) = sherlock(&["list"]);
+    assert!(ok);
+    for id in ["App-1", "App-2", "App-3", "App-4", "App-5", "App-6", "App-7", "App-8"] {
+        assert!(stdout.contains(id), "missing {id} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn infer_prints_artifact_format() {
+    let (ok, stdout, _) = sherlock(&["infer", "App-2"]);
+    assert!(ok);
+    assert!(stdout.contains("Releasing sites:"));
+    assert!(stdout.contains("Acquire sites:"));
+    assert!(stdout.contains("ascension"));
+}
+
+#[test]
+fn infer_writes_json_report() {
+    let path = format!("{}/app2-report.json", env!("CARGO_TARGET_TMPDIR"));
+    let (ok, _, _) = sherlock(&["infer", "App-2", "--out", &path]);
+    assert!(ok);
+    let json = std::fs::read_to_string(&path).expect("report written");
+    assert!(json.contains("\"releases\""));
+    assert!(json.contains("\"acquires\""));
+}
+
+#[test]
+fn observe_then_solve_round_trips() {
+    let dir = format!("{}/traces-app2", env!("CARGO_TARGET_TMPDIR"));
+    let (ok, stdout, stderr) = sherlock(&["observe", "App-2", "--out-dir", &dir]);
+    assert!(ok, "observe failed: {stderr}");
+    assert!(stdout.contains("events"));
+
+    let mut traces: Vec<String> = std::fs::read_dir(&dir)
+        .expect("trace dir exists")
+        .map(|e| e.unwrap().path().display().to_string())
+        .collect();
+    traces.sort();
+    assert_eq!(traces.len(), 4, "one trace per App-2 test");
+
+    let mut args = vec!["solve"];
+    args.extend(traces.iter().map(String::as_str));
+    let (ok, stdout, stderr) = sherlock(&args);
+    assert!(ok, "solve failed: {stderr}");
+    assert!(stdout.contains("Releasing sites:"), "{stdout}");
+}
+
+#[test]
+fn races_supports_all_specs() {
+    for spec in ["manual", "inferred", "none"] {
+        let (ok, stdout, stderr) = sherlock(&["races", "App-7", "--spec", spec]);
+        assert!(ok, "--spec {spec} failed: {stderr}");
+        assert!(stdout.contains("first reports"), "{stdout}");
+    }
+}
+
+#[test]
+fn unknown_app_is_a_clean_error() {
+    let (ok, _, stderr) = sherlock(&["infer", "App-99"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown application"));
+}
+
+#[test]
+fn unknown_command_prints_usage() {
+    let (ok, _, stderr) = sherlock(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn lambda_flag_changes_inference() {
+    let (ok, strict, _) = sherlock(&["infer", "App-2", "--lambda", "100"]);
+    assert!(ok);
+    let (ok, default, _) = sherlock(&["infer", "App-2"]);
+    assert!(ok);
+    // λ=100 suppresses inference almost entirely (Table 6's right edge).
+    let count = |s: &str| s.lines().filter(|l| l.starts_with("  ")).count();
+    assert!(count(&strict) < count(&default), "{strict}\nvs\n{default}");
+}

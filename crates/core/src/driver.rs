@@ -1,0 +1,191 @@
+//! The multi-round inference driver tying Observer, Solver, and Perturber
+//! together (paper Fig. 1).
+
+use sherlock_lp::LpError;
+use sherlock_sim::{DelayPlan, SimConfig};
+use sherlock_trace::durations;
+use sherlock_trace::windows::{self, WindowConfig};
+
+use crate::config::SherLockConfig;
+use crate::observations::Observations;
+use crate::perturber;
+use crate::report::InferenceReport;
+use crate::solver;
+use crate::testcase::TestCase;
+
+/// Per-run diagnostics the driver collects.
+#[derive(Clone, Debug, Default)]
+pub struct RoundStats {
+    /// Windows extracted this round (before deduplication).
+    pub windows_extracted: usize,
+    /// Racy windows witnessed this round.
+    pub racy_windows: usize,
+    /// Delay-propagation confirmations this round.
+    pub confirmations: usize,
+    /// New release exclusions this round.
+    pub exclusions: usize,
+    /// Trace events observed this round.
+    pub events: usize,
+    /// Simulated-thread panics (e.g. racy assertion failures) this round.
+    pub panics: usize,
+}
+
+/// A SherLock inference session over one application's test suite.
+///
+/// ```
+/// use sherlock_core::{SherLock, SherLockConfig, TestCase};
+/// use sherlock_sim::prims::TracedVar;
+/// use sherlock_trace::Time;
+///
+/// let tests = vec![TestCase::new("flag", || {
+///     let flag = TracedVar::new("Doc", "ready", false);
+///     let f = flag.clone();
+///     let h = sherlock_sim::api::spawn("w", move || {
+///         f.spin_until(Time::from_micros(100), |v| v);
+///     });
+///     flag.set(true);
+///     h.join();
+/// })];
+/// let mut sl = SherLock::new(SherLockConfig::default());
+/// let report = sl.run_rounds(&tests, 3).unwrap();
+/// assert!(report.contains_op(sherlock_trace::OpRef::field_write("Doc", "ready").intern()));
+/// ```
+pub struct SherLock {
+    config: SherLockConfig,
+    observations: Observations,
+    report: InferenceReport,
+    round: usize,
+    stats: Vec<RoundStats>,
+}
+
+impl SherLock {
+    /// Creates a fresh session.
+    pub fn new(config: SherLockConfig) -> Self {
+        SherLock {
+            config,
+            observations: Observations::new(),
+            report: InferenceReport::default(),
+            round: 0,
+            stats: Vec::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SherLockConfig {
+        &self.config
+    }
+
+    /// The latest inference report.
+    pub fn report(&self) -> &InferenceReport {
+        &self.report
+    }
+
+    /// The accumulated observations.
+    pub fn observations(&self) -> &Observations {
+        &self.observations
+    }
+
+    /// Per-round diagnostics.
+    pub fn stats(&self) -> &[RoundStats] {
+        &self.stats
+    }
+
+    /// Rounds completed.
+    pub fn rounds_completed(&self) -> usize {
+        self.round
+    }
+
+    /// Executes one round: runs every test once (with the Perturber's delay
+    /// plan from the previous round), accumulates observations, and re-solves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LpError`] from the Solver.
+    pub fn run_round(&mut self, tests: &[TestCase]) -> Result<&InferenceReport, LpError> {
+        if !self.config.feedback.accumulate {
+            self.observations = Observations::new();
+        }
+        let plan = if self.config.feedback.inject_delays && self.round > 0 {
+            perturber::delay_plan_with_probability(
+                &self.report,
+                self.config.delay,
+                self.config.delay_probability,
+            )
+        } else {
+            DelayPlan::none()
+        };
+
+        let wcfg = WindowConfig {
+            near: self.config.near,
+            cap_per_pair: self.config.cap_per_pair,
+        };
+        let mut stats = RoundStats::default();
+
+        for (i, test) in tests.iter().enumerate() {
+            let seed = self
+                .config
+                .base_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((self.round as u64) << 32)
+                .wrapping_add(i as u64);
+            let mut sim_cfg = SimConfig::with_seed(seed);
+            sim_cfg.instrument = self.config.instrument.clone();
+            sim_cfg.delay_plan = plan.clone();
+
+            let run = test.run(sim_cfg);
+            stats.events += run.trace.len();
+            stats.panics += run.panics.len();
+
+            let mut ws = windows::extract(&run.trace, &wcfg);
+            stats.windows_extracted += ws.len();
+
+            let refinement = perturber::refine_windows(&run.trace, &mut ws);
+            stats.confirmations += refinement.confirmations;
+            stats.exclusions += refinement.exclusions.len();
+            for (pair, op) in refinement.exclusions {
+                self.observations.exclude_release(pair, op);
+            }
+
+            for w in &ws {
+                if w.is_racy() {
+                    stats.racy_windows += 1;
+                    self.observations.mark_racy(w.pair());
+                }
+                self.observations.add_window(w);
+            }
+            self.observations.add_durations(durations::extract(&run.trace));
+            self.observations.finish_run();
+        }
+
+        self.report = solver::solve(&self.observations, &self.config)?;
+        self.round += 1;
+        self.stats.push(stats);
+        Ok(&self.report)
+    }
+
+    /// Runs `rounds` full rounds (3 in the paper) and returns the final
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LpError`] from the Solver.
+    pub fn run_rounds(
+        &mut self,
+        tests: &[TestCase],
+        rounds: usize,
+    ) -> Result<InferenceReport, LpError> {
+        for _ in 0..rounds {
+            self.run_round(tests)?;
+        }
+        Ok(self.report.clone())
+    }
+}
+
+/// Convenience: a full default-configured session.
+///
+/// # Errors
+///
+/// Propagates [`LpError`] from the Solver.
+pub fn infer(tests: &[TestCase], rounds: usize) -> Result<InferenceReport, LpError> {
+    SherLock::new(SherLockConfig::default()).run_rounds(tests, rounds)
+}

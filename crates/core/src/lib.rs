@@ -1,0 +1,75 @@
+//! SherLock-rs: unsupervised synchronization-operation inference.
+//!
+//! A Rust reproduction of *SherLock: Unsupervised Synchronization-Operation
+//! Inference* (Li, Chen, Lu, Musuvathi, Nath — ASPLOS 2021). Given an
+//! application's unit tests — run under the deterministic simulator in
+//! [`sherlock_sim`] — SherLock infers, with **zero annotations**, which
+//! operations act as acquire or release synchronizations:
+//!
+//! 1. The **Observer** traces heap accesses and method entry/exit events and
+//!    extracts acquire/release windows around temporally close conflicting
+//!    accesses.
+//! 2. The **Solver** ([`solver`]) encodes synchronization properties as hard
+//!    linear constraints and hypotheses (Mostly-Protected,
+//!    Synchronizations-are-Rare, Acquisition-Time-Varies, Mostly-Paired) as
+//!    soft objective terms, then reads each operation's synchronization
+//!    probability off the LP optimum.
+//! 3. The **Perturber** ([`perturber`]) injects delays before inferred
+//!    releases; propagation (or its failure) shrinks windows and excludes
+//!    disproven candidates in later rounds.
+//!
+//! The [`SherLock`] driver runs the three components for a configurable
+//! number of rounds (3 in the paper) and yields an [`InferenceReport`].
+//!
+//! # Example
+//!
+//! ```
+//! use sherlock_core::{SherLock, SherLockConfig, TestCase, Role};
+//! use sherlock_sim::prims::{Monitor, TracedVar, SimThread};
+//! use sherlock_trace::OpRef;
+//!
+//! let tests = vec![TestCase::new("locked_counters", || {
+//!     let m = Monitor::new();
+//!     // One lock protecting several fields: the monitor is the shared
+//!     // cover across every window, which is what makes it win over
+//!     // per-field explanations under Synchronizations-are-Rare.
+//!     let vs: Vec<_> = (0..3)
+//!         .map(|i| TracedVar::new("Counter", format!("value{i}"), 0u32))
+//!         .collect();
+//!     let (m2, vs2) = (m.clone(), vs.clone());
+//!     let t = SimThread::start("Counter", "Increment", move || {
+//!         for _ in 0..3 {
+//!             m2.with_lock(|| {
+//!                 for v in &vs2 { v.update(|x| x + 1); }
+//!             });
+//!         }
+//!     });
+//!     for _ in 0..3 {
+//!         m.with_lock(|| {
+//!             for v in &vs { v.update(|x| x + 1); }
+//!         });
+//!     }
+//!     t.join();
+//! })];
+//! let mut sl = SherLock::new(SherLockConfig::default());
+//! let report = sl.run_rounds(&tests, 3).unwrap();
+//! // The monitor surfaces among the inferred synchronizations.
+//! assert!(report.inferred.iter().any(|i| {
+//!     i.op.resolve().class() == "System.Threading.Monitor"
+//! }));
+//! ```
+
+mod config;
+mod driver;
+mod observations;
+mod report;
+mod testcase;
+
+pub mod perturber;
+pub mod solver;
+
+pub use config::{Feedback, Hypotheses, SherLockConfig};
+pub use driver::{infer, RoundStats, SherLock};
+pub use observations::{Observations, WindowAgg, WindowKey};
+pub use report::{InferenceReport, InferredOp, Role};
+pub use testcase::TestCase;

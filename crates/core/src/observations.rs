@@ -1,0 +1,219 @@
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use sherlock_trace::durations::DurationMap;
+use sherlock_trace::windows::Window;
+use sherlock_trace::{OpId, Time};
+
+/// Identity of a deduplicated window shape: the static location pair plus the
+/// exact candidate multisets. Many dynamic windows (e.g. from a loop) share
+/// one shape; the Solver weighs the shape by its observation count instead of
+/// encoding thousands of identical hinge terms.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WindowKey {
+    /// Ordered static location pair `(a, b)`.
+    pub pair: (OpId, OpId),
+    /// Release-side candidates with occurrence counts, sorted by op.
+    pub release: Vec<(OpId, u32)>,
+    /// Acquire-side candidates with occurrence counts, sorted by op.
+    pub acquire: Vec<(OpId, u32)>,
+}
+
+/// Aggregate for one window shape.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WindowAgg {
+    /// Number of dynamic windows with this shape observed so far.
+    pub weight: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct OccStat {
+    total: u64,
+    windows: u64,
+}
+
+/// Everything SherLock has observed so far, accumulated across runs
+/// (paper §4.3): window shapes, candidate occurrence statistics, method
+/// durations, witnessed data races, and Perturber-derived exclusions.
+#[derive(Clone, Debug, Default)]
+pub struct Observations {
+    windows: BTreeMap<WindowKey, WindowAgg>,
+    racy_pairs: BTreeSet<(OpId, OpId)>,
+    exclusions: BTreeSet<((OpId, OpId), OpId)>,
+    occ: HashMap<OpId, OccStat>,
+    durations: HashMap<OpId, Vec<Time>>,
+    runs: usize,
+}
+
+impl Observations {
+    /// Empty state (before the first run).
+    pub fn new() -> Self {
+        Observations::default()
+    }
+
+    /// Ingests one extracted window.
+    pub fn add_window(&mut self, w: &Window) {
+        let key = WindowKey {
+            pair: w.pair(),
+            release: w.release.iter().map(|c| (c.op, c.count)).collect(),
+            acquire: w.acquire.iter().map(|c| (c.op, c.count)).collect(),
+        };
+        for (op, count) in key.release.iter().chain(&key.acquire) {
+            let s = self.occ.entry(*op).or_default();
+            s.total += u64::from(*count);
+            s.windows += 1;
+        }
+        self.windows.entry(key).or_default().weight += 1;
+    }
+
+    /// Records that the pair's windows witness a data race; the Solver drops
+    /// their Mostly-Protected terms (paper §4.3).
+    pub fn mark_racy(&mut self, pair: (OpId, OpId)) {
+        self.racy_pairs.insert(pair);
+    }
+
+    /// Records a Perturber conclusion: `op` is *not* the release protecting
+    /// `pair` (its injected delay failed to propagate, Fig. 2b).
+    pub fn exclude_release(&mut self, pair: (OpId, OpId), op: OpId) {
+        self.exclusions.insert((pair, op));
+    }
+
+    /// Merges one run's method durations.
+    pub fn add_durations(&mut self, durations: DurationMap) {
+        for (op, mut samples) in durations {
+            self.durations.entry(op).or_default().append(&mut samples);
+        }
+    }
+
+    /// Marks the end of one observed run.
+    pub fn finish_run(&mut self) {
+        self.runs += 1;
+    }
+
+    /// Window shapes and their weights.
+    pub fn windows(&self) -> &BTreeMap<WindowKey, WindowAgg> {
+        &self.windows
+    }
+
+    /// Pairs witnessed racing.
+    pub fn racy_pairs(&self) -> &BTreeSet<(OpId, OpId)> {
+        &self.racy_pairs
+    }
+
+    /// Whether `op` has been excluded as the release for `pair`.
+    pub fn is_excluded(&self, pair: (OpId, OpId), op: OpId) -> bool {
+        self.exclusions.contains(&(pair, op))
+    }
+
+    /// Number of Perturber exclusions recorded.
+    pub fn num_exclusions(&self) -> usize {
+        self.exclusions.len()
+    }
+
+    /// Average number of occurrences of `op` per window it appears in
+    /// (the statistic behind the rarity penalty, Eq. 4).
+    pub fn avg_occurrence(&self, op: OpId) -> f64 {
+        match self.occ.get(&op) {
+            Some(s) if s.windows > 0 => s.total as f64 / s.windows as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Duration samples per method-begin op.
+    pub fn durations(&self) -> &HashMap<OpId, Vec<Time>> {
+        &self.durations
+    }
+
+    /// Runs observed so far.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sherlock_trace::windows::{Candidate, Window};
+    use sherlock_trace::{ObjectId, OpRef, ThreadId};
+
+    fn mk_window(a: OpId, b: OpId, rel: &[(OpId, u32)], acq: &[(OpId, u32)]) -> Window {
+        Window {
+            a_op: a,
+            b_op: b,
+            a_thread: ThreadId(0),
+            b_thread: ThreadId(1),
+            a_time: Time::ZERO,
+            b_time: Time::from_micros(10),
+            object: ObjectId(1),
+            release: rel.iter().map(|&(op, count)| Candidate { op, count }).collect(),
+            acquire: acq.iter().map(|&(op, count)| Candidate { op, count }).collect(),
+            release_capable: true,
+            acquire_capable: true,
+        }
+    }
+
+    #[test]
+    fn identical_windows_aggregate_by_weight() {
+        let a = OpRef::field_write("Obs", "x").intern();
+        let b = OpRef::field_read("Obs", "x").intern();
+        let mut obs = Observations::new();
+        for _ in 0..5 {
+            obs.add_window(&mk_window(a, b, &[(a, 1)], &[(b, 3)]));
+        }
+        assert_eq!(obs.windows().len(), 1);
+        assert_eq!(obs.windows().values().next().unwrap().weight, 5);
+        assert_eq!(obs.avg_occurrence(b), 3.0);
+        assert_eq!(obs.avg_occurrence(a), 1.0);
+    }
+
+    #[test]
+    fn different_shapes_stay_separate() {
+        let a = OpRef::field_write("Obs", "y").intern();
+        let b = OpRef::field_read("Obs", "y").intern();
+        let c = OpRef::app_end("Obs", "m").intern();
+        let mut obs = Observations::new();
+        obs.add_window(&mk_window(a, b, &[(a, 1)], &[(b, 1)]));
+        obs.add_window(&mk_window(a, b, &[(a, 1), (c, 1)], &[(b, 1)]));
+        assert_eq!(obs.windows().len(), 2);
+    }
+
+    #[test]
+    fn avg_occurrence_mixes_windows() {
+        let a = OpRef::field_write("Obs", "z").intern();
+        let b = OpRef::field_read("Obs", "z").intern();
+        let mut obs = Observations::new();
+        obs.add_window(&mk_window(a, b, &[(a, 1)], &[(b, 1)]));
+        obs.add_window(&mk_window(a, b, &[(a, 1)], &[(b, 5)]));
+        assert_eq!(obs.avg_occurrence(b), 3.0);
+        assert_eq!(obs.avg_occurrence(OpRef::field_read("Obs", "none").intern()), 0.0);
+    }
+
+    #[test]
+    fn racy_and_exclusion_bookkeeping() {
+        let a = OpRef::field_write("Obs", "w").intern();
+        let b = OpRef::field_read("Obs", "w").intern();
+        let r = OpRef::app_end("Obs", "rel").intern();
+        let mut obs = Observations::new();
+        obs.mark_racy((a, b));
+        obs.exclude_release((a, b), r);
+        assert!(obs.racy_pairs().contains(&(a, b)));
+        assert!(obs.is_excluded((a, b), r));
+        assert!(!obs.is_excluded((b, a), r));
+        assert_eq!(obs.num_exclusions(), 1);
+    }
+
+    #[test]
+    fn durations_accumulate_across_runs() {
+        let m = OpRef::app_begin("Obs", "m").intern();
+        let mut obs = Observations::new();
+        let mut d1 = DurationMap::new();
+        d1.insert(m, vec![Time::from_micros(1)]);
+        obs.add_durations(d1);
+        let mut d2 = DurationMap::new();
+        d2.insert(m, vec![Time::from_micros(9)]);
+        obs.add_durations(d2);
+        obs.finish_run();
+        obs.finish_run();
+        assert_eq!(obs.durations()[&m].len(), 2);
+        assert_eq!(obs.runs(), 2);
+    }
+}

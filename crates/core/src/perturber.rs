@@ -1,0 +1,221 @@
+//! The Perturber: feedback-based delay injection (paper §3, §4.3).
+//!
+//! After each round the Perturber asks the Observer to inject a 100 ms delay
+//! right before every dynamic instance of every currently inferred release.
+//! In the next run, each window containing a delayed release candidate `r`
+//! yields decisive evidence:
+//!
+//! * the delay **propagated** (Fig. 2c): `b` executed only after the delayed
+//!   `r`, and `b`'s thread was quiet throughout the delay — trust `r`, shrink
+//!   the acquire window to the operations between `r` and `b`;
+//! * the delay **failed to propagate** (Fig. 2b): `b` executed while `r` was
+//!   still delayed — `r` is *not* the release protecting this pair; exclude
+//!   it and shrink the release window to the operations before the delay.
+
+use std::collections::BTreeMap;
+
+use sherlock_sim::DelayPlan;
+use sherlock_trace::windows::{Candidate, Window};
+use sherlock_trace::{OpId, Time, Trace};
+
+use crate::report::InferenceReport;
+
+/// Builds the next run's delay plan: a delay before every inferred release.
+pub fn delay_plan(report: &InferenceReport, delay: Time) -> DelayPlan {
+    DelayPlan::before_all(report.releases(), delay)
+}
+
+/// Like [`delay_plan`], delaying each dynamic instance independently with
+/// the given probability (the paper's footnote-1 variant).
+pub fn delay_plan_with_probability(
+    report: &InferenceReport,
+    delay: Time,
+    probability: f64,
+) -> DelayPlan {
+    DelayPlan::before_all_with_probability(report.releases(), delay, probability)
+}
+
+/// Conclusions drawn from one delayed run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Refinement {
+    /// `(static pair, candidate)` pairs proven not to be the protecting
+    /// release (delay failed to propagate).
+    pub exclusions: Vec<((OpId, OpId), OpId)>,
+    /// Number of windows whose delay propagated (confirmations).
+    pub confirmations: usize,
+}
+
+/// Applies delay-propagation analysis to the windows of one run, shrinking
+/// them in place and returning cross-run conclusions.
+pub fn refine_windows(trace: &Trace, windows: &mut [Window]) -> Refinement {
+    let mut refinement = Refinement::default();
+    if trace.delays().is_empty() {
+        return refinement;
+    }
+
+    for w in windows.iter_mut() {
+        // The latest delay injected on the releasing thread inside this
+        // window's span.
+        let rec = trace
+            .delays()
+            .iter()
+            .filter(|d| d.thread == w.a_thread && d.start >= w.a_time && d.start <= w.b_time)
+            .max_by_key(|d| d.start);
+        let Some(rec) = rec else { continue };
+
+        // The acquiring thread may still have been running toward its
+        // blocking point early in the delay; only activity in the delay's
+        // tail disproves propagation.
+        let mid = Time::from_nanos((rec.start.as_nanos() + rec.end.as_nanos()) / 2);
+        let quiet = !trace
+            .events()
+            .iter()
+            .any(|e| e.thread == w.b_thread && e.time > mid && e.time < rec.end);
+
+        if w.b_time > rec.end && quiet {
+            // Propagated: the release is at (or before) r; the acquire is
+            // between r and b.
+            w.release = candidates_in(trace, w.a_thread.0, w.a_time, rec.end);
+            w.acquire = candidates_in(trace, w.b_thread.0, rec.end, w.b_time);
+            refinement.confirmations += 1;
+        } else if w.b_time <= rec.end {
+            // Not propagated: b ran during the delay, so r cannot be the
+            // release coordinating this pair; the real one is before the
+            // delay started.
+            refinement.exclusions.push((w.pair(), rec.op));
+            w.release =
+                candidates_in(trace, w.a_thread.0, w.a_time, rec.start.saturating_sub(Time::from_nanos(1)));
+        }
+    }
+    refinement
+}
+
+/// Deduplicated candidates from `thread` with timestamps in `[from, to]`.
+fn candidates_in(trace: &Trace, thread: u32, from: Time, to: Time) -> Vec<Candidate> {
+    let events = trace.events();
+    let lo = events.partition_point(|e| e.time < from);
+    let hi = events.partition_point(|e| e.time <= to);
+    let mut counts: BTreeMap<OpId, u32> = BTreeMap::new();
+    for e in &events[lo..hi] {
+        if e.thread.0 == thread {
+            *counts.entry(e.op).or_insert(0) += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .map(|(op, count)| Candidate { op, count })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{InferredOp, Role};
+    use sherlock_trace::{OpRef, TraceBuilder};
+
+    fn report_with_release(op: OpId) -> InferenceReport {
+        InferenceReport {
+            inferred: vec![InferredOp {
+                op,
+                role: Role::Release,
+                probability: 1.0,
+            }],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn delay_plan_covers_releases_only() {
+        let rel = OpRef::app_end("Pert", "Publish").intern();
+        let plan = delay_plan(&report_with_release(rel), Time::from_millis(100));
+        assert_eq!(plan.delay_for(rel), Some(Time::from_millis(100)));
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn no_delays_no_refinement() {
+        let mut tb = TraceBuilder::new();
+        let w = OpRef::field_write("Pert", "x").intern();
+        tb.push(Time::from_micros(1), 0, w, 1);
+        let trace = tb.finish();
+        let mut windows = vec![];
+        assert_eq!(refine_windows(&trace, &mut windows), Refinement::default());
+    }
+
+    /// Layout: a=write(x)@1ms, decoy-End@2ms (delayed 100ms, executes@102ms),
+    /// b=read(x)@5ms — b fires during the delay ⇒ not propagated ⇒ exclusion.
+    #[test]
+    fn failed_propagation_excludes_candidate_and_shrinks_release_window() {
+        let a = OpRef::field_write("Pert2", "x").intern();
+        let b = OpRef::field_read("Pert2", "x").intern();
+        let decoy = OpRef::app_end("Pert2", "Decoy").intern();
+        let mut tb = TraceBuilder::new();
+        tb.push(Time::from_millis(1), 0, a, 1);
+        tb.push_delay(0, decoy, Time::from_millis(2), Time::from_millis(102));
+        tb.push(Time::from_millis(5), 1, b, 1);
+        tb.push(Time::from_millis(102), 0, decoy, 1);
+        let trace = tb.finish();
+        let mut windows =
+            sherlock_trace::windows::extract(&trace, &sherlock_trace::windows::WindowConfig::default());
+        assert_eq!(windows.len(), 1);
+        let r = refine_windows(&trace, &mut windows);
+        assert_eq!(r.exclusions, vec![((a, b), decoy)]);
+        assert_eq!(r.confirmations, 0);
+        // Release window shrank to [a_time, delay start): only the write.
+        assert_eq!(windows[0].release.len(), 1);
+        assert_eq!(windows[0].release[0].op, a);
+    }
+
+    /// Layout: a=write(x)@1ms, real-End delayed to 102ms, b=read(x)@105ms
+    /// with a quiet b-thread during the delay ⇒ propagated ⇒ confirmation,
+    /// and the acquire window shrinks to ops after the delayed release.
+    #[test]
+    fn propagation_confirms_and_shrinks_acquire_window() {
+        let a = OpRef::field_write("Pert3", "x").intern();
+        let b = OpRef::field_read("Pert3", "x").intern();
+        let real = OpRef::app_end("Pert3", "Real").intern();
+        let early_noise = OpRef::app_begin("Pert3", "Early").intern();
+        let mut tb = TraceBuilder::new();
+        tb.push(Time::from_millis(1), 0, a, 1);
+        tb.push(Time::from_millis(1), 1, early_noise, 2);
+        tb.push_delay(0, real, Time::from_millis(2), Time::from_millis(102));
+        tb.push(Time::from_millis(102), 0, real, 1);
+        tb.push(Time::from_millis(105), 1, b, 1);
+        let trace = tb.finish();
+        let mut windows =
+            sherlock_trace::windows::extract(&trace, &sherlock_trace::windows::WindowConfig::default());
+        assert_eq!(windows.len(), 1);
+        let r = refine_windows(&trace, &mut windows);
+        assert_eq!(r.confirmations, 1);
+        assert!(r.exclusions.is_empty());
+        // Acquire window shrank past the delay: the early noise is gone.
+        assert!(windows[0].acquire.iter().all(|c| c.op != early_noise));
+        assert!(windows[0].acquire.iter().any(|c| c.op == b));
+        // Release window still ends at the delayed release.
+        assert!(windows[0].release.iter().any(|c| c.op == real));
+    }
+
+    /// A busy acquiring thread during the delay defeats the quietness check:
+    /// no conclusion should be drawn.
+    #[test]
+    fn busy_acquire_thread_prevents_propagation_claim() {
+        let a = OpRef::field_write("Pert4", "x").intern();
+        let b = OpRef::field_read("Pert4", "x").intern();
+        let real = OpRef::app_end("Pert4", "Real").intern();
+        let busy = OpRef::app_begin("Pert4", "Busy").intern();
+        let mut tb = TraceBuilder::new();
+        tb.push(Time::from_millis(1), 0, a, 1);
+        tb.push_delay(0, real, Time::from_millis(2), Time::from_millis(102));
+        tb.push(Time::from_millis(80), 1, busy, 2); // active in the delay tail
+        tb.push(Time::from_millis(102), 0, real, 1);
+        tb.push(Time::from_millis(105), 1, b, 1);
+        let trace = tb.finish();
+        let mut windows =
+            sherlock_trace::windows::extract(&trace, &sherlock_trace::windows::WindowConfig::default());
+        let before = windows.clone();
+        let r = refine_windows(&trace, &mut windows);
+        assert_eq!(r.confirmations, 0);
+        assert!(r.exclusions.is_empty());
+        assert_eq!(windows[0].acquire, before[0].acquire);
+    }
+}

@@ -1,0 +1,181 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sherlock_trace::{OpId, OpRef};
+
+/// The synchronization role an operation plays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Role {
+    /// Blocks/orders the consuming side (happens-after).
+    Acquire,
+    /// Publishes/orders the producing side (happens-before).
+    Release,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Acquire => write!(f, "acquire"),
+            Role::Release => write!(f, "release"),
+        }
+    }
+}
+
+/// One inferred synchronization operation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InferredOp {
+    /// The static operation.
+    pub op: OpId,
+    /// Its inferred role.
+    pub role: Role,
+    /// The probability the Solver assigned (≥ the inference threshold).
+    pub probability: f64,
+}
+
+/// The Solver's output: every operation's acquire/release probability and the
+/// set crossing the inference threshold (paper §4.2, "Solving & Result
+/// interpretation").
+#[derive(Clone, Debug, Default)]
+pub struct InferenceReport {
+    /// Operations inferred as synchronizations, sorted by op id then role.
+    pub inferred: Vec<InferredOp>,
+    /// Raw probabilities per (op, role), including sub-threshold ones.
+    pub probabilities: BTreeMap<(OpId, Role), f64>,
+    /// Optimal objective value of the LP.
+    pub objective: f64,
+    /// Number of LP variables (candidate op-role pairs).
+    pub num_variables: usize,
+    /// Number of distinct (deduplicated) windows encoded.
+    pub num_windows: usize,
+    /// Static pairs discarded as data races.
+    pub racy_pairs: usize,
+}
+
+impl InferenceReport {
+    /// Inferred acquires.
+    pub fn acquires(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.inferred
+            .iter()
+            .filter(|i| i.role == Role::Acquire)
+            .map(|i| i.op)
+    }
+
+    /// Inferred releases.
+    pub fn releases(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.inferred
+            .iter()
+            .filter(|i| i.role == Role::Release)
+            .map(|i| i.op)
+    }
+
+    /// Whether `op` was inferred in the given role.
+    pub fn contains(&self, op: OpId, role: Role) -> bool {
+        self.inferred.iter().any(|i| i.op == op && i.role == role)
+    }
+
+    /// Whether `op` was inferred in either role.
+    pub fn contains_op(&self, op: OpId) -> bool {
+        self.inferred.iter().any(|i| i.op == op)
+    }
+
+    /// The probability assigned to `(op, role)`; zero if never a candidate.
+    pub fn probability(&self, op: OpId, role: Role) -> f64 {
+        self.probabilities.get(&(op, role)).copied().unwrap_or(0.0)
+    }
+
+    /// Renders the report in the artifact's output format
+    /// ("Releasing sites: …" / "Acquire sites: …", paper §A.6).
+    pub fn render(&self) -> String {
+        let mut out = String::from("Releasing sites:\n");
+        for op in self.releases() {
+            out.push_str(&format!("  {}\n", op.resolve()));
+        }
+        out.push_str("Acquire sites:\n");
+        for op in self.acquires() {
+            out.push_str(&format!("  {}\n", op.resolve()));
+        }
+        out
+    }
+
+    /// Classifies an inferred op the way §5.3 groups Table 8/9 rows:
+    /// `"system-API"`, `"variable"`, or `"application-method"`.
+    pub fn classify(op: OpId) -> &'static str {
+        match op.resolve() {
+            OpRef::FieldRead { .. } | OpRef::FieldWrite { .. } => "variable",
+            OpRef::MethodBegin { kind, .. } | OpRef::MethodEnd { kind, .. } => {
+                if kind == sherlock_trace::MethodKind::Lib {
+                    "system-API"
+                } else {
+                    "application-method"
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(ops: Vec<(OpId, Role, f64)>) -> InferenceReport {
+        let mut r = InferenceReport::default();
+        for (op, role, p) in ops {
+            r.probabilities.insert((op, role), p);
+            if p >= 0.9 {
+                r.inferred.push(InferredOp {
+                    op,
+                    role,
+                    probability: p,
+                });
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn accessors_filter_by_role() {
+        let a = OpRef::field_read("R", "f").intern();
+        let b = OpRef::field_write("R", "f").intern();
+        let r = report_with(vec![(a, Role::Acquire, 1.0), (b, Role::Release, 1.0)]);
+        assert_eq!(r.acquires().collect::<Vec<_>>(), vec![a]);
+        assert_eq!(r.releases().collect::<Vec<_>>(), vec![b]);
+        assert!(r.contains(a, Role::Acquire));
+        assert!(!r.contains(a, Role::Release));
+        assert!(r.contains_op(b));
+    }
+
+    #[test]
+    fn probability_defaults_to_zero() {
+        let a = OpRef::field_read("R", "g").intern();
+        let r = InferenceReport::default();
+        assert_eq!(r.probability(a, Role::Acquire), 0.0);
+    }
+
+    #[test]
+    fn render_matches_artifact_format() {
+        let a = OpRef::lib_begin("Monitor", "Enter").intern();
+        let b = OpRef::lib_end("Monitor", "Exit").intern();
+        let r = report_with(vec![(a, Role::Acquire, 1.0), (b, Role::Release, 1.0)]);
+        let s = r.render();
+        assert!(s.starts_with("Releasing sites:\n"));
+        assert!(s.contains("Monitor::Exit-End"));
+        assert!(s.contains("Acquire sites:\n"));
+        assert!(s.contains("Monitor::Enter-Begin"));
+    }
+
+    #[test]
+    fn classification_buckets() {
+        assert_eq!(
+            InferenceReport::classify(OpRef::field_read("C", "f").intern()),
+            "variable"
+        );
+        assert_eq!(
+            InferenceReport::classify(OpRef::lib_begin("Monitor", "Enter").intern()),
+            "system-API"
+        );
+        assert_eq!(
+            InferenceReport::classify(OpRef::app_begin("C", "m").intern()),
+            "application-method"
+        );
+    }
+}

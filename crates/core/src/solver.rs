@@ -1,0 +1,497 @@
+//! The Solver: SherLock's LP encoding of synchronization properties and
+//! hypotheses (paper §4.2).
+//!
+//! Every candidate operation gets up to two `[0, 1]` variables — its acquire
+//! probability and its release probability. Properties become hard
+//! constraints; hypotheses become objective terms combined per Eq. 8:
+//!
+//! ```text
+//! Σ_w (rel(w) + acq(w))
+//!   + λ·[ Σ_c pair_c(c) + Σ_f pair_f(f) + Σ_v reg(v) + Σ_v rare(v) + Σ_m var(m) ]
+//! ```
+//!
+//! λ trades the Mostly-Protected hypothesis against all the others.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sherlock_lp::{LinExpr, LpError, Model, VarId};
+use sherlock_trace::durations::DurationStats;
+use sherlock_trace::{MethodKind, OpId, OpRef};
+
+use crate::config::SherLockConfig;
+use crate::observations::Observations;
+use crate::report::{InferenceReport, InferredOp, Role};
+
+/// Roles an operation may hold under the Read-Acquire & Write-Release
+/// property (paper §2 / Eq. 1); with the property ablated every operation may
+/// hold both.
+fn allowed_roles(op: &OpRef, enforce: bool) -> (bool, bool) {
+    if !enforce {
+        (true, true)
+    } else {
+        (op.can_acquire(), op.can_release())
+    }
+}
+
+/// Runs the Solver over all accumulated observations.
+///
+/// # Errors
+///
+/// Propagates [`LpError`] from the simplex solver (infeasibility cannot occur
+/// with this encoding — all constraints admit the all-zero point except the
+/// variable bounds — but iteration limits can).
+pub fn solve(obs: &Observations, cfg: &SherLockConfig) -> Result<InferenceReport, LpError> {
+    let filter_racy = cfg.feedback.race_removal;
+    let racy = obs.racy_pairs();
+
+    // Deduplicated windows surviving race removal.
+    let windows: Vec<(&crate::observations::WindowKey, f64)> = obs
+        .windows()
+        .iter()
+        .filter(|(k, _)| !(filter_racy && racy.contains(&k.pair)))
+        .map(|(k, agg)| (k, agg.weight as f64))
+        .collect();
+
+    // Candidate operations.
+    let mut ops: BTreeSet<OpId> = BTreeSet::new();
+    for (k, _) in &windows {
+        ops.extend(k.release.iter().map(|&(op, _)| op));
+        ops.extend(k.acquire.iter().map(|&(op, _)| op));
+    }
+
+    let mut model = Model::new();
+    let mut vars: BTreeMap<(OpId, Role), VarId> = BTreeMap::new();
+    let mut resolved: BTreeMap<OpId, OpRef> = BTreeMap::new();
+
+    for &op in &ops {
+        let r = op.resolve();
+        let (acq, rel) = allowed_roles(&r, cfg.hypotheses.read_acq_write_rel);
+        if acq {
+            let v = model.add_var(format!("{r}^acq"), 0.0, 1.0);
+            vars.insert((op, Role::Acquire), v);
+        }
+        if rel {
+            let v = model.add_var(format!("{r}^rel"), 0.0, 1.0);
+            vars.insert((op, Role::Release), v);
+        }
+        // A release synchronization cannot be an acquire and vice versa.
+        if acq && rel && cfg.hypotheses.read_acq_write_rel {
+            let a = vars[&(op, Role::Acquire)];
+            let l = vars[&(op, Role::Release)];
+            model.constrain_le(LinExpr::from(a) + LinExpr::from(l), 1.0);
+        }
+        resolved.insert(op, r);
+    }
+
+    // Single-Role: a library API serves one synchronization type —
+    // begin(l)^rel + end(l)^acq ≤ 1 (paper §4.2).
+    if cfg.hypotheses.single_role {
+        for (&op, r) in &resolved {
+            if let OpRef::MethodBegin {
+                kind: MethodKind::Lib,
+                ..
+            } = r
+            {
+                let end_op = r.method_counterpart().expect("begin has end").intern();
+                if let (Some(&b_rel), Some(&e_acq)) = (
+                    vars.get(&(op, Role::Release)),
+                    vars.get(&(end_op, Role::Acquire)),
+                ) {
+                    let expr = LinExpr::from(b_rel) + LinExpr::from(e_acq);
+                    if cfg.soft_single_role {
+                        // The §5.5 extension: violations allowed but
+                        // penalized, letting genuine double-role APIs
+                        // (UpgradeToWriterLock) hold both ends.
+                        model.add_hinge(expr - LinExpr::constant(1.0), cfg.lambda);
+                    } else {
+                        model.constrain_le(expr, 1.0);
+                    }
+                }
+            }
+        }
+    }
+
+    // Mostly-Protected: per window, hinge(1 − Σ candidate probabilities),
+    // each candidate subtracted once regardless of its occurrence count
+    // (Eq. 2).
+    if cfg.hypotheses.mostly_protected {
+        for (k, weight) in &windows {
+            let mut rel_expr = LinExpr::constant(1.0);
+            for &(op, _) in &k.release {
+                if obs.is_excluded(k.pair, op) {
+                    continue;
+                }
+                if let Some(&v) = vars.get(&(op, Role::Release)) {
+                    rel_expr.add_term(v, -1.0);
+                }
+            }
+            let mut acq_expr = LinExpr::constant(1.0);
+            for &(op, _) in &k.acquire {
+                if let Some(&v) = vars.get(&(op, Role::Acquire)) {
+                    acq_expr.add_term(v, -1.0);
+                }
+            }
+            model.add_hinge(rel_expr, *weight);
+            model.add_hinge(acq_expr, *weight);
+        }
+    }
+
+    // Synchronizations-are-Rare: regularization (Eq. 3) plus the occurrence
+    // penalty (Eq. 4).
+    if cfg.hypotheses.synchronizations_are_rare {
+        for (&(op, _), &v) in &vars {
+            let rare = cfg.rare_coefficient * obs.avg_occurrence(op);
+            model.minimize(LinExpr::term(v, cfg.lambda * (1.0 + rare)));
+        }
+    }
+
+    // Symmetry breaking: when several candidates explain the same windows at
+    // identical cost, the LP optimum is a face rather than a vertex and the
+    // solver can return fractional splits (e.g. 0.5/0.5 between a wrapper's
+    // exit and the library call inside it). A deterministic, vanishingly
+    // small per-variable perturbation steers the optimizer to one integral
+    // corner of that face without affecting any non-degenerate comparison.
+    for (i, (_, &v)) in vars.iter().enumerate() {
+        let eps = 1e-7 * (1.0 + (i % 97) as f64);
+        model.minimize(LinExpr::term(v, eps));
+    }
+
+    // Acquisition-Time-Mostly-Varies: (1 − percentile(CV)) · begin(m)^acq
+    // (Eq. 5), ranking every method candidate by its duration variability.
+    if cfg.hypotheses.acquisition_time_varies {
+        // A single duration sample cannot evidence "does not vary", so
+        // methods with fewer than two observations take a neutral percentile
+        // instead of ranking at the bottom.
+        let mut cvs: Vec<(OpId, Option<f64>)> = Vec::new();
+        for (&op, r) in &resolved {
+            if matches!(r, OpRef::MethodBegin { .. }) && vars.contains_key(&(op, Role::Acquire)) {
+                let cv = obs
+                    .durations()
+                    .get(&op)
+                    .filter(|s| s.len() >= 2)
+                    .and_then(|s| DurationStats::from_samples(s))
+                    .map(|st| st.coefficient_of_variation());
+                cvs.push((op, cv));
+            }
+        }
+        let sorted: Vec<f64> = {
+            let mut s: Vec<f64> = cvs.iter().filter_map(|&(_, cv)| cv).collect();
+            s.sort_by(|a, b| a.partial_cmp(b).expect("CVs are finite"));
+            s
+        };
+        let n = sorted.len();
+        for (op, cv) in cvs {
+            let pct = match cv {
+                Some(cv) if n > 1 => {
+                    sorted.partition_point(|&x| x < cv) as f64 / (n - 1) as f64
+                }
+                _ => 0.5,
+            };
+            let v = vars[&(op, Role::Acquire)];
+            model.minimize(LinExpr::term(v, cfg.lambda * (1.0 - pct.min(1.0))));
+        }
+    }
+
+    // Mostly-Paired: field read/write pairing (Eq. 7) and per-class
+    // acquire/release balance (Eq. 6).
+    if cfg.hypotheses.mostly_paired {
+        let mut fields: BTreeSet<(String, String)> = BTreeSet::new();
+        for r in resolved.values() {
+            if let OpRef::FieldRead { class, field } | OpRef::FieldWrite { class, field } = r {
+                fields.insert((class.clone(), field.clone()));
+            }
+        }
+        for (class, field) in fields {
+            let read = OpRef::field_read(&class, &field).intern();
+            let write = OpRef::field_write(&class, &field).intern();
+            let mut expr = LinExpr::zero();
+            if let Some(&v) = vars.get(&(read, Role::Acquire)) {
+                expr.add_term(v, 1.0);
+            }
+            if let Some(&v) = vars.get(&(write, Role::Release)) {
+                expr.add_term(v, -1.0);
+            }
+            if !expr.is_constant() {
+                model.add_abs(expr, cfg.lambda);
+            }
+        }
+
+        let mut classes: BTreeMap<String, LinExpr> = BTreeMap::new();
+        for (&(op, role), &v) in &vars {
+            let class = resolved[&op].class().to_string();
+            let e = classes.entry(class).or_insert_with(LinExpr::zero);
+            match role {
+                Role::Acquire => e.add_term(v, 1.0),
+                Role::Release => e.add_term(v, -1.0),
+            }
+        }
+        for (_, expr) in classes {
+            if !expr.is_constant() {
+                model.add_abs(expr, cfg.lambda);
+            }
+        }
+    }
+
+    // Solve, then round: an LP optimum can sit on a degenerate face and
+    // return fractional splits (e.g. 0.5 release + 0.5 acquire on one
+    // library op satisfying two window families through the
+    // acquire-xor-release cap). The paper reads off "variables assigned 1",
+    // which presumes an integral vertex; we recover one by greedily fixing
+    // the largest fractional variable to 1 and re-solving. Fixing a variable
+    // never makes the system infeasible (every constraint admits it by
+    // zeroing its competitors), so the loop terminates with an integral,
+    // cost-minimal-up-to-greedy assignment.
+    let mut solution = model.solve()?;
+    for _ in 0..64 {
+        let fractional = vars
+            .values()
+            .map(|&v| (v, solution.value(v)))
+            .filter(|&(_, p)| p > 0.05 && p < cfg.threshold)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite probabilities"));
+        let Some((v, _)) = fractional else { break };
+        model.constrain_eq(LinExpr::from(v), 1.0);
+        solution = model.solve()?;
+    }
+
+    let mut probabilities = BTreeMap::new();
+    let mut inferred = Vec::new();
+    for (&(op, role), &v) in &vars {
+        let p = solution.value(v).clamp(0.0, 1.0);
+        probabilities.insert((op, role), p);
+        if p >= cfg.threshold {
+            inferred.push(InferredOp {
+                op,
+                role,
+                probability: p,
+            });
+        }
+    }
+    inferred.sort_by_key(|i| (i.op, i.role));
+
+    Ok(InferenceReport {
+        inferred,
+        probabilities,
+        objective: solution.objective,
+        num_variables: vars.len(),
+        num_windows: windows.len(),
+        racy_pairs: racy.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sherlock_trace::windows::{Candidate, Window};
+    use sherlock_trace::{ObjectId, ThreadId, Time};
+
+    fn window(a: OpId, b: OpId, rel: &[OpId], acq: &[OpId]) -> Window {
+        Window {
+            a_op: a,
+            b_op: b,
+            a_thread: ThreadId(0),
+            b_thread: ThreadId(1),
+            a_time: Time::ZERO,
+            b_time: Time::from_micros(5),
+            object: ObjectId(1),
+            release: rel.iter().map(|&op| Candidate { op, count: 1 }).collect(),
+            acquire: acq.iter().map(|&op| Candidate { op, count: 1 }).collect(),
+            release_capable: true,
+            acquire_capable: true,
+        }
+    }
+
+    fn obs_from(windows: &[Window]) -> Observations {
+        let mut obs = Observations::new();
+        for w in windows {
+            obs.add_window(w);
+        }
+        obs
+    }
+
+    #[test]
+    fn flag_pattern_inferred_as_write_release_read_acquire() {
+        let w = OpRef::field_write("Solve", "flag").intern();
+        let r = OpRef::field_read("Solve", "flag").intern();
+        let obs = obs_from(&[window(w, r, &[w], &[r]), window(w, r, &[w], &[r])]);
+        let report = solve(&obs, &SherLockConfig::default()).unwrap();
+        assert!(report.contains(w, Role::Release), "{report:?}");
+        assert!(report.contains(r, Role::Acquire), "{report:?}");
+    }
+
+    #[test]
+    fn read_never_releases_write_never_acquires() {
+        let w = OpRef::field_write("Solve2", "f").intern();
+        let r = OpRef::field_read("Solve2", "f").intern();
+        let obs = obs_from(&[window(w, r, &[w], &[r])]);
+        let report = solve(&obs, &SherLockConfig::default()).unwrap();
+        assert_eq!(report.probability(r, Role::Release), 0.0);
+        assert_eq!(report.probability(w, Role::Acquire), 0.0);
+    }
+
+    #[test]
+    fn without_mostly_protected_nothing_is_inferred() {
+        let w = OpRef::field_write("Solve3", "f").intern();
+        let r = OpRef::field_read("Solve3", "f").intern();
+        let obs = obs_from(&[window(w, r, &[w], &[r])]);
+        let mut cfg = SherLockConfig::default();
+        cfg.hypotheses.mostly_protected = false;
+        let report = solve(&obs, &cfg).unwrap();
+        assert!(report.inferred.is_empty(), "{report:?}");
+    }
+
+    #[test]
+    fn rare_ops_preferred_over_frequent_ones() {
+        // Two release candidates: `frequent` occurs 10× per window, `rare`
+        // once. The rarity penalty must steer inference to `rare`.
+        let a = OpRef::field_write("Solve4", "data").intern();
+        let b = OpRef::field_read("Solve4", "data").intern();
+        let frequent = OpRef::app_end("Solve4", "Busy").intern();
+        let rare = OpRef::app_end("Solve4", "Publish").intern();
+        let mut obs = Observations::new();
+        for _ in 0..3 {
+            let mut w = window(a, b, &[], &[b]);
+            w.release = vec![
+                Candidate { op: frequent, count: 10 },
+                Candidate { op: rare, count: 1 },
+            ];
+            obs.add_window(&w);
+        }
+        let report = solve(&obs, &SherLockConfig::default()).unwrap();
+        assert!(report.contains(rare, Role::Release), "{report:?}");
+        assert!(!report.contains(frequent, Role::Release), "{report:?}");
+    }
+
+    #[test]
+    fn racy_pairs_are_not_protected() {
+        let w = OpRef::field_write("Solve5", "racy").intern();
+        let r = OpRef::field_read("Solve5", "racy").intern();
+        let mut obs = obs_from(&[window(w, r, &[w], &[r])]);
+        obs.mark_racy((w, r));
+        let report = solve(&obs, &SherLockConfig::default()).unwrap();
+        assert!(report.inferred.is_empty(), "{report:?}");
+        assert_eq!(report.racy_pairs, 1);
+
+        // With race removal ablated the pair is protected again.
+        let mut cfg = SherLockConfig::default();
+        cfg.feedback.race_removal = false;
+        let report = solve(&obs, &cfg).unwrap();
+        assert!(report.contains(w, Role::Release));
+    }
+
+    #[test]
+    fn exclusions_remove_release_candidates() {
+        let a = OpRef::field_write("Solve6", "x").intern();
+        let b = OpRef::field_read("Solve6", "x").intern();
+        let decoy = OpRef::app_end("Solve6", "Decoy").intern();
+        let real = OpRef::app_end("Solve6", "Real").intern();
+        let mut obs = obs_from(&[window(a, b, &[decoy, real], &[b])]);
+        obs.exclude_release((a, b), decoy);
+        let report = solve(&obs, &SherLockConfig::default()).unwrap();
+        assert!(!report.contains(decoy, Role::Release), "{report:?}");
+    }
+
+    #[test]
+    fn single_role_blocks_begin_rel_plus_end_acq() {
+        // One API appears as the sole release candidate in one window (via
+        // its begin) and the sole acquire candidate in another (via its end):
+        // UpgradeToWriterLock's double role. With Single-Role on, at most one
+        // side can win.
+        let upg_b = OpRef::lib_begin("Solve7.RW", "Upgrade").intern();
+        let upg_e = OpRef::lib_end("Solve7.RW", "Upgrade").intern();
+        let a1 = OpRef::field_write("Solve7", "d1").intern();
+        let b1 = OpRef::field_read("Solve7", "d1").intern();
+        let a2 = OpRef::field_write("Solve7", "d2").intern();
+        let b2 = OpRef::field_read("Solve7", "d2").intern();
+        let obs = obs_from(&[
+            window(a1, b1, &[upg_b], &[b1]),
+            window(a2, b2, &[a2], &[upg_e]),
+        ]);
+        let cfg = SherLockConfig::default();
+        let report = solve(&obs, &cfg).unwrap();
+        let both = report.contains(upg_b, Role::Release) && report.contains(upg_e, Role::Acquire);
+        assert!(!both, "single-role violated: {report:?}");
+
+        let mut ablated = SherLockConfig::default();
+        ablated.hypotheses.single_role = false;
+        let report = solve(&obs, &ablated).unwrap();
+        assert!(
+            report.contains(upg_b, Role::Release) && report.contains(upg_e, Role::Acquire),
+            "without single-role both sides should win: {report:?}"
+        );
+    }
+
+    #[test]
+    fn pairing_pulls_in_the_matching_write() {
+        // The read side is strongly supported by three windows; the write
+        // side appears in only one window together with a decoy that is
+        // otherwise equally cheap. Mostly-Paired must break the tie toward
+        // the write of the same field.
+        let w = OpRef::field_write("Solve8", "flag").intern();
+        let r = OpRef::field_read("Solve8", "flag").intern();
+        let decoy = OpRef::app_end("Solve8", "Decoy").intern();
+        let mut obs = Observations::new();
+        for _ in 0..3 {
+            obs.add_window(&window(w, r, &[w, decoy], &[r]));
+        }
+        let cfg = SherLockConfig::default();
+        let report = solve(&obs, &cfg).unwrap();
+        assert!(report.contains(w, Role::Release), "{report:?}");
+        assert!(!report.contains(decoy, Role::Release), "{report:?}");
+    }
+
+    #[test]
+    fn acquisition_time_varies_prefers_high_cv_methods() {
+        use sherlock_trace::Time;
+        let a = OpRef::field_write("Solve9", "q").intern();
+        let b = OpRef::field_read("Solve9", "q").intern();
+        let steady = OpRef::app_begin("Solve9", "Steady").intern();
+        let vary = OpRef::app_begin("Solve9", "Vary").intern();
+        let mut obs = obs_from(&[window(a, b, &[a], &[steady, vary])]);
+        let mut d = sherlock_trace::durations::DurationMap::new();
+        d.insert(steady, vec![Time::from_micros(5); 4]);
+        d.insert(
+            vary,
+            vec![
+                Time::from_micros(1),
+                Time::from_micros(50),
+                Time::from_micros(2),
+                Time::from_micros(80),
+            ],
+        );
+        obs.add_durations(d);
+        // Remove the read from the acquire side so methods compete: rebuild.
+        let mut cfg = SherLockConfig::default();
+        cfg.hypotheses.mostly_paired = false; // isolate the duration term
+        let report = solve(&obs, &cfg).unwrap();
+        let p_vary = report.probability(vary, Role::Acquire);
+        let p_steady = report.probability(steady, Role::Acquire);
+        assert!(
+            p_vary > p_steady,
+            "vary={p_vary} steady={p_steady}: {report:?}"
+        );
+    }
+
+    #[test]
+    fn empty_observations_solve_to_empty_report() {
+        let report = solve(&Observations::new(), &SherLockConfig::default()).unwrap();
+        assert!(report.inferred.is_empty());
+        assert_eq!(report.num_variables, 0);
+        assert_eq!(report.num_windows, 0);
+    }
+
+    #[test]
+    fn lambda_monotonicity_fewer_inferences_at_high_lambda() {
+        // Table 6's trend: raising λ suppresses inference.
+        let w = OpRef::field_write("Solve10", "m").intern();
+        let r = OpRef::field_read("Solve10", "m").intern();
+        let obs = obs_from(&[window(w, r, &[w], &[r])]);
+        let mut low = SherLockConfig::default();
+        low.lambda = 0.2;
+        let mut high = SherLockConfig::default();
+        high.lambda = 100.0;
+        let n_low = solve(&obs, &low).unwrap().inferred.len();
+        let n_high = solve(&obs, &high).unwrap().inferred.len();
+        assert!(n_low >= n_high);
+        assert_eq!(n_high, 0, "λ=100 should suppress this weak evidence");
+    }
+}

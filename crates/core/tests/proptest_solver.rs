@@ -1,0 +1,154 @@
+//! Property tests for the Solver over randomized observation sets: the hard
+//! properties of §4.2 must hold for *every* input, and outputs are valid
+//! probabilities.
+
+use proptest::prelude::*;
+use sherlock_core::{solver, Observations, Role, SherLockConfig};
+use sherlock_trace::windows::{Candidate, Window};
+use sherlock_trace::{ObjectId, OpId, OpRef, ThreadId, Time};
+
+#[derive(Clone, Debug)]
+struct WindowSpec {
+    pair_field: usize,
+    rel_methods: Vec<usize>,
+    acq_methods: Vec<usize>,
+    counts: (u32, u32),
+    racy: bool,
+}
+
+fn window_spec() -> impl Strategy<Value = WindowSpec> {
+    (
+        0usize..4,
+        proptest::collection::vec(0usize..5, 0..3),
+        proptest::collection::vec(0usize..5, 0..3),
+        (1u32..4, 1u32..4),
+        proptest::bool::weighted(0.15),
+    )
+        .prop_map(|(pair_field, rel_methods, acq_methods, counts, racy)| WindowSpec {
+            pair_field,
+            rel_methods,
+            acq_methods,
+            counts,
+            racy,
+        })
+}
+
+fn field_ops(i: usize) -> (OpId, OpId) {
+    (
+        OpRef::field_write("PSol", format!("f{i}")).intern(),
+        OpRef::field_read("PSol", format!("f{i}")).intern(),
+    )
+}
+
+fn build_observations(specs: &[WindowSpec]) -> Observations {
+    let mut obs = Observations::new();
+    for (k, s) in specs.iter().enumerate() {
+        let (w, r) = field_ops(s.pair_field);
+        let mut release = vec![Candidate { op: w, count: s.counts.0 }];
+        let mut acquire = vec![Candidate { op: r, count: s.counts.1 }];
+        for &m in &s.rel_methods {
+            release.push(Candidate {
+                op: OpRef::app_end("PSol", format!("m{m}")).intern(),
+                count: 1,
+            });
+        }
+        for &m in &s.acq_methods {
+            acquire.push(Candidate {
+                op: OpRef::app_begin("PSol", format!("m{m}")).intern(),
+                count: 1,
+            });
+        }
+        release.sort_by_key(|c| c.op);
+        release.dedup_by_key(|c| c.op);
+        acquire.sort_by_key(|c| c.op);
+        acquire.dedup_by_key(|c| c.op);
+        let window = Window {
+            a_op: w,
+            b_op: r,
+            a_thread: ThreadId(0),
+            b_thread: ThreadId(1),
+            a_time: Time::from_micros(10 * k as u64),
+            b_time: Time::from_micros(10 * k as u64 + 5),
+            object: ObjectId(1),
+            release,
+            acquire,
+            release_capable: true,
+            acquire_capable: true,
+        };
+        if s.racy {
+            obs.mark_racy(window.pair());
+        }
+        obs.add_window(&window);
+    }
+    obs.finish_run();
+    obs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hard properties: probabilities in [0,1]; reads never release, writes
+    /// never acquire, app begins never release, app ends never acquire; one
+    /// op never holds both roles at once.
+    #[test]
+    fn hard_constraints_hold(specs in proptest::collection::vec(window_spec(), 0..10)) {
+        let obs = build_observations(&specs);
+        let report = solver::solve(&obs, &SherLockConfig::default()).expect("solvable");
+        for (&(op, role), &p) in &report.probabilities {
+            prop_assert!((0.0..=1.0 + 1e-7).contains(&p), "p out of range: {p}");
+            let r = op.resolve();
+            match role {
+                Role::Release => prop_assert!(r.can_release(), "{r} released"),
+                Role::Acquire => prop_assert!(r.can_acquire(), "{r} acquired"),
+            }
+        }
+        for i in &report.inferred {
+            let both = report.inferred.iter().any(|j| j.op == i.op && j.role != i.role);
+            prop_assert!(!both, "op {} inferred in both roles", i.op);
+        }
+    }
+
+    /// Solving twice over the same observations is deterministic.
+    #[test]
+    fn solving_is_deterministic(specs in proptest::collection::vec(window_spec(), 0..8)) {
+        let obs = build_observations(&specs);
+        let cfg = SherLockConfig::default();
+        let a = solver::solve(&obs, &cfg).expect("solvable");
+        let b = solver::solve(&obs, &cfg).expect("solvable");
+        prop_assert_eq!(a.inferred, b.inferred);
+    }
+
+    /// With Mostly-Protected ablated, nothing is ever inferred.
+    #[test]
+    fn no_protection_no_inference(specs in proptest::collection::vec(window_spec(), 0..8)) {
+        let obs = build_observations(&specs);
+        let mut cfg = SherLockConfig::default();
+        cfg.hypotheses.mostly_protected = false;
+        let report = solver::solve(&obs, &cfg).expect("solvable");
+        prop_assert!(report.inferred.is_empty());
+    }
+
+    /// Very large λ suppresses all inference (Table 6's right edge).
+    #[test]
+    fn huge_lambda_suppresses(specs in proptest::collection::vec(window_spec(), 0..8)) {
+        let obs = build_observations(&specs);
+        let mut cfg = SherLockConfig::default();
+        cfg.lambda = 10_000.0;
+        let report = solver::solve(&obs, &cfg).expect("solvable");
+        prop_assert!(report.inferred.is_empty(), "{:?}", report.inferred);
+    }
+
+    /// Racy pairs contribute nothing: if every window is racy, nothing is
+    /// inferred under race removal.
+    #[test]
+    fn all_racy_means_nothing_inferred(specs in proptest::collection::vec(window_spec(), 0..8)) {
+        let mut all_racy = specs.clone();
+        for s in &mut all_racy {
+            s.racy = true;
+        }
+        let obs = build_observations(&all_racy);
+        let report = solver::solve(&obs, &SherLockConfig::default()).expect("solvable");
+        prop_assert!(report.inferred.is_empty());
+        prop_assert_eq!(report.num_windows, 0);
+    }
+}

@@ -1,0 +1,428 @@
+use std::fmt;
+
+use crate::expr::LinExpr;
+use crate::simplex::{self, Problem, Relation, Row, SimplexError};
+
+/// Handle to a model variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) usize);
+
+/// Failure modes of [`Model::solve`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LpError {
+    /// No assignment satisfies the constraints.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// The solver hit its iteration budget.
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "model is infeasible"),
+            LpError::Unbounded => write!(f, "model objective is unbounded"),
+            LpError::IterationLimit => write!(f, "solver iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+impl From<SimplexError> for LpError {
+    fn from(e: SimplexError) -> Self {
+        match e {
+            SimplexError::Infeasible => LpError::Infeasible,
+            SimplexError::Unbounded => LpError::Unbounded,
+            SimplexError::IterationLimit => LpError::IterationLimit,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Var {
+    name: String,
+    lo: f64,
+    hi: f64,
+}
+
+/// An LP model: named bounded variables, linear constraints, and a minimized
+/// objective, with helpers for the piecewise-linear terms SherLock's encoding
+/// uses.
+///
+/// Variables may have a finite lower bound (shifted internally), a finite
+/// upper bound (enforced by an internal row), or be free
+/// (`f64::NEG_INFINITY..f64::INFINITY`, split into a difference of two
+/// nonnegative columns).
+#[derive(Clone, Debug, Default)]
+pub struct Model {
+    vars: Vec<Var>,
+    rows: Vec<(LinExpr, Relation, f64)>,
+    objective: LinExpr,
+}
+
+/// The optimal assignment returned by [`Model::solve`].
+#[derive(Clone, Debug)]
+pub struct Solution {
+    values: Vec<f64>,
+    /// Optimal objective value (including any constant term).
+    pub objective: f64,
+}
+
+impl Solution {
+    /// Value of a variable at the optimum.
+    pub fn value(&self, v: VarId) -> f64 {
+        self.values[v.0]
+    }
+
+    /// Evaluates an arbitrary linear expression at the optimum.
+    pub fn eval(&self, e: &LinExpr) -> f64 {
+        e.coefficients()
+            .iter()
+            .map(|&(v, c)| c * self.value(v))
+            .sum::<f64>()
+            + e.constant_term()
+    }
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Adds a variable bounded to `[lo, hi]`; either bound may be infinite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is NaN.
+    pub fn add_var(&mut self, name: impl Into<String>, lo: f64, hi: f64) -> VarId {
+        assert!(!lo.is_nan() && !hi.is_nan(), "NaN variable bound");
+        assert!(lo <= hi, "empty variable domain");
+        let id = VarId(self.vars.len());
+        self.vars.push(Var {
+            name: name.into(),
+            lo,
+            hi,
+        });
+        id
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraint rows (excluding bound rows synthesized at solve
+    /// time).
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Name given to a variable at creation.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.0].name
+    }
+
+    /// Adds the constraint `expr ≤ rhs`.
+    pub fn constrain_le(&mut self, expr: LinExpr, rhs: f64) {
+        self.rows.push((expr, Relation::Le, rhs));
+    }
+
+    /// Adds the constraint `expr ≥ rhs`.
+    pub fn constrain_ge(&mut self, expr: LinExpr, rhs: f64) {
+        self.rows.push((expr, Relation::Ge, rhs));
+    }
+
+    /// Adds the constraint `expr = rhs`.
+    pub fn constrain_eq(&mut self, expr: LinExpr, rhs: f64) {
+        self.rows.push((expr, Relation::Eq, rhs));
+    }
+
+    /// Adds `expr` to the minimized objective.
+    pub fn minimize(&mut self, expr: LinExpr) {
+        self.objective += expr;
+    }
+
+    /// Adds `weight · max(0, expr)` to the objective (SherLock's
+    /// Mostly-Protected terms, Eq. 2) and returns the auxiliary variable
+    /// carrying the hinge value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative (the reformulation is only exact for
+    /// nonnegative weights).
+    pub fn add_hinge(&mut self, expr: LinExpr, weight: f64) -> VarId {
+        assert!(weight >= 0.0, "hinge weight must be nonnegative");
+        let s = self.add_var(format!("hinge{}", self.vars.len()), 0.0, f64::INFINITY);
+        // s >= expr  ⇔  expr - s <= 0
+        self.constrain_le(expr - LinExpr::from(s), 0.0);
+        self.minimize(LinExpr::term(s, weight));
+        s
+    }
+
+    /// Adds `weight · |expr|` to the objective (SherLock's Mostly-Paired
+    /// terms, Eqs. 6–7) and returns the auxiliary variable carrying `|expr|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative.
+    pub fn add_abs(&mut self, expr: LinExpr, weight: f64) -> VarId {
+        assert!(weight >= 0.0, "abs weight must be nonnegative");
+        let t = self.add_var(format!("abs{}", self.vars.len()), 0.0, f64::INFINITY);
+        self.constrain_le(expr.clone() - LinExpr::from(t), 0.0);
+        self.constrain_le(-expr - LinExpr::from(t), 0.0);
+        self.minimize(LinExpr::term(t, weight));
+        t
+    }
+
+    /// Solves the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::Infeasible`], [`LpError::Unbounded`], or
+    /// [`LpError::IterationLimit`].
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        // Column layout: one column per variable; free variables get a second
+        // (negative-part) column appended after all primary columns.
+        let n = self.vars.len();
+        let mut neg_col = vec![usize::MAX; n];
+        let mut next = n;
+        for (i, v) in self.vars.iter().enumerate() {
+            if v.lo == f64::NEG_INFINITY {
+                neg_col[i] = next;
+                next += 1;
+            }
+        }
+        let num_cols = next;
+
+        // x_i = col_i (+ lo_i) - neg_col_i. Substituting into every row and
+        // the objective shifts the RHS / adds a constant.
+        let mut problem = Problem {
+            num_vars: num_cols,
+            rows: Vec::with_capacity(self.rows.len() + n),
+            objective: vec![0.0; num_cols],
+        };
+
+        let lower = |i: usize| -> f64 {
+            let lo = self.vars[i].lo;
+            if lo == f64::NEG_INFINITY {
+                0.0
+            } else {
+                lo
+            }
+        };
+
+        for (expr, rel, rhs) in &self.rows {
+            let mut coeffs = Vec::new();
+            let mut shift = 0.0;
+            for (v, c) in expr.coefficients() {
+                coeffs.push((v.0, c));
+                if neg_col[v.0] != usize::MAX {
+                    coeffs.push((neg_col[v.0], -c));
+                }
+                shift += c * lower(v.0);
+            }
+            problem.rows.push(Row {
+                coeffs,
+                relation: *rel,
+                rhs: rhs - expr.constant_term() - shift,
+            });
+        }
+
+        // Upper bounds as rows (in shifted coordinates: col <= hi - lo).
+        for (i, v) in self.vars.iter().enumerate() {
+            if v.hi != f64::INFINITY {
+                let mut coeffs = vec![(i, 1.0)];
+                if neg_col[i] != usize::MAX {
+                    coeffs.push((neg_col[i], -1.0));
+                }
+                problem.rows.push(Row {
+                    coeffs,
+                    relation: Relation::Le,
+                    rhs: v.hi - lower(i),
+                });
+            }
+        }
+
+        let mut const_term = self.objective.constant_term();
+        for (v, c) in self.objective.coefficients() {
+            problem.objective[v.0] += c;
+            if neg_col[v.0] != usize::MAX {
+                problem.objective[neg_col[v.0]] -= c;
+            }
+            const_term += c * lower(v.0);
+        }
+
+        let (x, obj) = simplex::solve(&problem)?;
+        let values = (0..n)
+            .map(|i| {
+                let neg = if neg_col[i] == usize::MAX {
+                    0.0
+                } else {
+                    x[neg_col[i]]
+                };
+                x[i] - neg + lower(i)
+            })
+            .collect();
+        Ok(Solution {
+            values,
+            objective: obj + const_term,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_vars_respected() {
+        // min -x - y with x in [0, 0.5], y in [0.25, 1].
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 0.5);
+        let y = m.add_var("y", 0.25, 1.0);
+        m.minimize(-(LinExpr::from(x) + LinExpr::from(y)));
+        let s = m.solve().unwrap();
+        assert!((s.value(x) - 0.5).abs() < 1e-7);
+        assert!((s.value(y) - 1.0).abs() < 1e-7);
+        assert!((s.objective + 1.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn nonzero_lower_bound_shift() {
+        // min x with x >= 3 (as a bound, not a row).
+        let mut m = Model::new();
+        let x = m.add_var("x", 3.0, f64::INFINITY);
+        m.minimize(LinExpr::from(x));
+        let s = m.solve().unwrap();
+        assert!((s.value(x) - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn free_variable_goes_negative() {
+        // min x s.t. x >= -5 as a row, x free.
+        let mut m = Model::new();
+        let x = m.add_var("x", f64::NEG_INFINITY, f64::INFINITY);
+        m.constrain_ge(LinExpr::from(x), -5.0);
+        m.minimize(LinExpr::from(x));
+        let s = m.solve().unwrap();
+        assert!((s.value(x) + 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn hinge_is_max_of_zero_and_expr() {
+        // Hinge over (1 - x) with x forced to 0.25 ⇒ hinge value 0.75.
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 1.0);
+        m.constrain_eq(LinExpr::from(x), 0.25);
+        let h = m.add_hinge(LinExpr::constant(1.0) - LinExpr::from(x), 2.0);
+        let s = m.solve().unwrap();
+        assert!((s.value(h) - 0.75).abs() < 1e-7);
+        assert!((s.objective - 1.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn hinge_clamps_to_zero() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 2.0);
+        m.constrain_eq(LinExpr::from(x), 2.0);
+        let h = m.add_hinge(LinExpr::constant(1.0) - LinExpr::from(x), 1.0);
+        let s = m.solve().unwrap();
+        assert!(s.value(h).abs() < 1e-7);
+        assert!(s.objective.abs() < 1e-7);
+    }
+
+    #[test]
+    fn abs_measures_magnitude_both_ways() {
+        for (target, expected) in [(0.75, 0.25), (0.25, 0.25), (0.5, 0.0)] {
+            let mut m = Model::new();
+            let x = m.add_var("x", 0.0, 1.0);
+            m.constrain_eq(LinExpr::from(x), target);
+            let a = m.add_abs(LinExpr::from(x) - LinExpr::constant(0.5), 1.0);
+            let s = m.solve().unwrap();
+            assert!(
+                (s.value(a) - expected).abs() < 1e-7,
+                "|{target} - 0.5| should be {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn objective_constant_propagates() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 1.0);
+        m.minimize(LinExpr::from(x) + LinExpr::constant(10.0));
+        let s = m.solve().unwrap();
+        assert!((s.objective - 10.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn eval_expression_at_optimum() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 1.0);
+        let y = m.add_var("y", 0.0, 1.0);
+        m.constrain_eq(LinExpr::from(x), 0.5);
+        m.constrain_eq(LinExpr::from(y), 0.25);
+        m.minimize(LinExpr::zero());
+        let s = m.solve().unwrap();
+        let e = LinExpr::from(x) * 2.0 + LinExpr::from(y) * 4.0 + LinExpr::constant(1.0);
+        assert!((s.eval(&e) - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_bounds_vs_rows() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 1.0);
+        m.constrain_ge(LinExpr::from(x), 2.0);
+        assert_eq!(m.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_model() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, f64::INFINITY);
+        m.minimize(-LinExpr::from(x));
+        assert_eq!(m.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty variable domain")]
+    fn rejects_inverted_bounds() {
+        Model::new().add_var("x", 1.0, 0.0);
+    }
+
+    #[test]
+    fn var_names_kept() {
+        let mut m = Model::new();
+        let x = m.add_var("read(f)^acq", 0.0, 1.0);
+        assert_eq!(m.var_name(x), "read(f)^acq");
+        assert_eq!(m.num_vars(), 1);
+    }
+
+    #[test]
+    fn sherlock_shaped_window_lp_picks_shared_candidate() {
+        // Two windows share candidate `s`; window 1 also offers `u1`,
+        // window 2 also offers `u2`. With uniform regularization the cheapest
+        // cover sets s = 1 and leaves u1 = u2 = 0 — the Mostly-Protected +
+        // Synchronizations-are-Rare interplay from the paper, in miniature.
+        let mut m = Model::new();
+        let s = m.add_var("s", 0.0, 1.0);
+        let u1 = m.add_var("u1", 0.0, 1.0);
+        let u2 = m.add_var("u2", 0.0, 1.0);
+        for &u in &[u1, u2] {
+            m.add_hinge(
+                LinExpr::constant(1.0) - LinExpr::from(s) - LinExpr::from(u),
+                1.0,
+            );
+        }
+        for &v in &[s, u1, u2] {
+            m.minimize(LinExpr::term(v, 0.2));
+        }
+        let sol = m.solve().unwrap();
+        assert!(sol.value(s) > 0.99, "shared candidate should be chosen");
+        assert!(sol.value(u1) < 0.01);
+        assert!(sol.value(u2) < 0.01);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the simplex solver: solutions are feasible, never
+//! worse than a known feasible point, and stable under redundant rows.
+
+use proptest::prelude::*;
+use sherlock_lp::simplex::{solve, Problem, Relation, Row};
+
+const EPS: f64 = 1e-6;
+
+#[derive(Debug, Clone)]
+struct RandomLp {
+    problem: Problem,
+    /// A point known to satisfy every row (constraints are generated around
+    /// it), used as an optimality witness.
+    witness: Vec<f64>,
+}
+
+fn coeff() -> impl Strategy<Value = f64> {
+    (-50i32..=50).prop_map(|c| c as f64 / 10.0)
+}
+
+fn random_lp(num_vars: usize, num_rows: usize) -> impl Strategy<Value = RandomLp> {
+    let witness = proptest::collection::vec((0u32..=40).prop_map(|v| v as f64 / 10.0), num_vars);
+    let rows = proptest::collection::vec(
+        (
+            proptest::collection::vec(coeff(), num_vars),
+            0u32..=30,
+            prop_oneof![Just(Relation::Le), Just(Relation::Ge)],
+        ),
+        num_rows,
+    );
+    let objective = proptest::collection::vec(coeff().prop_map(f64::abs), num_vars);
+    (witness, rows, objective).prop_map(move |(witness, rows, objective)| {
+        let rows = rows
+            .into_iter()
+            .map(|(coeffs, slack, relation)| {
+                let at_witness: f64 = coeffs
+                    .iter()
+                    .zip(&witness)
+                    .map(|(c, x)| c * x)
+                    .sum();
+                let slack = slack as f64 / 10.0;
+                let rhs = match relation {
+                    Relation::Le => at_witness + slack,
+                    Relation::Ge => at_witness - slack,
+                    Relation::Eq => at_witness,
+                };
+                Row {
+                    coeffs: coeffs.iter().copied().enumerate().collect(),
+                    relation,
+                    rhs,
+                }
+            })
+            .collect();
+        RandomLp {
+            problem: Problem {
+                num_vars,
+                rows,
+                objective,
+            },
+            witness,
+        }
+    })
+}
+
+fn feasible(p: &Problem, x: &[f64]) -> bool {
+    if x.iter().any(|&v| v < -EPS) {
+        return false;
+    }
+    p.rows.iter().all(|row| {
+        let lhs: f64 = row.coeffs.iter().map(|&(j, c)| c * x[j]).sum();
+        match row.relation {
+            Relation::Le => lhs <= row.rhs + EPS,
+            Relation::Ge => lhs >= row.rhs - EPS,
+            Relation::Eq => (lhs - row.rhs).abs() <= EPS,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// With nonnegative objective coefficients the LP is bounded, so the
+    /// solver must return an optimum that is feasible and at least as good
+    /// as the construction witness.
+    #[test]
+    fn solution_is_feasible_and_beats_witness(lp in (1usize..=4, 0usize..=5)
+        .prop_flat_map(|(v, r)| random_lp(v, r)))
+    {
+        let (x, obj) = solve(&lp.problem).expect("constructed LPs are feasible and bounded");
+        prop_assert!(feasible(&lp.problem, &x), "infeasible solution {x:?}");
+        let witness_obj: f64 = lp
+            .problem
+            .objective
+            .iter()
+            .zip(&lp.witness)
+            .map(|(c, x)| c * x)
+            .sum();
+        prop_assert!(obj <= witness_obj + EPS, "obj {obj} worse than witness {witness_obj}");
+        let recomputed: f64 = lp
+            .problem
+            .objective
+            .iter()
+            .zip(&x)
+            .map(|(c, x)| c * x)
+            .sum();
+        prop_assert!((obj - recomputed).abs() < 1e-5);
+    }
+
+    /// Duplicating an existing row never changes the optimal objective.
+    #[test]
+    fn redundant_rows_do_not_change_optimum(lp in (1usize..=3, 1usize..=4)
+        .prop_flat_map(|(v, r)| random_lp(v, r)))
+    {
+        let (_, obj) = solve(&lp.problem).expect("solvable");
+        let mut doubled = lp.problem.clone();
+        doubled.rows.push(doubled.rows[0].clone());
+        let (_, obj2) = solve(&doubled).expect("still solvable");
+        prop_assert!((obj - obj2).abs() < 1e-5, "{obj} vs {obj2}");
+    }
+
+    /// Scaling the objective scales the optimum.
+    #[test]
+    fn objective_scaling(lp in (1usize..=3, 0usize..=4)
+        .prop_flat_map(|(v, r)| random_lp(v, r)), k in 1u32..=5)
+    {
+        let (_, obj) = solve(&lp.problem).expect("solvable");
+        let mut scaled = lp.problem.clone();
+        for c in &mut scaled.objective {
+            *c *= k as f64;
+        }
+        let (_, obj2) = solve(&scaled).expect("still solvable");
+        prop_assert!((obj * k as f64 - obj2).abs() < 1e-4, "{obj}*{k} vs {obj2}");
+    }
+}

@@ -1,0 +1,224 @@
+//! The FastTrack race-detection algorithm (Flanagan & Freund, PLDI 2009)
+//! over SherLock-rs traces.
+//!
+//! The detector is parameterised by a [`SyncSpec`]: every instance of a
+//! release op publishes the thread's clock into the *channel* of the object
+//! it acts on, and every instance of an acquire op joins that channel — the
+//! same treatment a lock object receives in classic FastTrack, generalized to
+//! arbitrary inferred synchronizations. Accesses named by the spec are
+//! treated as synchronization (volatile semantics) and are exempt from race
+//! checking.
+
+use std::collections::HashMap;
+
+use sherlock_trace::{AccessClass, OpId, OpRef, ThreadId, Time, Trace};
+
+use crate::spec::SyncSpec;
+use crate::vc::{Epoch, VectorClock};
+
+/// The flavour of a detected race.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RaceKind {
+    /// Two unordered writes.
+    WriteWrite,
+    /// A write unordered with a later read.
+    WriteRead,
+    /// A read unordered with a later write.
+    ReadWrite,
+}
+
+/// One race report.
+#[derive(Clone, Debug)]
+pub struct Race {
+    /// Human-readable location (`Class::field@object` or `Class@object`).
+    pub location: String,
+    /// Static op of the earlier access (`None` when the prior access
+    /// predates tracking, which cannot happen for reported races).
+    pub prior_op: Option<OpId>,
+    /// Thread of the earlier access.
+    pub prior_thread: ThreadId,
+    /// Static op of the later access.
+    pub current_op: OpId,
+    /// Thread of the later access.
+    pub current_thread: ThreadId,
+    /// Virtual time of the later access.
+    pub time: Time,
+    /// Race flavour.
+    pub kind: RaceKind,
+}
+
+impl Race {
+    /// Identity used to deduplicate reports across runs: the static location
+    /// name (without the object id) plus the static op pair.
+    pub fn static_key(&self) -> (String, Option<OpId>, OpId) {
+        let loc = self
+            .location
+            .split('@')
+            .next()
+            .unwrap_or(&self.location)
+            .to_string();
+        (loc, self.prior_op, self.current_op)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum ReadState {
+    Epoch(Epoch, Option<OpId>),
+    Shared(VectorClock, Option<OpId>),
+}
+
+#[derive(Clone, Debug)]
+struct VarState {
+    write: Epoch,
+    write_op: Option<OpId>,
+    read: ReadState,
+}
+
+impl Default for VarState {
+    fn default() -> Self {
+        VarState {
+            write: Epoch::NONE,
+            write_op: None,
+            read: ReadState::Epoch(Epoch::NONE, None),
+        }
+    }
+}
+
+/// Runs FastTrack over a trace under the given synchronization spec,
+/// returning every race report in trace order. The detector continues past
+/// the first report best-effort, like the original; the paper's evaluation
+/// counts only the first report per run ([`first_race`]).
+pub fn detect(trace: &Trace, spec: &SyncSpec) -> Vec<Race> {
+    let mut threads: HashMap<u32, VectorClock> = HashMap::new();
+    let mut channels: HashMap<u64, VectorClock> = HashMap::new();
+    let mut vars: HashMap<(u64, String), VarState> = HashMap::new();
+    let mut loc_cache: HashMap<OpId, Option<String>> = HashMap::new();
+    let mut races: Vec<Race> = Vec::new();
+
+    fn thread_vc<'a>(threads: &'a mut HashMap<u32, VectorClock>, t: u32) -> &'a mut VectorClock {
+        threads.entry(t).or_insert_with(|| {
+            let mut vc = VectorClock::new();
+            vc.set(t, 1);
+            vc
+        })
+    }
+
+    for ev in trace.events() {
+        let t = ev.thread.0;
+        let is_acquire = spec.is_acquire(ev.op);
+        let is_release = spec.is_release(ev.op);
+
+        if is_acquire {
+            if let Some(ch) = channels.get(&ev.object.0).cloned() {
+                thread_vc(&mut threads, t).join(&ch);
+            }
+        }
+        if is_release {
+            let vc = thread_vc(&mut threads, t).clone();
+            channels
+                .entry(ev.object.0)
+                .or_insert_with(VectorClock::new)
+                .join(&vc);
+            thread_vc(&mut threads, t).tick(t);
+        }
+
+        if is_acquire || is_release || ev.access == AccessClass::None {
+            continue;
+        }
+
+        let loc = loc_cache
+            .entry(ev.op)
+            .or_insert_with(|| match ev.op.resolve() {
+                OpRef::FieldRead { class, field } | OpRef::FieldWrite { class, field } => {
+                    Some(format!("{class}::{field}"))
+                }
+                // Interlocked operations are hardware-atomic: by the C#
+                // memory model they cannot data-race, although they induce
+                // no happens-before for surrounding accesses.
+                OpRef::MethodBegin { class, .. } if class == "System.Threading.Interlocked" => {
+                    None
+                }
+                OpRef::MethodBegin { class, .. } => Some(class),
+                OpRef::MethodEnd { .. } => None,
+            })
+            .clone();
+        let Some(loc) = loc else { continue };
+
+        let vc = thread_vc(&mut threads, t).clone();
+        let epoch = Epoch::new(t, vc.get(t));
+        let state = vars.entry((ev.object.0, loc.clone())).or_default();
+        let location = format!("{}@{}", loc, ev.object.0);
+
+        match ev.access {
+            AccessClass::Read => {
+                if !state.write.le(&vc) {
+                    races.push(Race {
+                        location: location.clone(),
+                        prior_op: state.write_op,
+                        prior_thread: ThreadId(state.write.tid),
+                        current_op: ev.op,
+                        current_thread: ev.thread,
+                        time: ev.time,
+                        kind: RaceKind::WriteRead,
+                    });
+                }
+                match &mut state.read {
+                    ReadState::Epoch(e, op) => {
+                        if e.tid == t || e.le(&vc) {
+                            *e = epoch;
+                            *op = Some(ev.op);
+                        } else {
+                            let mut shared = VectorClock::new();
+                            shared.set(e.tid, e.clock);
+                            shared.set(t, epoch.clock);
+                            state.read = ReadState::Shared(shared, Some(ev.op));
+                        }
+                    }
+                    ReadState::Shared(svc, op) => {
+                        svc.set(t, epoch.clock);
+                        *op = Some(ev.op);
+                    }
+                }
+            }
+            AccessClass::Write => {
+                if !state.write.le(&vc) {
+                    races.push(Race {
+                        location: location.clone(),
+                        prior_op: state.write_op,
+                        prior_thread: ThreadId(state.write.tid),
+                        current_op: ev.op,
+                        current_thread: ev.thread,
+                        time: ev.time,
+                        kind: RaceKind::WriteWrite,
+                    });
+                }
+                let read_race = match &state.read {
+                    ReadState::Epoch(e, op) => (!e.le(&vc)).then(|| (*op, e.tid)),
+                    ReadState::Shared(svc, op) => (!svc.le(&vc)).then(|| (*op, t)),
+                };
+                if let Some((op, tid)) = read_race {
+                    races.push(Race {
+                        location,
+                        prior_op: op,
+                        prior_thread: ThreadId(tid),
+                        current_op: ev.op,
+                        current_thread: ev.thread,
+                        time: ev.time,
+                        kind: RaceKind::ReadWrite,
+                    });
+                }
+                state.write = epoch;
+                state.write_op = Some(ev.op);
+                state.read = ReadState::Epoch(Epoch::NONE, None);
+            }
+            AccessClass::None => unreachable!("filtered above"),
+        }
+    }
+    races
+}
+
+/// The first race of a run, if any (the paper's §5.4 counting rule:
+/// FastTrack's guarantees "only hold till the first data race report").
+pub fn first_race(trace: &Trace, spec: &SyncSpec) -> Option<Race> {
+    detect(trace, spec).into_iter().next()
+}

@@ -1,0 +1,37 @@
+//! A FastTrack-style dynamic data-race detector over SherLock-rs traces.
+//!
+//! The paper evaluates inferred synchronizations by plugging them into a
+//! reimplementation of FastTrack (§5.4), comparing `Manual_dr` (a manually
+//! annotated synchronization list) against `SherLock_dr` (SherLock's inferred
+//! list). This crate provides that detector:
+//!
+//! * [`vc`] — vector clocks and epochs;
+//! * [`SyncSpec`] — which operations induce happens-before edges, with the
+//!   [`SyncSpec::manual`] baseline and [`SyncSpec::from_report`] for
+//!   inference output;
+//! * [`detect`]/[`first_race`] — the detector itself.
+//!
+//! # Example
+//!
+//! ```
+//! use sherlock_racer::{detect, SyncSpec};
+//! use sherlock_sim::prims::TracedVar;
+//! use sherlock_sim::{Sim, SimConfig};
+//!
+//! let report = Sim::new(SimConfig::with_seed(1)).run(|| {
+//!     let v = TracedVar::new("Racy", "counter", 0u32);
+//!     let v2 = v.clone();
+//!     let h = sherlock_sim::api::spawn("w", move || { v2.set(1); });
+//!     v.set(2);
+//!     h.join();
+//! });
+//! let races = detect(&report.trace, &SyncSpec::empty());
+//! assert!(!races.is_empty());
+//! ```
+
+mod fasttrack;
+mod spec;
+pub mod vc;
+
+pub use fasttrack::{detect, first_race, Race, RaceKind};
+pub use spec::SyncSpec;

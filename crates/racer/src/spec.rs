@@ -1,0 +1,187 @@
+//! Synchronization specifications: which trace operations induce
+//! happens-before edges.
+
+use std::collections::BTreeSet;
+
+use sherlock_core::{InferenceReport, Role};
+use sherlock_trace::{OpId, OpRef};
+
+/// The set of operations a race detector treats as synchronizations.
+///
+/// The paper compares two FastTrack variants (§5.4): `Manual_dr`, "equipped
+/// with a list of manually identified synchronizations", and `SherLock_dr`,
+/// which "only uses the synchronizations inferred by SherLock".
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SyncSpec {
+    /// Operations whose instances acquire (join the channel clock of the
+    /// object they act on).
+    pub acquires: BTreeSet<OpId>,
+    /// Operations whose instances release (publish into the channel clock).
+    pub releases: BTreeSet<OpId>,
+}
+
+impl SyncSpec {
+    /// An empty specification (every conflicting pair races).
+    pub fn empty() -> Self {
+        SyncSpec::default()
+    }
+
+    /// The baseline manual annotation set, mirroring the paper's `Manual_dr`:
+    /// the classic threading APIs a careful annotator transcribing FastTrack's
+    /// Java list would cover — locks, fork/join, wait-notify (events,
+    /// semaphores), and reader-writer locks. It deliberately does **not**
+    /// know about tasks, thread pools, continuations, dataflow blocks,
+    /// `GetOrAdd` delegates, finalizers, static-constructor semantics, or
+    /// test-framework ordering — "the numerous ways of creating and
+    /// executing tasks in C#" behind most of Manual_dr's false positives.
+    pub fn manual() -> Self {
+        let mut s = SyncSpec::default();
+        let monitor = "System.Threading.Monitor";
+        s.acq_lib_end(monitor, "Enter");
+        s.rel_lib_begin(monitor, "Exit");
+        let thread = "System.Threading.Thread";
+        s.rel_lib_begin(thread, "Start");
+        s.acq_lib_end(thread, "Join");
+        let ewh = "System.Threading.EventWaitHandle";
+        s.rel_lib_begin(ewh, "Set");
+        let wh = "System.Threading.WaitHandle";
+        s.acq_lib_end(wh, "WaitOne");
+        s.acq_lib_end(wh, "WaitAll");
+        let sem = "System.Threading.Semaphore";
+        s.rel_lib_begin(sem, "Release");
+        s.acq_lib_end(sem, "WaitOne");
+        let rw = "System.Threading.ReaderWriterLock";
+        s.acq_lib_end(rw, "AcquireReaderLock");
+        s.acq_lib_end(rw, "AcquireWriterLock");
+        s.rel_lib_begin(rw, "ReleaseReaderLock");
+        s.rel_lib_begin(rw, "ReleaseWriterLock");
+        s.rel_lib_begin(rw, "DowngradeFromWriterLock");
+        s.acq_lib_end(rw, "UpgradeToWriterLock");
+        s
+    }
+
+    /// Builds the spec from SherLock's inference (`SherLock_dr`).
+    pub fn from_report(report: &InferenceReport) -> Self {
+        let mut s = SyncSpec::default();
+        for i in &report.inferred {
+            match i.role {
+                Role::Acquire => {
+                    s.acquires.insert(i.op);
+                }
+                Role::Release => {
+                    s.releases.insert(i.op);
+                }
+            }
+        }
+        s
+    }
+
+    /// Annotates a field as volatile: its writes release and its reads
+    /// acquire (the paper's Manual_dr "supported volatile variables").
+    pub fn with_volatile(mut self, class: &str, field: &str) -> Self {
+        self.releases.insert(OpRef::field_write(class, field).intern());
+        self.acquires.insert(OpRef::field_read(class, field).intern());
+        self
+    }
+
+    /// Annotates a thread delegate (visible to an annotator at the
+    /// `new Thread(...)` site): its entry acquires the fork edge from
+    /// `Thread.Start` and its exit releases the join edge consumed by
+    /// `Thread.Join`.
+    pub fn with_delegate(mut self, class: &str, method: &str) -> Self {
+        self.acquires.insert(OpRef::app_begin(class, method).intern());
+        self.releases.insert(OpRef::app_end(class, method).intern());
+        self
+    }
+
+    /// Adds an arbitrary acquire op.
+    pub fn with_acquire(mut self, op: OpId) -> Self {
+        self.acquires.insert(op);
+        self
+    }
+
+    /// Adds an arbitrary release op.
+    pub fn with_release(mut self, op: OpId) -> Self {
+        self.releases.insert(op);
+        self
+    }
+
+    /// Whether `op` acquires under this spec.
+    pub fn is_acquire(&self, op: OpId) -> bool {
+        self.acquires.contains(&op)
+    }
+
+    /// Whether `op` releases under this spec.
+    pub fn is_release(&self, op: OpId) -> bool {
+        self.releases.contains(&op)
+    }
+
+    /// Total annotated operations.
+    pub fn len(&self) -> usize {
+        self.acquires.len() + self.releases.len()
+    }
+
+    /// Whether the spec is empty.
+    pub fn is_empty(&self) -> bool {
+        self.acquires.is_empty() && self.releases.is_empty()
+    }
+
+    fn acq_lib_end(&mut self, class: &str, method: &str) {
+        self.acquires.insert(OpRef::lib_end(class, method).intern());
+    }
+
+    fn rel_lib_begin(&mut self, class: &str, method: &str) {
+        self.releases.insert(OpRef::lib_begin(class, method).intern());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sherlock_core::InferredOp;
+
+    #[test]
+    fn manual_covers_classic_apis_only() {
+        let m = SyncSpec::manual();
+        assert!(m.is_acquire(OpRef::lib_end("System.Threading.Monitor", "Enter").intern()));
+        assert!(m.is_release(OpRef::lib_begin("System.Threading.Monitor", "Exit").intern()));
+        assert!(m.is_release(OpRef::lib_begin("System.Threading.Thread", "Start").intern()));
+        // The task-parallel library is exactly what Manual_dr misses.
+        assert!(!m.is_release(
+            OpRef::lib_begin("System.Threading.Tasks.Task", "Run").intern()
+        ));
+        assert!(!m.is_release(
+            OpRef::lib_begin("System.Threading.ThreadPool", "QueueUserWorkItem").intern()
+        ));
+    }
+
+    #[test]
+    fn volatile_and_delegate_annotations() {
+        let s = SyncSpec::manual()
+            .with_volatile("Buffer", "endOfFile")
+            .with_delegate("Worker", "Run");
+        assert!(s.is_release(OpRef::field_write("Buffer", "endOfFile").intern()));
+        assert!(s.is_acquire(OpRef::field_read("Buffer", "endOfFile").intern()));
+        assert!(s.is_acquire(OpRef::app_begin("Worker", "Run").intern()));
+    }
+
+    #[test]
+    fn from_report_maps_roles() {
+        let acq = OpRef::app_begin("R", "m").intern();
+        let rel = OpRef::app_end("R", "m").intern();
+        let report = InferenceReport {
+            inferred: vec![
+                InferredOp { op: acq, role: Role::Acquire, probability: 1.0 },
+                InferredOp { op: rel, role: Role::Release, probability: 1.0 },
+            ],
+            ..Default::default()
+        };
+        let s = SyncSpec::from_report(&report);
+        assert!(s.is_acquire(acq));
+        assert!(s.is_release(rel));
+        assert!(!s.is_acquire(rel));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert!(SyncSpec::empty().is_empty());
+    }
+}

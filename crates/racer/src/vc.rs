@@ -1,0 +1,173 @@
+//! Vector clocks and epochs, after FastTrack (Flanagan & Freund, PLDI 2009).
+
+use std::fmt;
+
+/// A vector clock: one logical clock per thread, missing entries are zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    clocks: Vec<u32>,
+}
+
+impl VectorClock {
+    /// The all-zero clock.
+    pub fn new() -> Self {
+        VectorClock::default()
+    }
+
+    /// The clock of thread `t`.
+    pub fn get(&self, t: u32) -> u32 {
+        self.clocks.get(t as usize).copied().unwrap_or(0)
+    }
+
+    /// Sets thread `t`'s component.
+    pub fn set(&mut self, t: u32, v: u32) {
+        let idx = t as usize;
+        if idx >= self.clocks.len() {
+            self.clocks.resize(idx + 1, 0);
+        }
+        self.clocks[idx] = v;
+    }
+
+    /// Increments thread `t`'s component, returning the new value.
+    pub fn tick(&mut self, t: u32) -> u32 {
+        let v = self.get(t) + 1;
+        self.set(t, v);
+        v
+    }
+
+    /// Pointwise maximum (lattice join) with `other`.
+    pub fn join(&mut self, other: &VectorClock) {
+        if other.clocks.len() > self.clocks.len() {
+            self.clocks.resize(other.clocks.len(), 0);
+        }
+        for (a, &b) in self.clocks.iter_mut().zip(&other.clocks) {
+            *a = (*a).max(b);
+        }
+    }
+
+    /// Whether `self ⪯ other` pointwise (happens-before or equal).
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.clocks
+            .iter()
+            .enumerate()
+            .all(|(t, &v)| v <= other.get(t as u32))
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.clocks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// A FastTrack epoch `c@t`: one thread's clock value, the compact
+/// representation for non-shared accesses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Epoch {
+    /// Owning thread.
+    pub tid: u32,
+    /// That thread's clock at the access.
+    pub clock: u32,
+}
+
+impl Epoch {
+    /// The `0@0` bottom epoch (no prior access).
+    pub const NONE: Epoch = Epoch { tid: 0, clock: 0 };
+
+    /// Builds `c@t`.
+    pub fn new(tid: u32, clock: u32) -> Self {
+        Epoch { tid, clock }
+    }
+
+    /// Whether this epoch happens-before-or-equals the clock `vc`
+    /// (`c ≤ vc[t]`).
+    pub fn le(&self, vc: &VectorClock) -> bool {
+        self.clock <= vc.get(self.tid)
+    }
+
+    /// Whether this is the bottom epoch.
+    pub fn is_none(&self) -> bool {
+        self.clock == 0
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.clock, self.tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.set(0, 3);
+        a.set(2, 1);
+        let mut b = VectorClock::new();
+        b.set(0, 1);
+        b.set(1, 5);
+        a.join(&b);
+        assert_eq!(a.get(0), 3);
+        assert_eq!(a.get(1), 5);
+        assert_eq!(a.get(2), 1);
+    }
+
+    #[test]
+    fn le_is_pointwise() {
+        let mut a = VectorClock::new();
+        a.set(0, 1);
+        let mut b = VectorClock::new();
+        b.set(0, 2);
+        b.set(1, 1);
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        assert!(a.le(&a));
+    }
+
+    #[test]
+    fn le_handles_missing_entries() {
+        let mut a = VectorClock::new();
+        a.set(5, 1);
+        let b = VectorClock::new();
+        assert!(b.le(&a));
+        assert!(!a.le(&b));
+    }
+
+    #[test]
+    fn tick_increments() {
+        let mut a = VectorClock::new();
+        assert_eq!(a.tick(3), 1);
+        assert_eq!(a.tick(3), 2);
+        assert_eq!(a.get(3), 2);
+        assert_eq!(a.get(0), 0);
+    }
+
+    #[test]
+    fn epoch_le_checks_owner_component() {
+        let e = Epoch::new(1, 4);
+        let mut vc = VectorClock::new();
+        vc.set(1, 4);
+        assert!(e.le(&vc));
+        vc.set(1, 3);
+        assert!(!e.le(&vc));
+    }
+
+    #[test]
+    fn bottom_epoch_precedes_everything() {
+        assert!(Epoch::NONE.le(&VectorClock::new()));
+        assert!(Epoch::NONE.is_none());
+        assert!(!Epoch::new(0, 1).is_none());
+    }
+
+    // Lattice laws exercised by proptest in tests/proptest_vc.rs.
+}

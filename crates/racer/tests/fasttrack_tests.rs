@@ -1,0 +1,235 @@
+//! FastTrack behaviour on simulated workloads under various sync specs.
+
+use sherlock_racer::{detect, first_race, RaceKind, SyncSpec};
+use sherlock_sim::prims::{EventWaitHandle, Monitor, SimThread, Task, TracedVar};
+use sherlock_sim::{api, Sim, SimConfig};
+use sherlock_trace::{OpRef, Time, Trace};
+
+fn run(seed: u64, f: impl FnOnce() + Send + 'static) -> Trace {
+    let r = Sim::new(SimConfig::with_seed(seed)).run(f);
+    r.trace
+}
+
+#[test]
+fn unsynchronized_writes_race() {
+    let trace = run(1, || {
+        let v = TracedVar::new("FT", "ww", 0u32);
+        let v2 = v.clone();
+        let h = api::spawn("w", move || v2.set(1));
+        v.set(2);
+        h.join();
+    });
+    let races = detect(&trace, &SyncSpec::empty());
+    assert!(!races.is_empty());
+    assert!(races.iter().any(|r| r.kind == RaceKind::WriteWrite));
+    assert!(races[0].location.starts_with("FT::ww@"));
+}
+
+#[test]
+fn monitor_protection_removes_races_under_manual_spec() {
+    let body = || {
+        let m = Monitor::new();
+        let v = TracedVar::new("FT2", "x", 0u32);
+        let (m2, v2) = (m.clone(), v.clone());
+        let t = SimThread::start("FT2", "Worker", move || {
+            m2.with_lock(|| {
+                v2.update(|x| x + 1);
+            });
+        });
+        m.with_lock(|| {
+            v.update(|x| x + 1);
+        });
+        t.join();
+    };
+    let trace = run(2, body);
+    assert!(detect(&trace, &SyncSpec::manual()).is_empty());
+    // With no spec at all, the same trace races.
+    assert!(!detect(&trace, &SyncSpec::empty()).is_empty());
+}
+
+#[test]
+fn fork_edge_orders_parent_writes_before_child() {
+    let trace = run(3, || {
+        let v = TracedVar::new("FT3", "init", 0u32);
+        v.set(42);
+        let v2 = v.clone();
+        let t = SimThread::start("FT3", "Child", move || {
+            assert_eq!(v2.get(), 42);
+        });
+        t.join();
+    });
+    // Manual spec knows Thread::Start releases but needs the delegate
+    // acquire to complete the edge.
+    let with_delegate = SyncSpec::manual().with_delegate("FT3", "Child");
+    assert!(detect(&trace, &with_delegate).is_empty());
+    let without = SyncSpec::manual();
+    assert!(!detect(&trace, &without).is_empty());
+}
+
+#[test]
+fn join_edge_orders_child_writes_before_parent_read() {
+    let trace = run(4, || {
+        let v = TracedVar::new("FT4", "result", 0u32);
+        let v2 = v.clone();
+        let t = SimThread::start("FT4", "Producer", move || v2.set(7));
+        t.join();
+        assert_eq!(v.get(), 7);
+    });
+    let spec = SyncSpec::manual().with_delegate("FT4", "Producer");
+    assert!(detect(&trace, &spec).is_empty());
+    // Without the delegate-exit release there is no join edge.
+    assert!(!detect(&trace, &SyncSpec::manual()).is_empty());
+}
+
+#[test]
+fn volatile_annotation_suppresses_flag_races_and_orders_payload() {
+    let body = || {
+        let flag = TracedVar::new("FT5", "ready", false);
+        let data = TracedVar::new("FT5", "payload", 0u32);
+        let (f2, d2) = (flag.clone(), data.clone());
+        let h = api::spawn("consumer", move || {
+            f2.spin_until(Time::from_micros(100), |v| v);
+            assert_eq!(d2.get(), 9);
+        });
+        data.set(9);
+        flag.set(true);
+        h.join();
+    };
+    let trace = run(5, body);
+    let annotated = SyncSpec::manual().with_volatile("FT5", "ready");
+    assert!(detect(&trace, &annotated).is_empty());
+    // Without the volatile annotation both the flag and the payload race.
+    let races = detect(&trace, &SyncSpec::manual());
+    assert!(races.iter().any(|r| r.location.starts_with("FT5::ready")));
+    assert!(races.iter().any(|r| r.location.starts_with("FT5::payload")));
+}
+
+#[test]
+fn manual_spec_misses_task_ordering() {
+    // Manual_dr's signature failure (paper §5.4): tasks synchronize via the
+    // TPL, which the manual list does not cover, producing a false race.
+    let body = || {
+        let v = TracedVar::new("FT6", "taskdata", 0u32);
+        let v2 = v.clone();
+        let t = Task::run("FT6", "Produce", move || v2.set(3));
+        t.wait();
+        assert_eq!(v.get(), 3);
+    };
+    let trace = run(6, body);
+    assert!(!detect(&trace, &SyncSpec::manual()).is_empty());
+    // A spec that knows Task::Run releases and Task::Wait's return acquires
+    // (what SherLock infers) eliminates the false race.
+    let informed = SyncSpec::manual()
+        .with_release(OpRef::lib_begin("System.Threading.Tasks.Task", "Run").intern())
+        .with_delegate("FT6", "Produce")
+        .with_release(OpRef::app_end("FT6", "Produce").intern())
+        .with_acquire(OpRef::lib_end("System.Threading.Tasks.Task", "Wait").intern());
+    assert!(detect(&trace, &informed).is_empty());
+}
+
+#[test]
+fn event_wait_handle_edges_under_manual_spec() {
+    let trace = run(7, || {
+        let ev = EventWaitHandle::new(false);
+        let v = TracedVar::new("FT7", "guarded", 0u32);
+        let (e2, v2) = (ev.clone(), v.clone());
+        let h = api::spawn("waiter", move || {
+            e2.wait_one();
+            assert_eq!(v2.get(), 1);
+        });
+        v.set(1);
+        ev.set();
+        h.join();
+    });
+    assert!(detect(&trace, &SyncSpec::manual()).is_empty());
+}
+
+#[test]
+fn first_race_returns_earliest() {
+    let trace = run(8, || {
+        let a = TracedVar::new("FT8", "a", 0u32);
+        let b = TracedVar::new("FT8", "b", 0u32);
+        let (a2, b2) = (a.clone(), b.clone());
+        let h = api::spawn("w", move || {
+            a2.set(1);
+            b2.set(1);
+        });
+        a.set(2);
+        b.set(2);
+        h.join();
+    });
+    let all = detect(&trace, &SyncSpec::empty());
+    let first = first_race(&trace, &SyncSpec::empty()).unwrap();
+    assert!(all.len() >= 2);
+    assert_eq!(first.time, all[0].time);
+    assert!(all.windows(2).all(|w| w[0].time <= w[1].time));
+}
+
+#[test]
+fn read_write_race_kind_detected() {
+    let trace = run(9, || {
+        let v = TracedVar::new("FT9", "rw", 0u32);
+        let v2 = v.clone();
+        let h = api::spawn("reader", move || {
+            v2.get();
+        });
+        api::sleep(Time::from_millis(1));
+        v.set(1);
+        h.join();
+    });
+    let races = detect(&trace, &SyncSpec::empty());
+    assert!(races
+        .iter()
+        .any(|r| r.kind == RaceKind::ReadWrite || r.kind == RaceKind::WriteRead));
+}
+
+#[test]
+fn shared_read_state_catches_later_write() {
+    let trace = run(10, || {
+        let v = TracedVar::new("FT10", "shared", 0u32);
+        let mut hs = Vec::new();
+        for i in 0..3 {
+            let v2 = v.clone();
+            hs.push(api::spawn(&format!("r{i}"), move || {
+                v2.get();
+            }));
+        }
+        for h in &hs {
+            h.join();
+        }
+        // Writer unordered with the readers (join is untraced => no HB under
+        // the empty spec).
+        v.set(1);
+    });
+    let races = detect(&trace, &SyncSpec::empty());
+    assert!(races.iter().any(|r| r.kind == RaceKind::ReadWrite));
+}
+
+#[test]
+fn static_key_ignores_object_identity() {
+    let trace = run(11, || {
+        let v = TracedVar::new("FT11", "k", 0u32);
+        let v2 = v.clone();
+        let h = api::spawn("w", move || v2.set(1));
+        v.set(2);
+        h.join();
+    });
+    let races = detect(&trace, &SyncSpec::empty());
+    let (loc, _, _) = races[0].static_key();
+    assert_eq!(loc, "FT11::k");
+}
+
+#[test]
+fn sync_spec_accesses_are_exempt_from_checking() {
+    // The flag itself is racy, but once annotated volatile it is
+    // synchronization, not data.
+    let trace = run(12, || {
+        let flag = TracedVar::new("FT12", "flag", false);
+        let f2 = flag.clone();
+        let h = api::spawn("w", move || f2.set(true));
+        flag.get();
+        h.join();
+    });
+    let spec = SyncSpec::empty().with_volatile("FT12", "flag");
+    assert!(detect(&trace, &spec).is_empty());
+}

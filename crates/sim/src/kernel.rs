@@ -1,0 +1,643 @@
+//! The cooperative virtual-time scheduler.
+//!
+//! Every simulated thread is an OS thread, but exactly one executes at any
+//! instant: the scheduler hands a single "go" token to one runnable thread,
+//! which runs until its next traced operation (a *yield point*) and hands the
+//! token back. A seeded RNG picks the next runnable thread, so a run is a
+//! deterministic function of `(workload, SimConfig)` — the property the
+//! paper's wall-clock executions lack and the reason inference results here
+//! are exactly reproducible.
+
+use std::cell::RefCell;
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sherlock_trace::{AccessClass, OpRef, ThreadId, Time, Trace, TraceBuilder};
+
+use crate::config::SimConfig;
+
+/// Panic payload used to unwind simulated threads when a run is aborted.
+struct AbortToken;
+
+enum GoMsg {
+    Run,
+    Abort,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ThreadState {
+    Runnable,
+    Blocked,
+    Sleeping(Time),
+    Finished,
+}
+
+struct ThreadSlot {
+    name: String,
+    state: ThreadState,
+    daemon: bool,
+    go: Sender<GoMsg>,
+    join_waiters: Vec<u32>,
+    os_handle: Option<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct KState {
+    pub(crate) config: SimConfig,
+    clock: Time,
+    rng: StdRng,
+    trace: TraceBuilder,
+    threads: Vec<ThreadSlot>,
+    next_object: u64,
+    steps: u64,
+    panics: Vec<PanicReport>,
+    live_nondaemon: usize,
+}
+
+pub(crate) struct Kernel {
+    pub(crate) state: Mutex<KState>,
+    to_sched: Sender<u32>,
+}
+
+struct Ctx {
+    kernel: Arc<Kernel>,
+    tid: u32,
+    go_rx: Receiver<GoMsg>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Rc<Ctx>>> = const { RefCell::new(None) };
+}
+
+fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> R {
+    CURRENT.with(|c| {
+        let b = c.borrow();
+        let ctx = b
+            .as_ref()
+            .expect("sherlock-sim operation used outside Sim::run");
+        f(ctx)
+    })
+}
+
+impl Ctx {
+    /// Hands the token back to the scheduler and parks until re-scheduled.
+    fn yield_to_scheduler(&self) {
+        self.kernel
+            .to_sched
+            .send(self.tid)
+            .expect("scheduler channel closed");
+        match self.go_rx.recv() {
+            Ok(GoMsg::Run) => {}
+            Ok(GoMsg::Abort) | Err(_) => resume_unwind(Box::new(AbortToken)),
+        }
+    }
+}
+
+/// A panic observed on a simulated thread (e.g. a failing test assertion —
+/// the paper notes two seeded data races manifest exactly this way, §5.5).
+#[derive(Clone, Debug)]
+pub struct PanicReport {
+    /// Thread the panic occurred on.
+    pub thread: ThreadId,
+    /// Thread name at spawn time.
+    pub thread_name: String,
+    /// Rendered panic message.
+    pub message: String,
+}
+
+/// How a simulated run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// All non-daemon threads ran to completion.
+    Completed,
+    /// Every non-daemon thread was blocked with nothing left to wake it.
+    Deadlock(Vec<ThreadId>),
+    /// The run exceeded [`SimConfig::max_steps`].
+    StepLimit,
+}
+
+/// The result of one simulated run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// The execution trace the Observer collected.
+    pub trace: Trace,
+    /// Virtual time at the end of the run.
+    pub end_time: Time,
+    /// Scheduled steps executed.
+    pub steps: u64,
+    /// Panics caught on simulated threads.
+    pub panics: Vec<PanicReport>,
+    /// How the run ended.
+    pub outcome: Outcome,
+}
+
+impl RunReport {
+    /// Whether the run completed with no panics.
+    pub fn is_clean(&self) -> bool {
+        self.outcome == Outcome::Completed && self.panics.is_empty()
+    }
+}
+
+/// A deterministic simulated execution.
+///
+/// ```
+/// use sherlock_sim::{Sim, SimConfig, api};
+/// use sherlock_trace::Time;
+///
+/// let report = Sim::new(SimConfig::with_seed(7)).run(|| {
+///     let h = api::spawn("child", || api::sleep(Time::from_millis(1)));
+///     h.join();
+/// });
+/// assert!(report.is_clean());
+/// ```
+pub struct Sim {
+    config: SimConfig,
+}
+
+impl Sim {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: SimConfig) -> Self {
+        Sim { config }
+    }
+
+    /// Runs `root` as the first simulated thread, scheduling all threads it
+    /// spawns until every non-daemon thread finishes (or the run deadlocks /
+    /// exhausts its step budget). Returns the collected trace and outcome.
+    pub fn run(self, root: impl FnOnce() + Send + 'static) -> RunReport {
+        let (to_sched, sched_rx) = channel::<u32>();
+        let kernel = Arc::new(Kernel {
+            state: Mutex::new(KState {
+                clock: Time::ZERO,
+                rng: StdRng::seed_from_u64(self.config.seed),
+                trace: TraceBuilder::new(),
+                threads: Vec::new(),
+                next_object: 1,
+                steps: 0,
+                panics: Vec::new(),
+                live_nondaemon: 0,
+                config: self.config,
+            }),
+            to_sched,
+        });
+        spawn_on(&kernel, "root", false, root);
+
+        let mut outcome = Outcome::Completed;
+        let mut last_nondaemon_activity = Time::ZERO;
+        loop {
+            enum Act {
+                Run(u32),
+                AdvanceTo(Time),
+                Done,
+                Deadlock(Vec<ThreadId>),
+                StepLimit,
+            }
+            let act = {
+                let mut st = kernel.state.lock().expect("kernel state poisoned");
+                if st.live_nondaemon == 0 {
+                    Act::Done
+                } else if st.steps >= st.config.max_steps {
+                    Act::StepLimit
+                } else {
+                    let clock = st.clock;
+                    for slot in &mut st.threads {
+                        if let ThreadState::Sleeping(until) = slot.state {
+                            if until <= clock {
+                                slot.state = ThreadState::Runnable;
+                            }
+                        }
+                    }
+                    let nondaemon_live = st.threads.iter().any(|s| {
+                        !s.daemon
+                            && matches!(s.state, ThreadState::Runnable | ThreadState::Sleeping(_))
+                    });
+                    if nondaemon_live {
+                        last_nondaemon_activity = clock;
+                    }
+                    let blocked_nondaemons = || {
+                        st.threads
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, s)| !s.daemon && s.state == ThreadState::Blocked)
+                            .map(|(i, _)| ThreadId(i as u32))
+                            .collect::<Vec<_>>()
+                    };
+                    if !nondaemon_live
+                        && clock.saturating_sub(last_nondaemon_activity) > st.config.idle_timeout
+                    {
+                        Act::Deadlock(blocked_nondaemons())
+                    } else {
+                        let runnable: Vec<u32> = st
+                            .threads
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, s)| s.state == ThreadState::Runnable)
+                            .map(|(i, _)| i as u32)
+                            .collect();
+                        let wake = st
+                            .threads
+                            .iter()
+                            .filter_map(|s| match s.state {
+                                ThreadState::Sleeping(u) => Some(u),
+                                _ => None,
+                            })
+                            .min();
+                        if runnable.is_empty() {
+                            match wake {
+                                Some(t) => Act::AdvanceTo(t),
+                                None => Act::Deadlock(blocked_nondaemons()),
+                            }
+                        } else {
+                            Act::Run(runnable[st.rng.gen_range(0..runnable.len())])
+                        }
+                    }
+                }
+            };
+            match act {
+                Act::Run(tid) => {
+                    let go = {
+                        let st = kernel.state.lock().expect("kernel state poisoned");
+                        st.threads[tid as usize].go.clone()
+                    };
+                    go.send(GoMsg::Run).expect("sim thread channel closed");
+                    sched_rx.recv().expect("all sim threads vanished");
+                }
+                Act::AdvanceTo(t) => {
+                    let mut st = kernel.state.lock().expect("kernel state poisoned");
+                    st.clock = st.clock.max(t);
+                }
+                Act::Done => break,
+                Act::Deadlock(b) => {
+                    outcome = Outcome::Deadlock(b);
+                    break;
+                }
+                Act::StepLimit => {
+                    outcome = Outcome::StepLimit;
+                    break;
+                }
+            }
+        }
+
+        abort_all(&kernel, &sched_rx);
+
+        let handles: Vec<_> = {
+            let mut st = kernel.state.lock().expect("kernel state poisoned");
+            st.threads
+                .iter_mut()
+                .filter_map(|s| s.os_handle.take())
+                .collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+
+        let st = Arc::try_unwrap(kernel)
+            .unwrap_or_else(|_| panic!("kernel still referenced after join"))
+            .state
+            .into_inner()
+            .expect("kernel state poisoned");
+        RunReport {
+            trace: st.trace.finish(),
+            end_time: st.clock,
+            steps: st.steps,
+            panics: st.panics,
+            outcome,
+        }
+    }
+}
+
+fn abort_all(kernel: &Arc<Kernel>, sched_rx: &Receiver<u32>) {
+    let pending: Vec<Sender<GoMsg>> = {
+        let st = kernel.state.lock().expect("kernel state poisoned");
+        st.threads
+            .iter()
+            .filter(|s| s.state != ThreadState::Finished)
+            .map(|s| s.go.clone())
+            .collect()
+    };
+    for go in &pending {
+        let _ = go.send(GoMsg::Abort);
+    }
+    for _ in &pending {
+        let _ = sched_rx.recv();
+    }
+}
+
+pub(crate) fn spawn_on(
+    kernel: &Arc<Kernel>,
+    name: &str,
+    daemon: bool,
+    f: impl FnOnce() + Send + 'static,
+) -> u32 {
+    let (go_tx, go_rx) = channel::<GoMsg>();
+    let tid = {
+        let mut st = kernel.state.lock().expect("kernel state poisoned");
+        let tid = u32::try_from(st.threads.len()).expect("too many sim threads");
+        st.threads.push(ThreadSlot {
+            name: name.to_string(),
+            state: ThreadState::Runnable,
+            daemon,
+            go: go_tx,
+            join_waiters: Vec::new(),
+            os_handle: None,
+        });
+        if !daemon {
+            st.live_nondaemon += 1;
+        }
+        tid
+    };
+    let k = Arc::clone(kernel);
+    let tname = name.to_string();
+    let handle = std::thread::Builder::new()
+        .name(format!("sim-{tname}"))
+        .spawn(move || {
+            let ctx = Rc::new(Ctx {
+                kernel: k,
+                tid,
+                go_rx,
+            });
+            CURRENT.with(|c| *c.borrow_mut() = Some(Rc::clone(&ctx)));
+            let first = ctx.go_rx.recv();
+            let panic_msg = match first {
+                Ok(GoMsg::Run) => match catch_unwind(AssertUnwindSafe(f)) {
+                    Ok(()) => None,
+                    Err(p) if p.is::<AbortToken>() => None,
+                    Err(p) => Some(render_panic(&*p)),
+                },
+                _ => None,
+            };
+            finish_current(&ctx, panic_msg, &tname);
+            CURRENT.with(|c| *c.borrow_mut() = None);
+        })
+        .expect("failed to spawn OS thread for sim thread");
+    kernel
+        .state
+        .lock()
+        .expect("kernel state poisoned")
+        .threads[tid as usize]
+        .os_handle = Some(handle);
+    tid
+}
+
+fn render_panic(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn finish_current(ctx: &Ctx, panic_msg: Option<String>, name: &str) {
+    {
+        let mut st = ctx.kernel.state.lock().expect("kernel state poisoned");
+        let slot = &mut st.threads[ctx.tid as usize];
+        let was_finished = slot.state == ThreadState::Finished;
+        slot.state = ThreadState::Finished;
+        let daemon = slot.daemon;
+        let waiters = std::mem::take(&mut slot.join_waiters);
+        if !was_finished && !daemon {
+            st.live_nondaemon -= 1;
+        }
+        for w in waiters {
+            let ws = &mut st.threads[w as usize];
+            if ws.state == ThreadState::Blocked {
+                ws.state = ThreadState::Runnable;
+            }
+        }
+        if let Some(msg) = panic_msg {
+            st.panics.push(PanicReport {
+                thread: ThreadId(ctx.tid),
+                thread_name: name.to_string(),
+                message: msg,
+            });
+        }
+    }
+    let _ = ctx.kernel.to_sched.send(ctx.tid);
+}
+
+// ---------------------------------------------------------------------------
+// Crate-internal kernel services used by `api` and the primitives.
+// ---------------------------------------------------------------------------
+
+impl KState {
+    fn advance_clock(&mut self) {
+        let min = self.config.min_op_cost.as_nanos();
+        let max = self.config.max_op_cost.as_nanos().max(min + 1);
+        let mut cost = self.rng.gen_range(min..max);
+        // Real executions have heavy-tailed per-operation noise (cache
+        // misses, GC pauses, preemption); without it, long methods would
+        // average their jitter away (CLT) and show unrealistically uniform
+        // durations, starving the Acquisition-Time-Varies statistic.
+        if self.rng.gen_range(0..16) == 0 {
+            cost = cost.saturating_mul(20);
+        }
+        self.clock = self.clock.saturating_add(Time::from_nanos(cost));
+        self.steps += 1;
+    }
+}
+
+/// Current virtual time.
+pub(crate) fn kernel_now() -> Time {
+    with_ctx(|ctx| ctx.kernel.state.lock().expect("kernel state poisoned").clock)
+}
+
+/// Index of the current simulated thread.
+pub(crate) fn kernel_current_tid() -> u32 {
+    with_ctx(|ctx| ctx.tid)
+}
+
+/// Name of a simulated thread.
+pub(crate) fn kernel_thread_name(tid: u32) -> String {
+    with_ctx(|ctx| {
+        ctx.kernel.state.lock().expect("kernel state poisoned").threads[tid as usize]
+            .name
+            .clone()
+    })
+}
+
+/// Allocates a fresh object identity.
+pub(crate) fn kernel_alloc_object() -> u64 {
+    with_ctx(|ctx| {
+        let mut st = ctx.kernel.state.lock().expect("kernel state poisoned");
+        let id = st.next_object;
+        st.next_object += 1;
+        id
+    })
+}
+
+/// Spawns a new simulated thread from inside a running one.
+pub(crate) fn kernel_spawn(name: &str, daemon: bool, f: impl FnOnce() + Send + 'static) -> u32 {
+    with_ctx(|ctx| spawn_on(&ctx.kernel, name, daemon, f))
+}
+
+/// An untraced scheduling step: advances the clock and yields.
+pub(crate) fn kernel_step() {
+    with_ctx(|ctx| {
+        {
+            let mut st = ctx.kernel.state.lock().expect("kernel state poisoned");
+            st.advance_clock();
+        }
+        ctx.yield_to_scheduler();
+    })
+}
+
+/// Puts the current thread to sleep for `d` of virtual time.
+pub(crate) fn kernel_sleep(d: Time) {
+    with_ctx(|ctx| {
+        {
+            let mut st = ctx.kernel.state.lock().expect("kernel state poisoned");
+            st.advance_clock();
+            let until = st.clock.saturating_add(d);
+            st.threads[ctx.tid as usize].state = ThreadState::Sleeping(until);
+        }
+        ctx.yield_to_scheduler();
+    })
+}
+
+/// Parks the current thread as Blocked and yields. Execution resumes after
+/// some other thread calls [`kernel_wake`] on it. Because execution is fully
+/// serialized, a primitive can register itself in a wait queue and then call
+/// this without any lost-wakeup race: no other thread runs in between.
+pub(crate) fn kernel_block_current() {
+    with_ctx(|ctx| {
+        {
+            let mut st = ctx.kernel.state.lock().expect("kernel state poisoned");
+            st.advance_clock();
+            st.threads[ctx.tid as usize].state = ThreadState::Blocked;
+        }
+        ctx.yield_to_scheduler();
+    })
+}
+
+/// Marks a blocked thread runnable (no-op for other states).
+pub(crate) fn kernel_wake(tid: u32) {
+    with_ctx(|ctx| {
+        let mut st = ctx.kernel.state.lock().expect("kernel state poisoned");
+        let slot = &mut st.threads[tid as usize];
+        if slot.state == ThreadState::Blocked {
+            slot.state = ThreadState::Runnable;
+        }
+    })
+}
+
+/// Whether a simulated thread has finished.
+pub(crate) fn kernel_is_finished(tid: u32) -> bool {
+    with_ctx(|ctx| {
+        ctx.kernel.state.lock().expect("kernel state poisoned").threads[tid as usize].state
+            == ThreadState::Finished
+    })
+}
+
+/// Blocks the current thread until `target` finishes.
+pub(crate) fn kernel_join(target: u32) {
+    with_ctx(|ctx| loop {
+        let done = {
+            let mut st = ctx.kernel.state.lock().expect("kernel state poisoned");
+            st.advance_clock();
+            if st.threads[target as usize].state == ThreadState::Finished {
+                true
+            } else {
+                let me = ctx.tid;
+                st.threads[target as usize].join_waiters.push(me);
+                st.threads[me as usize].state = ThreadState::Blocked;
+                false
+            }
+        };
+        ctx.yield_to_scheduler();
+        if done {
+            return;
+        }
+    })
+}
+
+/// The Observer hook: applies the instrumentation filter and delay plan,
+/// advances the clock, emits the event, and yields.
+///
+/// Skipped methods still execute and consume a step — they are merely
+/// invisible to the trace, exactly like methods the paper's heuristics
+/// mistakenly skipped.
+pub(crate) fn kernel_trace(op: &OpRef, object: u64, access: AccessClass) {
+    with_ctx(|ctx| {
+        let (skipped, delay, op_id) = {
+            let st = ctx.kernel.state.lock().expect("kernel state poisoned");
+            let skipped = match op {
+                OpRef::MethodBegin { method, .. } | OpRef::MethodEnd { method, .. } => {
+                    st.config.instrument.skips(method)
+                }
+                _ => false,
+            };
+            if skipped {
+                (true, None, None)
+            } else {
+                let id = op.intern();
+                (false, st.config.delay_plan.delay_entry(id), Some(id))
+            }
+        };
+
+        if skipped {
+            kernel_step_ctx(ctx);
+            return;
+        }
+        let op_id = op_id.expect("non-skipped op interned");
+
+        let access = {
+            let st = ctx.kernel.state.lock().expect("kernel state poisoned");
+            if matches!(op, OpRef::MethodBegin { .. } | OpRef::MethodEnd { .. })
+                && !st.config.instrument.classify_unsafe_apis
+            {
+                AccessClass::None
+            } else {
+                access
+            }
+        };
+
+        let delay_start = if let Some((d, probability)) = delay {
+            let start = {
+                let mut st = ctx.kernel.state.lock().expect("kernel state poisoned");
+                let fire = probability >= 1.0 || st.rng.gen_bool(probability.max(0.0));
+                if fire {
+                    st.advance_clock();
+                    let start = st.clock;
+                    let until = st.clock.saturating_add(d);
+                    st.threads[ctx.tid as usize].state = ThreadState::Sleeping(until);
+                    Some(start)
+                } else {
+                    None
+                }
+            };
+            if start.is_some() {
+                ctx.yield_to_scheduler();
+            }
+            start
+        } else {
+            None
+        };
+
+        {
+            let mut st = ctx.kernel.state.lock().expect("kernel state poisoned");
+            st.advance_clock();
+            let t = st.clock;
+            // The delay record's end is the delayed operation's own
+            // timestamp, so window refinement bounds of the form
+            // `[a, rec.end]` keep the delayed release inside the window.
+            if let Some(start) = delay_start {
+                st.trace.push_delay(ctx.tid, op_id, start, t);
+            }
+            st.trace.push_classified(t, ctx.tid, op_id, object, access);
+        }
+        ctx.yield_to_scheduler();
+    })
+}
+
+fn kernel_step_ctx(ctx: &Ctx) {
+    {
+        let mut st = ctx.kernel.state.lock().expect("kernel state poisoned");
+        st.advance_clock();
+    }
+    ctx.yield_to_scheduler();
+}

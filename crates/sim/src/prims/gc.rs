@@ -1,0 +1,124 @@
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use sherlock_trace::Time;
+
+use crate::api;
+use crate::kernel;
+
+type Finalizer = Box<dyn FnOnce() + Send>;
+
+/// A simulated garbage collector with finalizer semantics.
+///
+/// C# guarantees that an object's finalizer runs only after the object is
+/// unreachable, so "the instruction that removes the last reference of an
+/// object happens before the beginning of the object's finalizer"
+/// (paper §5.3.3). [`GcHeap::drop_last_ref`] marks an object collectable;
+/// a daemon GC thread runs its registered finalizer as a traced application
+/// method `Class::Finalize` after the per-drop delay elapses.
+///
+/// A long `gc_delay` pushes the finalizer outside the `Near` window — the
+/// exact failure mode behind the paper's Dispose false positives ("SherLock's
+/// delay injection does not control the garbage collection", §5.5).
+#[derive(Clone)]
+pub struct GcHeap {
+    inner: Arc<GcInner>,
+}
+
+struct GcInner {
+    state: Mutex<GcState>,
+}
+
+struct GcState {
+    registered: Vec<Option<(String, String, u64, Finalizer)>>,
+    ready: VecDeque<(usize, Time)>,
+    gc_waiting: Option<u32>,
+}
+
+impl Default for GcHeap {
+    fn default() -> Self {
+        GcHeap::new()
+    }
+}
+
+impl GcHeap {
+    /// Creates a heap with its GC daemon thread.
+    pub fn new() -> Self {
+        let inner = Arc::new(GcInner {
+            state: Mutex::new(GcState {
+                registered: Vec::new(),
+                ready: VecDeque::new(),
+                gc_waiting: None,
+            }),
+        });
+        let gc = Arc::clone(&inner);
+        api::spawn_daemon("gc", move || loop {
+            let me = api::current_thread();
+            let due = {
+                let mut s = gc.state.lock().expect("gc heap poisoned");
+                let now = api::now();
+                let pos = s.ready.iter().position(|&(_, at)| at <= now);
+                match pos {
+                    Some(p) => {
+                        let (idx, _) = s.ready.remove(p).expect("position valid");
+                        s.registered[idx].take()
+                    }
+                    None => {
+                        let next = s.ready.iter().map(|&(_, at)| at).min();
+                        match next {
+                            Some(at) => {
+                                drop(s);
+                                api::sleep(at.saturating_sub(now).max(Time::from_micros(10)));
+                                continue;
+                            }
+                            None => {
+                                s.gc_waiting = Some(me);
+                                drop(s);
+                                kernel::kernel_block_current();
+                                continue;
+                            }
+                        }
+                    }
+                }
+            };
+            if let Some((class, method, object, f)) = due {
+                api::app_method(&class, &method, object, f);
+            }
+        });
+        GcHeap { inner }
+    }
+
+    /// Registers an object's finalizer (`Class::Finalize` by convention;
+    /// `Dispose` for dispose-pattern objects). Returns a registration id.
+    pub fn register(
+        &self,
+        class: impl Into<String>,
+        method: impl Into<String>,
+        object: u64,
+        finalizer: impl FnOnce() + Send + 'static,
+    ) -> usize {
+        let mut s = self.inner.state.lock().expect("gc heap poisoned");
+        s.registered.push(Some((
+            class.into(),
+            method.into(),
+            object,
+            Box::new(finalizer),
+        )));
+        s.registered.len() - 1
+    }
+
+    /// Marks the object unreachable; its finalizer becomes due after `delay`.
+    /// The *caller's preceding operation* is the release the paper's
+    /// inference should discover.
+    pub fn drop_last_ref(&self, registration: usize, delay: Time) {
+        let waiter = {
+            let mut s = self.inner.state.lock().expect("gc heap poisoned");
+            let at = api::now().saturating_add(delay);
+            s.ready.push_back((registration, at));
+            s.gc_waiting.take()
+        };
+        if let Some(t) = waiter {
+            kernel::kernel_wake(t);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+use std::sync::{Arc, Mutex};
+
+use crate::api;
+use crate::kernel;
+
+/// Lazy one-time initialization with C# static-constructor semantics: the
+/// language guarantees that a class's `.cctor` completes before any use of
+/// the class, so the `.cctor`'s exit is a release and the first access after
+/// it is an acquire (paper §5.3.3 and Tables 8–9).
+///
+/// The first thread to call [`StaticCtor::ensure`] runs the initializer as a
+/// traced application method `Class::.cctor`; every other concurrent caller
+/// blocks (untraced — the runtime's internal latch is invisible to the
+/// paper's instrumentation too) until it completes.
+#[derive(Clone)]
+pub struct StaticCtor {
+    inner: Arc<CtorInner>,
+}
+
+struct CtorInner {
+    class: String,
+    object: u64,
+    state: Mutex<CtorState>,
+}
+
+#[derive(Default)]
+struct CtorState {
+    phase: Phase,
+    waiters: Vec<u32>,
+}
+
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+enum Phase {
+    #[default]
+    NotStarted,
+    Running,
+    Done,
+}
+
+impl StaticCtor {
+    /// Creates the latch for class `class`.
+    pub fn new(class: impl Into<String>) -> Self {
+        StaticCtor {
+            inner: Arc::new(CtorInner {
+                class: class.into(),
+                object: api::alloc_object(),
+                state: Mutex::new(CtorState::default()),
+            }),
+        }
+    }
+
+    /// Ensures the static constructor has run, executing `init` on the first
+    /// call and blocking concurrent callers until it completes.
+    pub fn ensure(&self, init: impl FnOnce()) {
+        let claimed = {
+            let mut s = self.inner.state.lock().expect("static ctor poisoned");
+            if s.phase == Phase::NotStarted {
+                s.phase = Phase::Running;
+                true
+            } else {
+                false
+            }
+        };
+        if claimed {
+            api::app_method(&self.inner.class, ".cctor", self.inner.object, init);
+            let waiters = {
+                let mut s = self.inner.state.lock().expect("static ctor poisoned");
+                s.phase = Phase::Done;
+                std::mem::take(&mut s.waiters)
+            };
+            for t in waiters {
+                kernel::kernel_wake(t);
+            }
+            return;
+        }
+        let me = api::current_thread();
+        loop {
+            let done = {
+                let mut s = self.inner.state.lock().expect("static ctor poisoned");
+                if s.phase == Phase::Done {
+                    true
+                } else {
+                    s.waiters.push(me);
+                    false
+                }
+            };
+            if done {
+                return;
+            }
+            kernel::kernel_block_current();
+        }
+    }
+
+    /// Whether the constructor has completed.
+    pub fn is_initialized(&self) -> bool {
+        self.inner.state.lock().expect("static ctor poisoned").phase == Phase::Done
+    }
+}

@@ -1,0 +1,34 @@
+//! Traced synchronization primitives.
+//!
+//! Each primitive mirrors a C# synchronization mechanism the paper's
+//! benchmark applications use (Tables 8–9), emitting exactly the trace events
+//! the paper's instrumentation would record at its call sites, while
+//! enforcing the corresponding blocking semantics in virtual time. The
+//! inference pipeline never sees these implementations — only their traces —
+//! which is precisely the paper's setting ("the actual implementation of the
+//! threading library or framework that enforces this happens-before relation
+//! is irrelevant to SherLock").
+
+mod collections;
+mod dataflow;
+mod gc;
+mod lazy;
+mod monitor;
+mod queue;
+mod sync;
+mod task;
+mod thread;
+mod var;
+
+pub mod testfx;
+
+pub use collections::{ConcurrentMap, UnsafeList};
+pub use dataflow::DataflowBlock;
+pub use gc::GcHeap;
+pub use lazy::StaticCtor;
+pub use monitor::Monitor;
+pub use queue::{BlockingCollection, Interlocked};
+pub use sync::{Barrier, CountdownEvent, EventWaitHandle, RwLock, Semaphore};
+pub use task::{Task, ThreadPool};
+pub use thread::SimThread;
+pub use var::TracedVar;

@@ -1,0 +1,118 @@
+//! Property tests for the simulator: determinism, clock monotonicity, and
+//! trace well-formedness over randomized workload shapes.
+
+use proptest::prelude::*;
+use sherlock_sim::prims::{Monitor, TracedVar};
+use sherlock_sim::{api, Outcome, Sim, SimConfig};
+use sherlock_trace::{Time, Trace};
+
+/// A randomized workload shape: `threads` workers each perform `ops`
+/// lock-or-plain accesses over `fields` shared fields.
+#[derive(Clone, Copy, Debug)]
+struct Shape {
+    threads: u32,
+    ops: u32,
+    fields: u32,
+    locked: bool,
+}
+
+fn shape() -> impl Strategy<Value = Shape> {
+    (1u32..4, 1u32..8, 1u32..4, any::<bool>()).prop_map(|(threads, ops, fields, locked)| Shape {
+        threads,
+        ops,
+        fields,
+        locked,
+    })
+}
+
+fn run(shape: Shape, seed: u64) -> (Trace, Outcome) {
+    let report = Sim::new(SimConfig::with_seed(seed)).run(move || {
+        let m = Monitor::new();
+        let vars: Vec<_> = (0..shape.fields)
+            .map(|i| TracedVar::new("PS", format!("v{i}"), 0u32))
+            .collect();
+        let mut handles = Vec::new();
+        for t in 0..shape.threads {
+            let (m2, vars2) = (m.clone(), vars.clone());
+            handles.push(api::spawn(&format!("w{t}"), move || {
+                for k in 0..shape.ops {
+                    let v = &vars2[(k % shape.fields) as usize];
+                    if shape.locked {
+                        m2.with_lock(|| {
+                            v.update(|x| x + 1);
+                        });
+                    } else {
+                        v.update(|x| x + 1);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+    });
+    (report.trace, report.outcome)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Identical (workload, seed) pairs produce byte-identical traces.
+    #[test]
+    fn runs_are_deterministic(s in shape(), seed in 0u64..1000) {
+        let (a, oa) = run(s, seed);
+        let (b, ob) = run(s, seed);
+        prop_assert_eq!(oa, Outcome::Completed);
+        prop_assert_eq!(ob, Outcome::Completed);
+        prop_assert_eq!(a.events().len(), b.events().len());
+        for (x, y) in a.events().iter().zip(b.events()) {
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    /// Event timestamps are strictly increasing and delays are well-formed.
+    #[test]
+    fn traces_are_well_formed(s in shape(), seed in 0u64..1000) {
+        let (trace, outcome) = run(s, seed);
+        prop_assert_eq!(outcome, Outcome::Completed);
+        let times: Vec<Time> = trace.events().iter().map(|e| e.time).collect();
+        prop_assert!(times.windows(2).all(|w| w[0] < w[1]), "timestamps not strict");
+        for d in trace.delays() {
+            prop_assert!(d.start < d.end);
+        }
+        // Every event's thread id is within the spawned range (root + workers).
+        prop_assert!(trace
+            .events()
+            .iter()
+            .all(|e| e.thread.0 <= s.threads));
+    }
+
+    /// Lock-protected counters never lose updates, for every interleaving
+    /// the seed picks.
+    #[test]
+    fn locked_updates_are_not_lost(threads in 1u32..4, ops in 1u32..6, seed in 0u64..500) {
+        let total = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let t2 = std::sync::Arc::clone(&total);
+        let report = Sim::new(SimConfig::with_seed(seed)).run(move || {
+            let m = Monitor::new();
+            let v = TracedVar::new("PS2", "sum", 0u32);
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let (m2, v2) = (m.clone(), v.clone());
+                handles.push(api::spawn(&format!("w{t}"), move || {
+                    for _ in 0..ops {
+                        m2.with_lock(|| {
+                            v2.update(|x| x + 1);
+                        });
+                    }
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            t2.store(v.get(), std::sync::atomic::Ordering::SeqCst);
+        });
+        prop_assert!(report.is_clean());
+        prop_assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), threads * ops);
+    }
+}

@@ -1,0 +1,390 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// Whether a method belongs to the application under analysis or to a
+/// library/framework whose internals SherLock cannot see.
+///
+/// The distinction matters for the Read-Acquire & Write-Release property
+/// (paper §2): an *application* method's entry can only acquire and its exit
+/// can only release, because SherLock observes the code inside. A *library*
+/// API is opaque — its call site may release (e.g. `Thread::Start`) and its
+/// return may acquire (e.g. `WaitHandle::WaitOne`) — so both roles stay open,
+/// restrained by the Single-Role constraint instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum MethodKind {
+    /// A method whose body is instrumented (application code).
+    App,
+    /// A library or framework API traced at its call sites.
+    Lib,
+}
+
+/// Static identity of a traceable operation.
+///
+/// SherLock identifies inference variables "with the fully-qualified type of
+/// the field (i.e. `ClassName::FieldName`)" and likewise for methods
+/// (paper §4.2), assuming all dynamic instances behave the same. `OpRef` is
+/// that fully-qualified static name; intern it to get a compact [`OpId`].
+///
+/// ```
+/// use sherlock_trace::OpRef;
+/// let id = OpRef::field_read("ByteBuffer", "endOfFile").intern();
+/// assert_eq!(id.resolve().to_string(), "Read-ByteBuffer::endOfFile");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum OpRef {
+    /// A read of a heap field.
+    FieldRead { class: String, field: String },
+    /// A write to a heap field.
+    FieldWrite { class: String, field: String },
+    /// Entry of a method body ([`MethodKind::App`]) or the instant just
+    /// before a library call site ([`MethodKind::Lib`]).
+    MethodBegin {
+        class: String,
+        method: String,
+        kind: MethodKind,
+    },
+    /// Exit of a method body, or the instant just after a library call.
+    MethodEnd {
+        class: String,
+        method: String,
+        kind: MethodKind,
+    },
+}
+
+impl OpRef {
+    /// Convenience constructor for a heap-field read.
+    pub fn field_read(class: impl Into<String>, field: impl Into<String>) -> Self {
+        OpRef::FieldRead {
+            class: class.into(),
+            field: field.into(),
+        }
+    }
+
+    /// Convenience constructor for a heap-field write.
+    pub fn field_write(class: impl Into<String>, field: impl Into<String>) -> Self {
+        OpRef::FieldWrite {
+            class: class.into(),
+            field: field.into(),
+        }
+    }
+
+    /// Convenience constructor for an application-method entry.
+    pub fn app_begin(class: impl Into<String>, method: impl Into<String>) -> Self {
+        OpRef::MethodBegin {
+            class: class.into(),
+            method: method.into(),
+            kind: MethodKind::App,
+        }
+    }
+
+    /// Convenience constructor for an application-method exit.
+    pub fn app_end(class: impl Into<String>, method: impl Into<String>) -> Self {
+        OpRef::MethodEnd {
+            class: class.into(),
+            method: method.into(),
+            kind: MethodKind::App,
+        }
+    }
+
+    /// Convenience constructor for a library-API call site (before the call).
+    pub fn lib_begin(class: impl Into<String>, method: impl Into<String>) -> Self {
+        OpRef::MethodBegin {
+            class: class.into(),
+            method: method.into(),
+            kind: MethodKind::Lib,
+        }
+    }
+
+    /// Convenience constructor for a library-API call site (after the call).
+    pub fn lib_end(class: impl Into<String>, method: impl Into<String>) -> Self {
+        OpRef::MethodEnd {
+            class: class.into(),
+            method: method.into(),
+            kind: MethodKind::Lib,
+        }
+    }
+
+    /// The class component of the fully-qualified name.
+    ///
+    /// Used by the Mostly-Paired hypothesis, which pairs acquire and release
+    /// synchronizations defined in the same class (paper Eq. 6).
+    pub fn class(&self) -> &str {
+        match self {
+            OpRef::FieldRead { class, .. }
+            | OpRef::FieldWrite { class, .. }
+            | OpRef::MethodBegin { class, .. }
+            | OpRef::MethodEnd { class, .. } => class,
+        }
+    }
+
+    /// The member (field or method) component of the name.
+    pub fn member(&self) -> &str {
+        match self {
+            OpRef::FieldRead { field, .. } | OpRef::FieldWrite { field, .. } => field,
+            OpRef::MethodBegin { method, .. } | OpRef::MethodEnd { method, .. } => method,
+        }
+    }
+
+    /// Whether this operation is a field access (as opposed to a method
+    /// entry/exit).
+    pub fn is_field(&self) -> bool {
+        matches!(self, OpRef::FieldRead { .. } | OpRef::FieldWrite { .. })
+    }
+
+    /// Whether this operation could serve as a *release* synchronization
+    /// under the Read-Acquire & Write-Release property: heap writes,
+    /// application-method exits, and either end of a library call.
+    pub fn can_release(&self) -> bool {
+        match self {
+            OpRef::FieldRead { .. } => false,
+            OpRef::FieldWrite { .. } => true,
+            OpRef::MethodBegin { kind, .. } => *kind == MethodKind::Lib,
+            OpRef::MethodEnd { .. } => true,
+        }
+    }
+
+    /// Whether this operation could serve as an *acquire* synchronization:
+    /// heap reads, application-method entries, and either end of a library
+    /// call.
+    pub fn can_acquire(&self) -> bool {
+        match self {
+            OpRef::FieldRead { .. } => true,
+            OpRef::FieldWrite { .. } => false,
+            OpRef::MethodBegin { .. } => true,
+            OpRef::MethodEnd { kind, .. } => *kind == MethodKind::Lib,
+        }
+    }
+
+    /// The `OpRef` for the matching end of a method pair: `Begin ↔ End`.
+    /// Returns `None` for field accesses.
+    pub fn method_counterpart(&self) -> Option<OpRef> {
+        match self {
+            OpRef::MethodBegin {
+                class,
+                method,
+                kind,
+            } => Some(OpRef::MethodEnd {
+                class: class.clone(),
+                method: method.clone(),
+                kind: *kind,
+            }),
+            OpRef::MethodEnd {
+                class,
+                method,
+                kind,
+            } => Some(OpRef::MethodBegin {
+                class: class.clone(),
+                method: method.clone(),
+                kind: *kind,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The counterpart field access: `Read ↔ Write` of the same field.
+    /// Returns `None` for methods.
+    pub fn field_counterpart(&self) -> Option<OpRef> {
+        match self {
+            OpRef::FieldRead { class, field } => Some(OpRef::FieldWrite {
+                class: class.clone(),
+                field: field.clone(),
+            }),
+            OpRef::FieldWrite { class, field } => Some(OpRef::FieldRead {
+                class: class.clone(),
+                field: field.clone(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Interns this operation in the process-wide registry, returning its
+    /// compact id. Interning the same `OpRef` twice yields the same id.
+    pub fn intern(&self) -> OpId {
+        registry().intern(self)
+    }
+}
+
+impl fmt::Display for OpRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpRef::FieldRead { class, field } => write!(f, "Read-{class}::{field}"),
+            OpRef::FieldWrite { class, field } => write!(f, "Write-{class}::{field}"),
+            OpRef::MethodBegin { class, method, .. } => write!(f, "{class}::{method}-Begin"),
+            OpRef::MethodEnd { class, method, .. } => write!(f, "{class}::{method}-End"),
+        }
+    }
+}
+
+/// Compact, process-wide-unique identifier for an interned [`OpRef`].
+///
+/// Every dynamic instance of the same static operation shares one `OpId`,
+/// which is what lets SherLock accumulate observations for the same inference
+/// variable within a run and across runs (paper §4.3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(u32);
+
+impl OpId {
+    /// The raw index of this id in the registry.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Looks up the full static name of this operation.
+    pub fn resolve(self) -> OpRef {
+        registry().resolve(self)
+    }
+}
+
+/// Serializes as the fully-qualified [`OpRef`]; deserialization re-interns,
+/// so ids survive across processes even though the registry does not.
+#[cfg(feature = "serde")]
+impl serde::Serialize for OpId {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.resolve().serialize(serializer)
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for OpId {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(OpRef::deserialize(deserializer)?.intern())
+    }
+}
+
+impl fmt::Debug for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OpId({} = {})", self.0, self.resolve())
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.resolve())
+    }
+}
+
+struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    by_ref: HashMap<OpRef, OpId>,
+    by_id: Vec<OpRef>,
+}
+
+impl Registry {
+    fn intern(&self, op: &OpRef) -> OpId {
+        let mut inner = self.inner.lock().expect("op registry poisoned");
+        if let Some(&id) = inner.by_ref.get(op) {
+            return id;
+        }
+        let id = OpId(u32::try_from(inner.by_id.len()).expect("op registry overflow"));
+        inner.by_id.push(op.clone());
+        inner.by_ref.insert(op.clone(), id);
+        id
+    }
+
+    fn resolve(&self, id: OpId) -> OpRef {
+        let inner = self.inner.lock().expect("op registry poisoned");
+        inner.by_id[id.index()].clone()
+    }
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        inner: Mutex::new(RegistryInner::default()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = OpRef::field_read("C", "f").intern();
+        let b = OpRef::field_read("C", "f").intern();
+        assert_eq!(a, b);
+        assert_eq!(a.resolve(), OpRef::field_read("C", "f"));
+    }
+
+    #[test]
+    fn distinct_ops_get_distinct_ids() {
+        let r = OpRef::field_read("C", "g").intern();
+        let w = OpRef::field_write("C", "g").intern();
+        let mb = OpRef::app_begin("C", "g").intern();
+        let me = OpRef::app_end("C", "g").intern();
+        let lb = OpRef::lib_begin("C", "g").intern();
+        assert_eq!(
+            [r, w, mb, me, lb]
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            5
+        );
+    }
+
+    #[test]
+    fn read_acquire_write_release_property() {
+        assert!(OpRef::field_read("C", "f").can_acquire());
+        assert!(!OpRef::field_read("C", "f").can_release());
+        assert!(OpRef::field_write("C", "f").can_release());
+        assert!(!OpRef::field_write("C", "f").can_acquire());
+    }
+
+    #[test]
+    fn app_methods_have_fixed_roles() {
+        assert!(OpRef::app_begin("C", "m").can_acquire());
+        assert!(!OpRef::app_begin("C", "m").can_release());
+        assert!(OpRef::app_end("C", "m").can_release());
+        assert!(!OpRef::app_end("C", "m").can_acquire());
+    }
+
+    #[test]
+    fn lib_apis_keep_both_roles_open() {
+        assert!(OpRef::lib_begin("Thread", "Start").can_release());
+        assert!(OpRef::lib_begin("Monitor", "Enter").can_acquire());
+        assert!(OpRef::lib_end("WaitHandle", "WaitOne").can_acquire());
+        assert!(OpRef::lib_end("Monitor", "Exit").can_release());
+    }
+
+    #[test]
+    fn counterparts() {
+        let read = OpRef::field_read("C", "f");
+        assert_eq!(read.field_counterpart(), Some(OpRef::field_write("C", "f")));
+        assert_eq!(read.method_counterpart(), None);
+        let begin = OpRef::app_begin("C", "m");
+        assert_eq!(begin.method_counterpart(), Some(OpRef::app_end("C", "m")));
+        assert_eq!(begin.field_counterpart(), None);
+    }
+
+    #[test]
+    fn display_matches_paper_table_format() {
+        assert_eq!(
+            OpRef::field_write("k8s.ByteBuffer", "endOfFile").to_string(),
+            "Write-k8s.ByteBuffer::endOfFile"
+        );
+        assert_eq!(
+            OpRef::app_end("AssertionScope", ".cctor").to_string(),
+            "AssertionScope::.cctor-End"
+        );
+        assert_eq!(
+            OpRef::lib_begin("System.Threading.Monitor", "Enter").to_string(),
+            "System.Threading.Monitor::Enter-Begin"
+        );
+    }
+
+    #[test]
+    fn class_and_member_accessors() {
+        let op = OpRef::app_begin("MessageBroker", "Broadcast");
+        assert_eq!(op.class(), "MessageBroker");
+        assert_eq!(op.member(), "Broadcast");
+        assert!(!op.is_field());
+        assert!(OpRef::field_read("A", "b").is_field());
+    }
+}

@@ -1,0 +1,147 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or span of) virtual time, measured in nanoseconds.
+///
+/// SherLock's thresholds are all time scales: the `Near` window that pairs
+/// conflicting accesses (1 s by default) and the Perturber's injected delay
+/// (100 ms). The reproduction runs workloads on a virtual-time simulator, so
+/// timestamps are deterministic integers rather than wall-clock readings.
+///
+/// ```
+/// use sherlock_trace::Time;
+/// let t = Time::from_millis(100);
+/// assert_eq!(t + Time::from_millis(900), Time::from_secs(1));
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Time(u64);
+
+impl Time {
+    /// The zero instant (start of a simulated run).
+    pub const ZERO: Time = Time(0);
+    /// The maximum representable instant.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Time(ns)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Time(us * 1_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Time(ms * 1_000_000)
+    }
+
+    /// Creates a time from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Time(s * 1_000_000_000)
+    }
+
+    /// Returns the raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the value as fractional seconds (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction; returns [`Time::ZERO`] on underflow.
+    pub const fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating addition; returns [`Time::MAX`] on overflow.
+    pub const fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Time::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(Time::from_millis(1).as_nanos(), 1_000_000);
+        assert_eq!(Time::from_micros(1).as_nanos(), 1_000);
+        assert_eq!(Time::from_nanos(17).as_nanos(), 17);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_millis(250);
+        let b = Time::from_millis(750);
+        assert_eq!(a + b, Time::from_secs(1));
+        assert_eq!(b - a, Time::from_millis(500));
+        assert_eq!(a.saturating_sub(b), Time::ZERO);
+        assert_eq!(Time::MAX.saturating_add(a), Time::MAX);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time::from_millis(1) < Time::from_secs(1));
+        assert!(Time::ZERO < Time::from_nanos(1));
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(Time::from_secs(2).to_string(), "2.000s");
+        assert_eq!(Time::from_millis(3).to_string(), "3.000ms");
+        assert_eq!(Time::from_micros(4).to_string(), "4.000us");
+        assert_eq!(Time::from_nanos(5).to_string(), "5ns");
+    }
+
+    #[test]
+    fn as_secs_f64_fractional() {
+        assert!((Time::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+}

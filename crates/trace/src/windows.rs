@@ -1,0 +1,442 @@
+//! Conflicting-access detection and acquire/release window extraction
+//! (paper §4.1, "Forming acquire/release windows").
+//!
+//! For every pair of conflicting accesses `a` (earlier) and `b` (later) that
+//! are temporally close (`T_b − T_a ≤ Near`), SherLock extracts the
+//! operations executing between them: those from `a`'s thread form the
+//! *release window* and those from `b`'s thread the *acquire window*. The
+//! endpoints themselves are included — for variable-based synchronization the
+//! conflicting write *is* the release and the conflicting read *is* the
+//! acquire (paper Fig. 3.B).
+//!
+//! A static location pair may execute many times (e.g. inside a loop), so at
+//! most [`WindowConfig::cap_per_pair`] windows are formed per pair of static
+//! locations (15 in the paper).
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::event::{AccessClass, ObjectId, ThreadId, Trace};
+use crate::op::{OpId, OpRef};
+use crate::time::Time;
+
+/// Parameters of window extraction.
+#[derive(Clone, Debug)]
+pub struct WindowConfig {
+    /// Maximum physical-time gap between two conflicting accesses for them to
+    /// form a window (the paper's `Near`, 1 s by default; Table 7 sweeps it).
+    pub near: Time,
+    /// Upper bound on the number of windows one static location pair can
+    /// form (15 in the paper).
+    pub cap_per_pair: usize,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig {
+            near: Time::from_secs(1),
+            cap_per_pair: 15,
+        }
+    }
+}
+
+/// A synchronization candidate inside a window: a static operation and the
+/// number of its dynamic instances observed in the window.
+///
+/// The Solver subtracts each candidate's probability variable only once no
+/// matter how many instances appear (paper §4.2), but the occurrence count
+/// feeds the Synchronizations-are-Rare penalty (Eq. 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Candidate {
+    /// Static operation identity.
+    pub op: OpId,
+    /// Dynamic instances of `op` inside this window.
+    pub count: u32,
+}
+
+/// An acquire/release window extracted around one dynamic conflicting pair.
+#[derive(Clone, Debug)]
+pub struct Window {
+    /// Static location of the earlier access `a`.
+    pub a_op: OpId,
+    /// Static location of the later access `b`.
+    pub b_op: OpId,
+    /// Thread of `a` (the releasing side).
+    pub a_thread: ThreadId,
+    /// Thread of `b` (the acquiring side).
+    pub b_thread: ThreadId,
+    /// Timestamp of `a`.
+    pub a_time: Time,
+    /// Timestamp of `b`.
+    pub b_time: Time,
+    /// Object both accesses touched.
+    pub object: ObjectId,
+    /// Release candidates: operations from `a`'s thread in `[T_a, T_b]`,
+    /// deduplicated, with occurrence counts.
+    pub release: Vec<Candidate>,
+    /// Acquire candidates: operations from `b`'s thread in `[T_a, T_b]`.
+    pub acquire: Vec<Candidate>,
+    /// Whether any release candidate is release-capable under the
+    /// Read-Acquire & Write-Release property.
+    pub release_capable: bool,
+    /// Whether any acquire candidate is acquire-capable.
+    pub acquire_capable: bool,
+}
+
+impl Window {
+    /// The ordered static location pair identifying this window's origin.
+    pub fn pair(&self) -> (OpId, OpId) {
+        (self.a_op, self.b_op)
+    }
+
+    /// Whether this window witnesses a data race: no operation in the
+    /// release window can release, or none in the acquire window can acquire
+    /// (paper §4.3, "A special type of observation").
+    pub fn is_racy(&self) -> bool {
+        !self.release_capable || !self.acquire_capable
+    }
+}
+
+#[derive(Clone)]
+struct OpMeta {
+    loc: Option<String>,
+    can_release: bool,
+    can_acquire: bool,
+}
+
+fn op_meta(cache: &mut HashMap<OpId, OpMeta>, op: OpId) -> OpMeta {
+    cache
+        .entry(op)
+        .or_insert_with(|| {
+            let r = op.resolve();
+            let loc = match &r {
+                OpRef::FieldRead { class, field } | OpRef::FieldWrite { class, field } => {
+                    Some(format!("{class}::{field}"))
+                }
+                // Thread-unsafe library call sites conflict per-object; the
+                // object id alone identifies the location.
+                OpRef::MethodBegin { .. } | OpRef::MethodEnd { .. } => None,
+            };
+            OpMeta {
+                loc,
+                can_release: r.can_release(),
+                can_acquire: r.can_acquire(),
+            }
+        })
+        .clone()
+}
+
+/// Extracts all acquire/release windows from a trace.
+///
+/// Two events conflict when they touch the same location (same object and —
+/// for field accesses — the same fully-qualified field), come from different
+/// threads, at least one is a write, and their time gap is at most
+/// [`WindowConfig::near`]. Windows are returned in order of their later
+/// endpoint.
+pub fn extract(trace: &Trace, cfg: &WindowConfig) -> Vec<Window> {
+    let events = trace.events();
+    let mut meta_cache: HashMap<OpId, OpMeta> = HashMap::new();
+
+    // Group access events by location.
+    #[derive(PartialEq, Eq, Hash)]
+    enum LocKey {
+        Field(u64, String),
+        Object(u64),
+    }
+    let mut groups: HashMap<LocKey, Vec<usize>> = HashMap::new();
+    for (idx, ev) in events.iter().enumerate() {
+        if ev.access == AccessClass::None {
+            continue;
+        }
+        let meta = op_meta(&mut meta_cache, ev.op);
+        let key = match meta.loc {
+            Some(loc) => LocKey::Field(ev.object.0, loc),
+            None => LocKey::Object(ev.object.0),
+        };
+        groups.entry(key).or_default().push(idx);
+    }
+
+    // Collect candidate pairs first, then apply the per-pair cap in a global
+    // deterministic order (later endpoint ascending, nearer earlier endpoint
+    // first): a static pair can span several location groups (same field on
+    // different objects), so capping during the per-group scan would depend
+    // on group iteration order.
+    let mut candidates: Vec<(usize, usize)> = Vec::new();
+    for group in groups.values() {
+        for (gj, &j) in group.iter().enumerate() {
+            let ej = &events[j];
+            for &i in group[..gj].iter().rev() {
+                let ei = &events[i];
+                if ej.time - ei.time > cfg.near {
+                    break;
+                }
+                if ei.thread == ej.thread || !ei.access.conflicts_with(ej.access) {
+                    continue;
+                }
+                candidates.push((i, j));
+            }
+        }
+    }
+    candidates.sort_unstable_by_key(|&(i, j)| (j, std::cmp::Reverse(i)));
+
+    let mut per_pair: HashMap<(OpId, OpId), usize> = HashMap::new();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for (i, j) in candidates {
+        let count = per_pair.entry((events[i].op, events[j].op)).or_insert(0);
+        if *count >= cfg.cap_per_pair {
+            continue;
+        }
+        *count += 1;
+        pairs.push((i, j));
+    }
+    // Output order: by the later endpoint, then the earlier.
+    pairs.sort_unstable_by_key(|&(i, j)| (j, i));
+
+    pairs
+        .into_iter()
+        .map(|(i, j)| build_window(trace, i, j, &mut meta_cache))
+        .collect()
+}
+
+fn build_window(
+    trace: &Trace,
+    i: usize,
+    j: usize,
+    meta_cache: &mut HashMap<OpId, OpMeta>,
+) -> Window {
+    let events = trace.events();
+    let a = &events[i];
+    let b = &events[j];
+    let mut release: BTreeMap<OpId, u32> = BTreeMap::new();
+    let mut acquire: BTreeMap<OpId, u32> = BTreeMap::new();
+    for ev in &events[i..=j] {
+        if ev.thread == a.thread {
+            *release.entry(ev.op).or_insert(0) += 1;
+        } else if ev.thread == b.thread {
+            *acquire.entry(ev.op).or_insert(0) += 1;
+        }
+    }
+    let release: Vec<Candidate> = release
+        .into_iter()
+        .map(|(op, count)| Candidate { op, count })
+        .collect();
+    let acquire: Vec<Candidate> = acquire
+        .into_iter()
+        .map(|(op, count)| Candidate { op, count })
+        .collect();
+    let release_capable = release
+        .iter()
+        .any(|c| op_meta(meta_cache, c.op).can_release);
+    let acquire_capable = acquire
+        .iter()
+        .any(|c| op_meta(meta_cache, c.op).can_acquire);
+    Window {
+        a_op: a.op,
+        b_op: b.op,
+        a_thread: a.thread,
+        b_thread: b.thread,
+        a_time: a.time,
+        b_time: b.time,
+        object: a.object,
+        release,
+        acquire,
+        release_capable,
+        acquire_capable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceBuilder;
+
+    fn w(class: &str, field: &str) -> OpId {
+        OpRef::field_write(class, field).intern()
+    }
+    fn r(class: &str, field: &str) -> OpId {
+        OpRef::field_read(class, field).intern()
+    }
+
+    #[test]
+    fn basic_write_read_window() {
+        let mut tb = TraceBuilder::new();
+        tb.push(Time::from_millis(1), 0, w("W", "flag"), 9);
+        tb.push(Time::from_millis(2), 0, OpRef::app_end("W", "produce").intern(), 9);
+        tb.push(Time::from_millis(3), 1, OpRef::app_begin("W", "consume").intern(), 9);
+        tb.push(Time::from_millis(4), 1, r("W", "flag"), 9);
+        let ws = extract(&tb.finish(), &WindowConfig::default());
+        assert_eq!(ws.len(), 1);
+        let win = &ws[0];
+        assert_eq!(win.a_op, w("W", "flag"));
+        assert_eq!(win.b_op, r("W", "flag"));
+        assert_eq!(win.release.len(), 2); // flag write + produce-End
+        assert_eq!(win.acquire.len(), 2); // consume-Begin + flag read
+        assert!(win.release_capable && win.acquire_capable);
+        assert!(!win.is_racy());
+    }
+
+    #[test]
+    fn near_filter_drops_distant_pairs() {
+        let mut tb = TraceBuilder::new();
+        tb.push(Time::from_millis(0), 0, w("N", "x"), 1);
+        tb.push(Time::from_secs(2), 1, r("N", "x"), 1);
+        assert!(extract(&tb.finish(), &WindowConfig::default()).is_empty());
+
+        let mut tb = TraceBuilder::new();
+        tb.push(Time::from_millis(0), 0, w("N", "x"), 1);
+        tb.push(Time::from_secs(2), 1, r("N", "x"), 1);
+        let wide = WindowConfig {
+            near: Time::from_secs(100),
+            ..WindowConfig::default()
+        };
+        assert_eq!(extract(&tb.finish(), &wide).len(), 1);
+    }
+
+    #[test]
+    fn same_thread_accesses_do_not_conflict() {
+        let mut tb = TraceBuilder::new();
+        tb.push(Time::from_millis(1), 0, w("S", "x"), 1);
+        tb.push(Time::from_millis(2), 0, r("S", "x"), 1);
+        assert!(extract(&tb.finish(), &WindowConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn read_read_does_not_conflict() {
+        let mut tb = TraceBuilder::new();
+        tb.push(Time::from_millis(1), 0, r("RR", "x"), 1);
+        tb.push(Time::from_millis(2), 1, r("RR", "x"), 1);
+        assert!(extract(&tb.finish(), &WindowConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn different_objects_do_not_conflict() {
+        let mut tb = TraceBuilder::new();
+        tb.push(Time::from_millis(1), 0, w("O", "x"), 1);
+        tb.push(Time::from_millis(2), 1, r("O", "x"), 2);
+        assert!(extract(&tb.finish(), &WindowConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn different_fields_on_same_object_do_not_conflict() {
+        let mut tb = TraceBuilder::new();
+        tb.push(Time::from_millis(1), 0, w("F", "x"), 1);
+        tb.push(Time::from_millis(2), 1, r("F", "y"), 1);
+        assert!(extract(&tb.finish(), &WindowConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn cap_limits_windows_per_static_pair() {
+        let cfg = WindowConfig {
+            cap_per_pair: 3,
+            ..WindowConfig::default()
+        };
+        let mut tb = TraceBuilder::new();
+        let mut t = 0;
+        for _ in 0..10 {
+            tb.push(Time::from_micros(t), 0, w("Cap", "x"), 1);
+            t += 1;
+            tb.push(Time::from_micros(t), 1, r("Cap", "x"), 1);
+            t += 1;
+        }
+        let ws = extract(&tb.finish(), &cfg);
+        // Both (write→read) and (read→write) static pairs exist; each capped.
+        let wr = ws
+            .iter()
+            .filter(|x| x.pair() == (w("Cap", "x"), r("Cap", "x")))
+            .count();
+        let rw = ws
+            .iter()
+            .filter(|x| x.pair() == (r("Cap", "x"), w("Cap", "x")))
+            .count();
+        assert_eq!(wr, 3);
+        assert_eq!(rw, 3);
+    }
+
+    #[test]
+    fn candidates_deduplicate_with_counts() {
+        let mut tb = TraceBuilder::new();
+        tb.push(Time::from_micros(1), 0, w("Dup", "x"), 1);
+        for k in 2..7 {
+            tb.push(
+                Time::from_micros(k),
+                1,
+                OpRef::app_begin("Dup", "poll").intern(),
+                1,
+            );
+        }
+        tb.push(Time::from_micros(7), 1, r("Dup", "x"), 1);
+        let ws = extract(&tb.finish(), &WindowConfig::default());
+        assert_eq!(ws.len(), 1);
+        let poll = OpRef::app_begin("Dup", "poll").intern();
+        let cand = ws[0].acquire.iter().find(|c| c.op == poll).unwrap();
+        assert_eq!(cand.count, 5);
+    }
+
+    #[test]
+    fn racy_when_release_side_has_only_reads() {
+        // Spin-loop reads *before* the write: the (read → write) pair has a
+        // release window of pure reads, which cannot release — a witnessed
+        // race (the reason flags "should be marked volatile", paper §5.5).
+        let mut tb = TraceBuilder::new();
+        tb.push(Time::from_micros(1), 1, r("Spin", "f"), 1);
+        tb.push(Time::from_micros(2), 1, r("Spin", "f"), 1);
+        tb.push(Time::from_micros(3), 0, w("Spin", "f"), 1);
+        let ws = extract(&tb.finish(), &WindowConfig::default());
+        // Two (read→write) windows, both racy.
+        assert!(!ws.is_empty());
+        assert!(ws.iter().all(|x| x.is_racy()));
+        assert!(ws.iter().all(|x| !x.release_capable));
+    }
+
+    #[test]
+    fn write_write_conflicts() {
+        let mut tb = TraceBuilder::new();
+        tb.push(Time::from_micros(1), 0, w("WW", "x"), 1);
+        tb.push(Time::from_micros(2), 1, w("WW", "x"), 1);
+        let ws = extract(&tb.finish(), &WindowConfig::default());
+        assert_eq!(ws.len(), 1);
+        // The acquire window holds only a write → cannot acquire → racy.
+        assert!(ws[0].is_racy());
+        assert!(!ws[0].acquire_capable);
+        assert!(ws[0].release_capable);
+    }
+
+    #[test]
+    fn thread_unsafe_api_calls_conflict_per_object() {
+        let add_b = OpRef::lib_begin("List", "Add").intern();
+        let add_e = OpRef::lib_end("List", "Add").intern();
+        let mut tb = TraceBuilder::new();
+        tb.push_classified(Time::from_micros(1), 0, add_b, 5, AccessClass::Write);
+        tb.push_classified(Time::from_micros(2), 0, add_e, 5, AccessClass::None);
+        tb.push_classified(Time::from_micros(3), 1, add_b, 5, AccessClass::Write);
+        tb.push_classified(Time::from_micros(4), 1, add_e, 5, AccessClass::None);
+        let ws = extract(&tb.finish(), &WindowConfig::default());
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].pair(), (add_b, add_b));
+        // Lib begins are release- and acquire-capable.
+        assert!(!ws[0].is_racy());
+    }
+
+    #[test]
+    fn third_party_thread_events_are_excluded_from_candidates() {
+        let mut tb = TraceBuilder::new();
+        tb.push(Time::from_micros(1), 0, w("TP", "x"), 1);
+        tb.push(Time::from_micros(2), 2, OpRef::app_begin("TP", "noise").intern(), 1);
+        tb.push(Time::from_micros(3), 1, r("TP", "x"), 1);
+        let ws = extract(&tb.finish(), &WindowConfig::default());
+        assert_eq!(ws.len(), 1);
+        let noise = OpRef::app_begin("TP", "noise").intern();
+        assert!(ws[0].release.iter().all(|c| c.op != noise));
+        assert!(ws[0].acquire.iter().all(|c| c.op != noise));
+    }
+
+    #[test]
+    fn windows_sorted_by_later_endpoint() {
+        let mut tb = TraceBuilder::new();
+        tb.push(Time::from_micros(1), 0, w("Ord", "x"), 1);
+        tb.push(Time::from_micros(2), 1, r("Ord", "x"), 1);
+        tb.push(Time::from_micros(3), 0, w("Ord", "y"), 1);
+        tb.push(Time::from_micros(4), 1, r("Ord", "y"), 1);
+        let ws = extract(&tb.finish(), &WindowConfig::default());
+        assert!(ws.windows(2).all(|p| p[0].b_time <= p[1].b_time));
+    }
+}

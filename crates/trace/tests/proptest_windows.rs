@@ -1,0 +1,155 @@
+//! Property tests for window extraction: the production implementation must
+//! agree with a transparent quadratic reference on random traces.
+
+use proptest::prelude::*;
+use sherlock_trace::windows::{extract, WindowConfig};
+use sherlock_trace::{OpRef, Time, Trace, TraceBuilder};
+
+#[derive(Debug, Clone)]
+struct Ev {
+    thread: u32,
+    field: usize,
+    object: u64,
+    write: bool,
+    gap_us: u64,
+}
+
+fn events() -> impl Strategy<Value = Vec<Ev>> {
+    proptest::collection::vec(
+        (0u32..3, 0usize..3, 1u64..3, any::<bool>(), 0u64..2000).prop_map(
+            |(thread, field, object, write, gap_us)| Ev {
+                thread,
+                field,
+                object,
+                write,
+                gap_us,
+            },
+        ),
+        0..40,
+    )
+}
+
+fn build(evs: &[Ev]) -> Trace {
+    let mut tb = TraceBuilder::new();
+    let mut t = 0u64;
+    for e in evs {
+        t += e.gap_us + 1;
+        let op = if e.write {
+            OpRef::field_write("PW", format!("f{}", e.field)).intern()
+        } else {
+            OpRef::field_read("PW", format!("f{}", e.field)).intern()
+        };
+        tb.push(Time::from_micros(t), e.thread, op, e.object);
+    }
+    tb.finish()
+}
+
+/// Reference implementation: all-pairs scan with the same rules.
+fn reference_pairs(trace: &Trace, cfg: &WindowConfig) -> Vec<(usize, usize)> {
+    let events = trace.events();
+    let mut per_pair = std::collections::HashMap::new();
+    let mut out = Vec::new();
+    for j in 0..events.len() {
+        // Reference scans candidates from nearest to farthest, matching the
+        // per-pair cap semantics of the production code.
+        for i in (0..j).rev() {
+            let (a, b) = (&events[i], &events[j]);
+            let same_loc = a.object == b.object
+                && a.op.resolve().class() == b.op.resolve().class()
+                && a.op.resolve().member() == b.op.resolve().member();
+            if !same_loc
+                || a.thread == b.thread
+                || !a.access.conflicts_with(b.access)
+                || b.time - a.time > cfg.near
+            {
+                continue;
+            }
+            let count = per_pair.entry((a.op, b.op)).or_insert(0usize);
+            if *count >= cfg.cap_per_pair {
+                continue;
+            }
+            *count += 1;
+            out.push((i, j));
+        }
+    }
+    out.sort_unstable_by_key(|&(i, j)| (j, i));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Same dynamic pair set as the reference implementation.
+    #[test]
+    fn extraction_matches_reference(evs in events()) {
+        let trace = build(&evs);
+        let cfg = WindowConfig { near: Time::from_millis(20), cap_per_pair: 4 };
+        let production = extract(&trace, &cfg);
+        let reference = reference_pairs(&trace, &cfg);
+        prop_assert_eq!(production.len(), reference.len());
+        for (w, &(i, j)) in production.iter().zip(&reference) {
+            prop_assert_eq!(w.a_op, trace.events()[i].op);
+            prop_assert_eq!(w.b_op, trace.events()[j].op);
+            prop_assert_eq!(w.a_time, trace.events()[i].time);
+            prop_assert_eq!(w.b_time, trace.events()[j].time);
+        }
+    }
+
+    /// Structural invariants of every extracted window.
+    #[test]
+    fn window_invariants(evs in events()) {
+        let trace = build(&evs);
+        let cfg = WindowConfig::default();
+        for w in extract(&trace, &cfg) {
+            // Endpoints ordered, distinct threads, within Near.
+            prop_assert!(w.a_time <= w.b_time);
+            prop_assert!(w.a_thread != w.b_thread);
+            prop_assert!(w.b_time - w.a_time <= cfg.near);
+            // Both endpoints appear among their side's candidates.
+            prop_assert!(w.release.iter().any(|c| c.op == w.a_op));
+            prop_assert!(w.acquire.iter().any(|c| c.op == w.b_op));
+            // Candidates deduplicated and sorted with positive counts.
+            prop_assert!(w.release.windows(2).all(|p| p[0].op < p[1].op));
+            prop_assert!(w.acquire.windows(2).all(|p| p[0].op < p[1].op));
+            prop_assert!(w.release.iter().all(|c| c.count > 0));
+            // Capability flags agree with candidate op kinds.
+            let rel_cap = w.release.iter().any(|c| c.op.resolve().can_release());
+            let acq_cap = w.acquire.iter().any(|c| c.op.resolve().can_acquire());
+            prop_assert_eq!(w.release_capable, rel_cap);
+            prop_assert_eq!(w.acquire_capable, acq_cap);
+            prop_assert_eq!(w.is_racy(), !rel_cap || !acq_cap);
+        }
+    }
+
+    /// The per-pair cap is respected exactly.
+    #[test]
+    fn cap_respected(evs in events(), cap in 1usize..5) {
+        let trace = build(&evs);
+        let cfg = WindowConfig { near: Time::from_secs(10), cap_per_pair: cap };
+        let mut counts = std::collections::HashMap::new();
+        for w in extract(&trace, &cfg) {
+            *counts.entry(w.pair()).or_insert(0usize) += 1;
+        }
+        for (_, c) in counts {
+            prop_assert!(c <= cap);
+        }
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_round_trip {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// JSON round-trips preserve every event and delay (ids re-intern).
+        #[test]
+        fn trace_json_round_trip(evs in events()) {
+            let trace = build(&evs);
+            let json = serde_json::to_string(&trace).expect("serialize");
+            let back: Trace = serde_json::from_str(&json).expect("deserialize");
+            prop_assert_eq!(trace.events(), back.events());
+            prop_assert_eq!(trace.delays(), back.delays());
+        }
+    }
+}

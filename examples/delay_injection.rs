@@ -1,0 +1,68 @@
+//! The Perturber at work (paper §3): feedback-driven delay injection
+//! refining acquire/release windows across rounds.
+//!
+//! ```sh
+//! cargo run --example delay_injection
+//! ```
+//!
+//! The workload plants a *decoy*: a logging method that runs right after
+//! the real release, so it appears in every release window. If the Solver
+//! hedges toward the decoy, the Perturber injects a 100 ms delay before it —
+//! and because the event is already set by then, the consumer proceeds
+//! during the delay: the delay fails to propagate (Fig. 2b), the decoy is
+//! excluded for this window pair, and the real release wins. (A decoy
+//! *before* the release would be unfalsifiable: delaying it delays the real
+//! release too, so the delay always propagates.)
+
+use sherlock_core::{Role, SherLock, SherLockConfig, TestCase};
+use sherlock_sim::api;
+use sherlock_sim::prims::{EventWaitHandle, SimThread, TracedVar};
+use sherlock_trace::{OpRef, Time};
+
+fn main() {
+    let tests = vec![TestCase::new("decoy_next_to_release", || {
+        let payload = TracedVar::new("Decoyed", "payload", 0u32);
+        let footer = TracedVar::new("Decoyed", "footer", 0u32);
+        let handoff = EventWaitHandle::new(false);
+        let (p, f, h) = (payload.clone(), footer.clone(), handoff.clone());
+        let producer = SimThread::start("Decoyed", "Producer", move || {
+            p.set(11);
+            f.set(22);
+            h.set();
+            // The decoy: unrelated logging right after the real release.
+            api::app_method("Decoyed", "LogProgress", 0, || {
+                api::sleep(Time::from_micros(20));
+            });
+        });
+        handoff.wait_one();
+        api::sleep(Time::from_micros(400)); // deserialize before reading
+        for _ in 0..3 {
+            assert_eq!(payload.get(), 11);
+            assert_eq!(footer.get(), 22);
+        }
+        producer.join();
+    })];
+
+    let mut sherlock = SherLock::new(SherLockConfig::default());
+    let set_op = OpRef::lib_begin("System.Threading.EventWaitHandle", "Set").intern();
+    let decoy_end = OpRef::app_end("Decoyed", "LogProgress").intern();
+
+    for round in 1..=3 {
+        let report = sherlock.run_rounds(&tests, 1).expect("solver failed");
+        let stats = sherlock.stats().last().expect("round ran").clone();
+        println!(
+            "round {round}: P(Set releases) = {:.2}, P(decoy releases) = {:.2} \
+             ({} confirmations, {} exclusions this round)",
+            report.probability(set_op, Role::Release),
+            report.probability(decoy_end, Role::Release),
+            stats.confirmations,
+            stats.exclusions,
+        );
+    }
+
+    let report = sherlock.report();
+    assert!(report.contains(set_op, Role::Release));
+    assert!(!report.contains(decoy_end, Role::Release));
+    println!("\nOK: EventWaitHandle::Set holds the release; the decoy does not.");
+    println!("{}", report.render());
+}

@@ -1,0 +1,15 @@
+//! SherLock-rs workspace façade: re-exports of the crates the examples and
+//! integration tests exercise.
+//!
+//! Library users should depend on the individual crates
+//! ([`sherlock_core`], [`sherlock_sim`], …); this crate exists so the
+//! repository-level examples and cross-crate integration tests have a single
+//! package to live in.
+
+pub use sherlock_apps as apps;
+pub use sherlock_core as core;
+pub use sherlock_lp as lp;
+pub use sherlock_racer as racer;
+pub use sherlock_sim as sim;
+pub use sherlock_trace as trace;
+pub use sherlock_tsvd as tsvd;

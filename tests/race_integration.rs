@@ -1,0 +1,174 @@
+//! Cross-crate integration: inference output driving the FastTrack detector
+//! (the paper's §5.4 pipeline), plus suite-level invariants.
+
+use sherlock_apps::{all_apps, app_by_id, Verdict};
+use sherlock_core::{SherLock, SherLockConfig, TestCase};
+use sherlock_racer::{detect, first_race, SyncSpec};
+use sherlock_sim::api;
+use sherlock_sim::prims::{Task, TracedVar};
+use sherlock_sim::SimConfig;
+
+/// A task-ordered handoff: Manual_dr (no TPL knowledge) reports a false
+/// race; the spec built from SherLock's inference does not.
+#[test]
+fn inferred_spec_eliminates_manual_false_positive() {
+    // Two sequential handoffs over disjoint fields through the same task
+    // APIs: `Task.Wait`'s return is the shared acquire, whose happens-before
+    // channel (the task object) matches the delegate-exit release.
+    let tests = vec![TestCase::new("task_handoff", || {
+        let a = TracedVar::new("RI.Handoff", "a", 0u32);
+        let b = TracedVar::new("RI.Handoff", "b", 0u32);
+        let (a2, b2) = (a.clone(), b.clone());
+        let t = Task::run("RI.Handoff", "Producer", move || {
+            a2.set(1);
+            b2.set(2);
+        });
+        t.wait();
+        for _ in 0..4 {
+            assert_eq!(a.get(), 1);
+            assert_eq!(b.get(), 2);
+        }
+        let c = TracedVar::new("RI.Handoff", "c", 0u32);
+        let d = TracedVar::new("RI.Handoff", "d", 0u32);
+        let (c2, d2) = (c.clone(), d.clone());
+        let t = Task::run("RI.Handoff", "Producer", move || {
+            c2.set(3);
+            d2.set(4);
+        });
+        t.wait();
+        for _ in 0..4 {
+            assert_eq!(c.get(), 3);
+            assert_eq!(d.get(), 4);
+        }
+    })];
+    let mut sl = SherLock::new(SherLockConfig::default());
+    sl.run_rounds(&tests, 3).expect("solver failed");
+    let inferred = SyncSpec::from_report(sl.report());
+
+    let run = tests[0].run(SimConfig::with_seed(77));
+    assert!(
+        !detect(&run.trace, &SyncSpec::manual()).is_empty(),
+        "Manual_dr should false-positive on the task handoff"
+    );
+    assert!(
+        detect(&run.trace, &inferred).is_empty(),
+        "SherLock_dr should know the task ordering; spec: {inferred:?}"
+    );
+}
+
+/// A seeded write/write race is witnessed (not inferred as sync) and both
+/// detectors can see it; SherLock marks the pair racy.
+#[test]
+fn seeded_race_survives_inference_and_is_detected() {
+    let tests = vec![TestCase::new("ww", || {
+        let v = TracedVar::new("RI.Race", "counter", 0u32);
+        let v2 = v.clone();
+        let t = api::spawn("w", move || v2.set(1));
+        v.set(2);
+        t.join();
+    })];
+    let mut sl = SherLock::new(SherLockConfig::default());
+    sl.run_rounds(&tests, 3).expect("solver failed");
+    let inferred = SyncSpec::from_report(sl.report());
+
+    let run = tests[0].run(SimConfig::with_seed(5));
+    let race = first_race(&run.trace, &inferred).expect("race must be detected");
+    assert!(race.location.starts_with("RI.Race::counter"));
+    assert!(sl.report().racy_pairs >= 1);
+}
+
+/// Suite-level Table 2 invariants: every app yields true syncs; the
+/// misclassification categories appear exactly where seeded.
+#[test]
+fn suite_scores_match_seeded_structure() {
+    let cfg = SherLockConfig::default();
+    for app in all_apps() {
+        let mut sl = SherLock::new(cfg.clone());
+        sl.run_rounds(&app.tests, 3).expect("solver failed");
+        let report = sl.report();
+        let verdicts: Vec<Verdict> = report
+            .inferred
+            .iter()
+            .map(|i| app.truth.classify(i.op, i.role))
+            .collect();
+        let count = |v: Verdict| verdicts.iter().filter(|&&x| x == v).count();
+
+        assert!(
+            count(Verdict::TrueSync) >= 3,
+            "{} found too few true syncs: {}",
+            app.id,
+            report.render()
+        );
+        let precision = count(Verdict::TrueSync) as f64 / verdicts.len().max(1) as f64;
+        assert!(
+            precision >= 0.4,
+            "{} precision collapsed: {precision:.2}\n{}",
+            app.id,
+            report.render()
+        );
+        if !app.truth.hidden_classes.is_empty() {
+            assert!(
+                count(Verdict::InstrError) >= 1,
+                "{} should show instrumentation errors",
+                app.id
+            );
+        }
+    }
+}
+
+/// Table 3 invariant: summed over the suite, SherLock_dr reports at least as
+/// many true races and no more false races than Manual_dr.
+#[test]
+fn sherlock_dr_beats_manual_dr() {
+    let cfg = SherLockConfig::default();
+    let mut manual_true = 0;
+    let mut manual_false = 0;
+    let mut sherlock_true = 0;
+    let mut sherlock_false = 0;
+    for app in all_apps() {
+        let mut sl = SherLock::new(cfg.clone());
+        sl.run_rounds(&app.tests, 3).expect("solver failed");
+        let inferred = SyncSpec::from_report(sl.report());
+        let manual = app.truth.manual_spec();
+        for (i, test) in app.tests.iter().enumerate() {
+            let run = test.run(SimConfig::with_seed(0xD00D + i as u64));
+            if let Some(r) = first_race(&run.trace, &manual) {
+                if app.truth.is_true_race(&r.location) {
+                    manual_true += 1;
+                } else {
+                    manual_false += 1;
+                }
+            }
+            if let Some(r) = first_race(&run.trace, &inferred) {
+                if app.truth.is_true_race(&r.location) {
+                    sherlock_true += 1;
+                } else {
+                    sherlock_false += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        sherlock_true > manual_true,
+        "true races: sherlock {sherlock_true} vs manual {manual_true}"
+    );
+    assert!(
+        sherlock_false < manual_false,
+        "false races: sherlock {sherlock_false} vs manual {manual_false}"
+    );
+}
+
+/// The app registry is coherent with inference: at least half of App-2's
+/// ground-truth groups are recoverable (the smallest, cleanest app).
+#[test]
+fn app2_recall_is_high() {
+    let app = app_by_id("App-2").unwrap();
+    let mut sl = SherLock::new(SherLockConfig::default());
+    sl.run_rounds(&app.tests, 3).expect("solver failed");
+    let covered = app.truth.groups_covered(sl.report());
+    assert!(
+        covered * 2 >= app.truth.sync_groups.len(),
+        "App-2 covered only {covered}/{}",
+        app.truth.sync_groups.len()
+    );
+}
