@@ -107,10 +107,7 @@ impl GroundTruth {
             Verdict::TrueSync
         } else if self.racy_ops.contains(&op) {
             Verdict::DataRacy
-        } else if self
-            .hidden_classes
-            .contains(op.resolve().class())
-        {
+        } else if self.hidden_classes.contains(op.resolve().class()) {
             Verdict::InstrError
         } else {
             Verdict::NotSync

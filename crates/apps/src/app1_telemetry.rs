@@ -9,10 +9,10 @@
 //! (paper Table 2).
 
 use sherlock_core::{Role, TestCase};
+use sherlock_sim::api;
 use sherlock_sim::prims::{
     testfx, EventWaitHandle, Interlocked, Monitor, SimThread, Task, TracedVar, UnsafeList,
 };
-use sherlock_sim::api;
 use sherlock_trace::{OpRef, Time};
 
 use crate::app::{

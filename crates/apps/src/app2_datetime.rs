@@ -14,8 +14,8 @@
 use std::sync::Arc;
 
 use sherlock_core::{Role, TestCase};
-use sherlock_sim::prims::{ConcurrentMap, SimThread, StaticCtor, TracedVar};
 use sherlock_sim::api;
+use sherlock_sim::prims::{ConcurrentMap, SimThread, StaticCtor, TracedVar};
 use sherlock_trace::Time;
 
 use crate::app::{
@@ -176,7 +176,10 @@ fn truth() -> GroundTruth {
             Role::Release,
             [
                 app_end(CACHE, "GetOrAdd"),
-                lib_site("System.Collections.Concurrent.ConcurrentDictionary", "GetOrAdd"),
+                lib_site(
+                    "System.Collections.Concurrent.ConcurrentDictionary",
+                    "GetOrAdd",
+                ),
                 app_end(CACHE, "<GetOrAdd>d1"),
                 app_end(CACHE, "<GetOrAdd>d2"),
             ]
@@ -187,7 +190,10 @@ fn truth() -> GroundTruth {
             Role::Acquire,
             [
                 app_begin(CACHE, "GetOrAdd"),
-                lib_site("System.Collections.Concurrent.ConcurrentDictionary", "GetOrAdd"),
+                lib_site(
+                    "System.Collections.Concurrent.ConcurrentDictionary",
+                    "GetOrAdd",
+                ),
                 app_begin(CACHE, "<GetOrAdd>d1"),
                 app_begin(CACHE, "<GetOrAdd>d2"),
             ]
@@ -208,7 +214,11 @@ fn truth() -> GroundTruth {
             Role::Release,
             field_write(HOLIDAYS, "ascension"),
         ),
-        SyncGroup::new("check flag", Role::Acquire, field_read(HOLIDAYS, "ascension")),
+        SyncGroup::new(
+            "check flag",
+            Role::Acquire,
+            field_read(HOLIDAYS, "ascension"),
+        ),
     ];
     t.volatile_fields = vec![(HOLIDAYS.into(), "ascension".into())];
     t.delegates = vec![

@@ -7,8 +7,8 @@
 //! instrumentation errors (paper Table 2).
 
 use sherlock_core::{Role, TestCase};
-use sherlock_sim::prims::{EventWaitHandle, Monitor, StaticCtor, Task, TracedVar};
 use sherlock_sim::api;
+use sherlock_sim::prims::{EventWaitHandle, Monitor, StaticCtor, Task, TracedVar};
 use sherlock_trace::Time;
 
 use crate::app::{
@@ -168,11 +168,7 @@ fn truth() -> GroundTruth {
             Role::Release,
             field_write(EXEC, "<IsRunning>"),
         ),
-        SyncGroup::new(
-            "read flag",
-            Role::Acquire,
-            field_read(EXEC, "<IsRunning>"),
-        ),
+        SyncGroup::new("read flag", Role::Acquire, field_read(EXEC, "<IsRunning>")),
         SyncGroup::new(
             "start of task (spec delegates)",
             Role::Acquire,

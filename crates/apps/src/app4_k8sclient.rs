@@ -9,8 +9,8 @@
 //! reproducing the paper's Instr.-Errors category.
 
 use sherlock_core::{Role, TestCase};
-use sherlock_sim::prims::{BlockingCollection, Monitor, SimThread, Task, TracedVar};
 use sherlock_sim::api;
+use sherlock_sim::prims::{BlockingCollection, Monitor, SimThread, Task, TracedVar};
 use sherlock_trace::Time;
 
 use crate::app::{
@@ -211,7 +211,11 @@ fn truth() -> GroundTruth {
         SyncGroup::new(
             "write flag: file is ready",
             Role::Release,
-            [field_write(BUFFER, "endOfFile"), app_end(BUFFER, "WriteEnd")].concat(),
+            [
+                field_write(BUFFER, "endOfFile"),
+                app_end(BUFFER, "WriteEnd"),
+            ]
+            .concat(),
         ),
         SyncGroup::new(
             "read flag: file is ready",
@@ -301,7 +305,10 @@ fn truth() -> GroundTruth {
             Role::Release,
             [
                 lib_site("System.Collections.Concurrent.BlockingCollection", "Add"),
-                lib_site("System.Collections.Concurrent.BlockingCollection", "CompleteAdding"),
+                lib_site(
+                    "System.Collections.Concurrent.BlockingCollection",
+                    "CompleteAdding",
+                ),
             ]
             .concat(),
         ),
@@ -365,7 +372,11 @@ mod tests_mod {
     fn hidden_helpers_do_not_appear_in_traces() {
         use sherlock_trace::OpRef;
         let a = app();
-        let t = a.tests.iter().find(|t| t.name() == "hidden_pump_helper").unwrap();
+        let t = a
+            .tests
+            .iter()
+            .find(|t| t.name() == "hidden_pump_helper")
+            .unwrap();
         let r = t.run(SimConfig::with_seed(444));
         let hidden = OpRef::app_begin(WATCH, "<Pump>b__hidden0").intern();
         assert!(r.trace.events().iter().all(|e| e.op != hidden));

@@ -8,15 +8,13 @@
 //! `WaitHandle.WaitAll` rendezvous, and two seeded racy counters.
 
 use sherlock_core::{Role, TestCase};
+use sherlock_sim::api;
 use sherlock_sim::prims::{
     testfx::Assert, Barrier, EventWaitHandle, GcHeap, Monitor, SimThread, TracedVar,
 };
-use sherlock_sim::api;
 use sherlock_trace::{OpRef, Time};
 
-use crate::app::{
-    app_begin, app_end, field_write, lib_site, App, GroundTruth, SyncGroup,
-};
+use crate::app::{app_begin, app_end, field_write, lib_site, App, GroundTruth, SyncGroup};
 
 const ENTITY: &str = "Radical.Model.Entity";
 const TRACKING: &str = "Radical.ChangeTracking.ChangeTrackingService";
@@ -47,23 +45,33 @@ impl MessageBroker {
     /// topic index — the atomic registration is the synchronization.
     fn subscribe(&self) {
         let this = self.clone();
-        api::app_method(BROKER, "<SubscribeCore>", self.subscribers.object(), move || {
-            this.subscribers.update(|s| s + 1);
-            this.topic_index.update(|t| t + 16);
-        });
+        api::app_method(
+            BROKER,
+            "<SubscribeCore>",
+            self.subscribers.object(),
+            move || {
+                this.subscribers.update(|s| s + 1);
+                this.topic_index.update(|t| t + 16);
+            },
+        );
     }
 
     fn broadcast(&self) -> u32 {
         let this = self.clone();
-        api::app_method(BROKER, "<Broadcast>", self.subscribers.object(), move || {
-            let subs = this.subscribers.get();
-            let _ = this.topic_index.get();
-            this.monitor.with_lock(|| {
-                this.delivered.update(|d| d + subs);
-                this.delivery_log.update(|l| l + 1);
-            });
-            subs
-        })
+        api::app_method(
+            BROKER,
+            "<Broadcast>",
+            self.subscribers.object(),
+            move || {
+                let subs = this.subscribers.get();
+                let _ = this.topic_index.get();
+                this.monitor.with_lock(|| {
+                    this.delivered.update(|d| d + subs);
+                    this.delivery_log.update(|l| l + 1);
+                });
+                subs
+            },
+        )
     }
 }
 
@@ -312,8 +320,14 @@ fn truth() -> GroundTruth {
             "end of last access (Assert)",
             Role::Release,
             [
-                lib_site("Microsoft.VisualStudio.TestTools.UnitTesting.Assert", "IsTrue"),
-                lib_site("Microsoft.VisualStudio.TestTools.UnitTesting.Assert", "IsFalse"),
+                lib_site(
+                    "Microsoft.VisualStudio.TestTools.UnitTesting.Assert",
+                    "IsTrue",
+                ),
+                lib_site(
+                    "Microsoft.VisualStudio.TestTools.UnitTesting.Assert",
+                    "IsFalse",
+                ),
             ]
             .concat(),
         ),
@@ -333,18 +347,28 @@ fn truth() -> GroundTruth {
             lib_site("System.Threading.Thread", "Join"),
         ),
     ];
-    t.racy_ops.insert(OpRef::field_read(TESTS, "dispatchCount").intern());
-    t.racy_ops.insert(OpRef::field_write(TESTS, "dispatchCount").intern());
+    t.racy_ops
+        .insert(OpRef::field_read(TESTS, "dispatchCount").intern());
+    t.racy_ops
+        .insert(OpRef::field_write(TESTS, "dispatchCount").intern());
     t.race_locations.insert(format!("{TESTS}::dispatchCount"));
     t.sync_groups.push(SyncGroup::new(
         "start/end of dispatch task delegate",
         Role::Acquire,
-        [app_begin(TESTS, "<DispatchWorker>"), app_begin(TESTS, "<StageSetup>")].concat(),
+        [
+            app_begin(TESTS, "<DispatchWorker>"),
+            app_begin(TESTS, "<StageSetup>"),
+        ]
+        .concat(),
     ));
     t.sync_groups.push(SyncGroup::new(
         "end of dispatch task delegate",
         Role::Release,
-        [app_end(TESTS, "<DispatchWorker>"), app_end(TESTS, "<StageSetup>")].concat(),
+        [
+            app_end(TESTS, "<DispatchWorker>"),
+            app_end(TESTS, "<StageSetup>"),
+        ]
+        .concat(),
     ));
     t.sync_groups.push(SyncGroup::new(
         "staging queue publication",
@@ -385,12 +409,20 @@ fn truth() -> GroundTruth {
     t.sync_groups.push(SyncGroup::new(
         "start of barrier/dispatch workers",
         Role::Acquire,
-        [app_begin(TESTS, "<BarrierWorker>"), app_begin(TESTS, "<DispatchLoop>")].concat(),
+        [
+            app_begin(TESTS, "<BarrierWorker>"),
+            app_begin(TESTS, "<DispatchLoop>"),
+        ]
+        .concat(),
     ));
     t.sync_groups.push(SyncGroup::new(
         "end of barrier/dispatch workers",
         Role::Release,
-        [app_end(TESTS, "<BarrierWorker>"), app_end(TESTS, "<DispatchLoop>")].concat(),
+        [
+            app_end(TESTS, "<BarrierWorker>"),
+            app_end(TESTS, "<DispatchLoop>"),
+        ]
+        .concat(),
     ));
     t.sync_groups.push(SyncGroup::new(
         "monitor pulse (signal)",

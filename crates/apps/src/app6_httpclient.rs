@@ -7,10 +7,10 @@
 //! `<Run>b__40` — visible to the Observer, unlike the `b__hidden` ones.
 
 use sherlock_core::{Role, TestCase};
+use sherlock_sim::api;
 use sherlock_sim::prims::{
     CountdownEvent, EventWaitHandle, Monitor, SimThread, Task, ThreadPool, TracedVar, UnsafeList,
 };
-use sherlock_sim::api;
 use sherlock_trace::Time;
 
 use crate::app::{
@@ -134,11 +134,20 @@ fn tests() -> Vec<TestCase> {
         let payload = TracedVar::new(HTTP, "requestPayload", 0u32);
         let p2 = payload.clone();
         payload.set(7);
-        api::lib_call("System.Net.WebRequest", "BeginGetResponse", payload.object(), || {
-            SimThread::start(HTTP, "<WriteRequestBodyAsync>gRequestStreamCallback1", move || {
-                assert_eq!(p2.get(), 7);
-            })
-        })
+        api::lib_call(
+            "System.Net.WebRequest",
+            "BeginGetResponse",
+            payload.object(),
+            || {
+                SimThread::start(
+                    HTTP,
+                    "<WriteRequestBodyAsync>gRequestStreamCallback1",
+                    move || {
+                        assert_eq!(p2.get(), 7);
+                    },
+                )
+            },
+        )
         .join();
     }));
 
@@ -292,7 +301,10 @@ fn truth() -> GroundTruth {
     ));
     t.delegates = vec![
         (SERVER.into(), "<Run>b__40".into()),
-        (HTTP.into(), "<WriteRequestBodyAsync>gRequestStreamCallback1".into()),
+        (
+            HTTP.into(),
+            "<WriteRequestBodyAsync>gRequestStreamCallback1".into(),
+        ),
     ];
     t
 }

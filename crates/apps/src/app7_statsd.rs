@@ -8,11 +8,13 @@
 //! observation that two seeded races are *harmful* (§5.5).
 
 use sherlock_core::{Role, TestCase};
-use sherlock_sim::prims::{DataflowBlock, Task, TracedVar, UnsafeList};
 use sherlock_sim::api;
+use sherlock_sim::prims::{DataflowBlock, Task, TracedVar, UnsafeList};
 use sherlock_trace::{OpRef, Time};
 
-use crate::app::{app_begin, app_end, field_read, field_write, lib_site, App, GroundTruth, SyncGroup};
+use crate::app::{
+    app_begin, app_end, field_read, field_write, lib_site, App, GroundTruth, SyncGroup,
+};
 
 const PARSER: &str = "Stastd.MessageParser";
 const AGG: &str = "Stastd.Aggregator";
@@ -139,8 +141,16 @@ fn tests() -> Vec<TestCase> {
 fn truth() -> GroundTruth {
     let mut t = GroundTruth::default();
     t.sync_groups = vec![
-        SyncGroup::new("post event (producer)", Role::Release, lib_site(DATAFLOW, "Post")),
-        SyncGroup::new("receive result (consumer)", Role::Acquire, lib_site(DATAFLOW, "Receive")),
+        SyncGroup::new(
+            "post event (producer)",
+            Role::Release,
+            lib_site(DATAFLOW, "Post"),
+        ),
+        SyncGroup::new(
+            "receive result (consumer)",
+            Role::Acquire,
+            lib_site(DATAFLOW, "Receive"),
+        ),
         SyncGroup::new(
             "start of message handler",
             Role::Acquire,
@@ -191,7 +201,11 @@ fn truth() -> GroundTruth {
         SyncGroup::new(
             "start of task delegates",
             Role::Acquire,
-            [app_begin(AGG, "<ParseMetrics>a1"), app_begin(AGG, "<Publish>a1")].concat(),
+            [
+                app_begin(AGG, "<ParseMetrics>a1"),
+                app_begin(AGG, "<Publish>a1"),
+            ]
+            .concat(),
         ),
     ];
     for (class, field) in [(STATS, "flushCount"), (STATS, "gaugeValue")] {

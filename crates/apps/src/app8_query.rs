@@ -8,8 +8,8 @@
 //! assumption behind the paper's Double-Roles false positives (§5.5).
 
 use sherlock_core::{Role, TestCase};
-use sherlock_sim::prims::{RwLock, SimThread, StaticCtor, Task, TracedVar};
 use sherlock_sim::api;
+use sherlock_sim::prims::{RwLock, SimThread, StaticCtor, Task, TracedVar};
 use sherlock_trace::Time;
 
 use crate::app::{app_begin, app_end, lib_site, App, GroundTruth, SyncGroup};
@@ -104,7 +104,12 @@ fn tests() -> Vec<TestCase> {
         let duration = TracedVar::new(TESTS, "parseDuration", 0u32);
         let plan = TracedVar::new(TESTS, "queryPlan", 0u64);
         plan.set(0xCAFE); // prepared by the test before dispatch
-        let (f2, r2, d2, p2) = (factory.clone(), result.clone(), duration.clone(), plan.clone());
+        let (f2, r2, d2, p2) = (
+            factory.clone(),
+            result.clone(),
+            duration.clone(),
+            plan.clone(),
+        );
         let task = Task::start_new(TESTS, "ParseWorker", move || {
             assert_eq!(p2.get(), 0xCAFE);
             let c = f2.get_dynamic_class(0b1000);

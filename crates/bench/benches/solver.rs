@@ -26,11 +26,20 @@ fn synthetic_observations(num_pairs: usize, windows_per_pair: usize) -> Observat
                 object: ObjectId(p as u64 + 1),
                 release: vec![
                     Candidate { op: w, count: 1 },
-                    Candidate { op: rel_m, count: (k % 3 + 1) as u32 },
+                    Candidate {
+                        op: rel_m,
+                        count: (k % 3 + 1) as u32,
+                    },
                 ],
                 acquire: vec![
-                    Candidate { op: r, count: (k % 4 + 1) as u32 },
-                    Candidate { op: acq_m, count: 1 },
+                    Candidate {
+                        op: r,
+                        count: (k % 4 + 1) as u32,
+                    },
+                    Candidate {
+                        op: acq_m,
+                        count: 1,
+                    },
                 ],
                 release_capable: true,
                 acquire_capable: true,

@@ -5,7 +5,7 @@ use sherlock_bench::{run_inference, score};
 use sherlock_core::SherLockConfig;
 
 fn main() {
-    std::panic::set_hook(Box::new(|_| {}));
+    sherlock_sim::install_sim_panic_hook();
     let id = std::env::args().nth(1).unwrap_or_else(|| "App-2".into());
     let apps = if id == "all" {
         all_apps()
@@ -19,8 +19,12 @@ fn main() {
         let s = score(&app, report);
         println!(
             "== {} windows={} vars={} racy={} obj={:.2} stats={:?}",
-            app.id, report.num_windows, report.num_variables, report.racy_pairs,
-            report.objective, sl.stats().last().unwrap()
+            app.id,
+            report.num_windows,
+            report.num_variables,
+            report.racy_pairs,
+            report.objective,
+            sl.stats().last().unwrap()
         );
         for o in &s.ops {
             println!("  [{:?}] {:?} {}", o.verdict, o.role, o.op.resolve());

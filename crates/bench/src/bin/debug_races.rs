@@ -7,9 +7,13 @@ use sherlock_racer::{first_race, SyncSpec};
 use sherlock_sim::SimConfig;
 
 fn main() {
-    std::panic::set_hook(Box::new(|_| {}));
+    sherlock_sim::install_sim_panic_hook();
     let id = std::env::args().nth(1).unwrap_or_else(|| "App-1".into());
-    let apps = if id == "all" { all_apps() } else { vec![app_by_id(&id).unwrap()] };
+    let apps = if id == "all" {
+        all_apps()
+    } else {
+        vec![app_by_id(&id).unwrap()]
+    };
     for app in apps {
         let sl = run_inference(&app, &SherLockConfig::default(), 3);
         let manual = app.truth.manual_spec();
@@ -22,10 +26,16 @@ fn main() {
                     Some(r) => println!(
                         "  {name} {:28} -> {} race at {} ({:?} {} / {})",
                         test.name(),
-                        if app.truth.is_true_race(&r.location) { "TRUE " } else { "false" },
+                        if app.truth.is_true_race(&r.location) {
+                            "TRUE "
+                        } else {
+                            "false"
+                        },
                         r.location,
                         r.kind,
-                        r.prior_op.map(|o| o.resolve().to_string()).unwrap_or_default(),
+                        r.prior_op
+                            .map(|o| o.resolve().to_string())
+                            .unwrap_or_default(),
                         r.current_op.resolve(),
                     ),
                     None => println!("  {name} {:28} -> no race", test.name()),

@@ -13,9 +13,12 @@ use sherlock_core::{Role, SherLockConfig};
 use sherlock_trace::OpRef;
 
 fn main() {
-    std::panic::set_hook(Box::new(|_| {}));
+    sherlock_sim::install_sim_panic_hook();
     let variants: Vec<(&str, SherLockConfig)> = vec![
-        ("baseline (always delay, hard SR)", SherLockConfig::default()),
+        (
+            "baseline (always delay, hard SR)",
+            SherLockConfig::default(),
+        ),
         ("probabilistic delays (p=0.5)", {
             let mut c = SherLockConfig::default();
             c.delay_probability = 0.5;
@@ -32,11 +35,18 @@ fn main() {
     println!("Extensions study (paper footnote 1 and Sec. 5.5 future work)");
     println!(
         "{}",
-        p.row(cells!["Variant", "#Correct", "#Total", "Precision", "Upgrade roles"])
+        p.row(cells![
+            "Variant",
+            "#Correct",
+            "#Total",
+            "Precision",
+            "Upgrade roles"
+        ])
     );
     println!("{}", p.rule());
 
-    let upg_b = OpRef::lib_begin("System.Threading.ReaderWriterLock", "UpgradeToWriterLock").intern();
+    let upg_b =
+        OpRef::lib_begin("System.Threading.ReaderWriterLock", "UpgradeToWriterLock").intern();
     let upg_e = OpRef::lib_end("System.Threading.ReaderWriterLock", "UpgradeToWriterLock").intern();
 
     for (name, cfg) in variants {

@@ -6,7 +6,7 @@ use sherlock_bench::{score, unique_correct};
 use sherlock_core::{Feedback, SherLock, SherLockConfig};
 
 fn main() {
-    std::panic::set_hook(Box::new(|_| {}));
+    sherlock_sim::install_sim_panic_hook();
     const ROUNDS: usize = 6;
     let variants: Vec<(&str, Feedback)> = vec![
         ("SherLock (full)", Feedback::default()),
@@ -45,8 +45,7 @@ fn main() {
         cfg.feedback = fb;
         // One session per app, stepped round by round.
         let apps = all_apps();
-        let mut sessions: Vec<SherLock> =
-            apps.iter().map(|_| SherLock::new(cfg.clone())).collect();
+        let mut sessions: Vec<SherLock> = apps.iter().map(|_| SherLock::new(cfg.clone())).collect();
         print!("{name:<22}");
         for _round in 0..ROUNDS {
             let mut scores = Vec::new();

@@ -2,9 +2,13 @@
 //! SherLock to a test run, split into tracing, solving, and delay injection,
 //! against a baseline without instrumentation or delays.
 //!
-//! Wall-clock here measures the simulator host cost; the virtual-time
-//! dilation from injected delays is reported separately (that is the part a
-//! real deployment would feel as slower tests).
+//! The split comes from the observability layer's own phase spans
+//! (`phase.observe` / `phase.windows` / `phase.solve` / `phase.perturb`)
+//! rather than ad-hoc timers around the driver, so the numbers here are the
+//! same ones `sherlock infer --profile` reports. Wall-clock measures the
+//! simulator host cost; the virtual-time dilation from injected delays is
+//! reported separately (that is the part a real deployment would feel as
+//! slower tests).
 
 use std::time::Instant;
 
@@ -13,15 +17,15 @@ use sherlock_core::{SherLock, SherLockConfig};
 use sherlock_sim::{InstrumentConfig, SimConfig};
 
 fn main() {
-    std::panic::set_hook(Box::new(|_| {}));
+    sherlock_sim::install_sim_panic_hook();
     println!("Overhead study (paper Sec. 5.6)\n");
     println!(
         "{:<10} {:>12} {:>12} {:>12} {:>14} {:>14}",
-        "app", "bare(ms)", "traced(ms)", "solve(ms)", "overhead", "delay dilation"
+        "app", "bare(ms)", "observe(ms)", "solve(ms)", "overhead", "delay dilation"
     );
 
     let mut tot_bare = 0.0;
-    let mut tot_traced = 0.0;
+    let mut tot_observe = 0.0;
     let mut tot_solve = 0.0;
     for app in all_apps() {
         // Baseline: tests without instrumentation (all methods skipped, no
@@ -39,48 +43,53 @@ fn main() {
         }
         let bare = bare_start.elapsed().as_secs_f64() * 1e3;
 
-        // Instrumented single round (tracing + window extraction), then the
-        // Solver, then two more rounds with delay injection.
+        // Three instrumented rounds (the last two with delay injection); the
+        // per-phase split is read back from the session's telemetry.
+        let base = sherlock_obs::snapshot();
+        let wall_start = Instant::now();
         let mut sl = SherLock::new(SherLockConfig::default());
-        let traced_start = Instant::now();
-        sl.run_round(&app.tests).expect("solver failed");
-        let round1 = traced_start.elapsed().as_secs_f64() * 1e3;
-
-        let solve_start = Instant::now();
-        sl.run_round(&app.tests).expect("solver failed");
-        sl.run_round(&app.tests).expect("solver failed");
-        let rounds23 = solve_start.elapsed().as_secs_f64() * 1e3;
+        for _ in 0..3 {
+            sl.run_round(&app.tests).expect("solver failed");
+        }
+        let wall = wall_start.elapsed().as_secs_f64() * 1e3;
+        let delta = sherlock_obs::snapshot().delta(&base);
+        let phase_ms = |name: &str| {
+            delta
+                .spans
+                .get(name)
+                .map_or(0.0, |s| s.total_ns as f64 / 1e6)
+        };
+        let observe = phase_ms("phase.observe") + phase_ms("phase.windows");
+        let solve = phase_ms("phase.solve") + phase_ms("phase.perturb");
 
         // Virtual-time dilation from the injected delays.
         let mut delayed_virtual = 0u128;
         for (i, t) in app.tests.iter().enumerate() {
             let mut cfg = SimConfig::with_seed(7_000 + i as u64);
-            cfg.delay_plan = sherlock_core::perturber::delay_plan(
-                sl.report(),
-                SherLockConfig::default().delay,
-            );
+            cfg.delay_plan =
+                sherlock_core::perturber::delay_plan(sl.report(), SherLockConfig::default().delay);
             let r = t.run(cfg);
             delayed_virtual += u128::from(r.end_time.as_nanos());
         }
         let dilation = delayed_virtual as f64 / bare_virtual.max(1) as f64;
 
-        let overhead = (round1 + rounds23 / 2.0) / bare.max(1e-6);
+        let overhead = (wall / 3.0) / bare.max(1e-6);
         println!(
             "{:<10} {:>12.1} {:>12.1} {:>12.1} {:>13.0}% {:>13.2}x",
             app.id,
             bare,
-            round1,
-            rounds23 / 2.0,
+            observe / 3.0,
+            solve / 3.0,
             (overhead - 1.0) * 100.0,
             dilation
         );
         tot_bare += bare;
-        tot_traced += round1;
-        tot_solve += rounds23 / 2.0;
+        tot_observe += observe / 3.0;
+        tot_solve += solve / 3.0;
     }
     println!(
-        "\ntotals: bare {tot_bare:.1} ms, traced round {tot_traced:.1} ms, \
-         per-round with solving {tot_solve:.1} ms"
+        "\ntotals: bare {tot_bare:.1} ms, observe+windows per round {tot_observe:.1} ms, \
+         solve+perturb per round {tot_solve:.1} ms"
     );
     println!(
         "(paper: 24%-800% per-test overhead, average 278%; tracing 170%,\n solving 94%, delay injection 156% — same order of magnitude expected)"

@@ -1,0 +1,98 @@
+//! End-to-end pipeline benchmark: full 3-round inference over every app,
+//! reported from the observability layer's own phase spans and counters
+//! (no ad-hoc timers). Writes `BENCH_pipeline.json` next to the working
+//! directory and prints a summary table.
+
+use std::time::Instant;
+
+use sherlock_apps::all_apps;
+use sherlock_bench::{cells, run_inference, TablePrinter};
+use sherlock_core::SherLockConfig;
+use sherlock_obs::json::Json;
+
+const ROUNDS: usize = 3;
+
+fn main() {
+    sherlock_sim::install_sim_panic_hook();
+    sherlock_obs::init_from_env();
+
+    let cfg = SherLockConfig::default();
+    let t = TablePrinter::new(&[10, 12, 12, 12, 12, 12]);
+    println!("Pipeline benchmark ({ROUNDS} rounds per app)\n");
+    println!(
+        "{}",
+        t.row(cells![
+            "app",
+            "wall(ms)",
+            "observe(ms)",
+            "windows(ms)",
+            "solve(ms)",
+            "perturb(ms)"
+        ])
+    );
+    println!("{}", t.rule());
+
+    let session_base = sherlock_obs::snapshot();
+    let wall_start = Instant::now();
+    let mut apps_json: Vec<Json> = Vec::new();
+    for app in all_apps() {
+        let app_base = sherlock_obs::snapshot();
+        let app_start = Instant::now();
+        let sl = run_inference(&app, &cfg, ROUNDS);
+        let app_wall = app_start.elapsed().as_nanos() as u64;
+        let delta = sherlock_obs::snapshot().delta(&app_base);
+
+        let ms = |name: &str| {
+            delta
+                .spans
+                .get(name)
+                .map_or(0.0, |s| s.total_ns as f64 / 1e6)
+        };
+        println!(
+            "{}",
+            t.row(cells![
+                app.id,
+                format!("{:.1}", app_wall as f64 / 1e6),
+                format!("{:.1}", ms("phase.observe")),
+                format!("{:.1}", ms("phase.windows")),
+                format!("{:.1}", ms("phase.solve")),
+                format!("{:.1}", ms("phase.perturb")),
+            ])
+        );
+        apps_json.push(Json::Obj(vec![
+            ("id".to_string(), Json::from(app.id)),
+            ("wall_ns".to_string(), Json::from(app_wall)),
+            ("windows".to_string(), Json::from(sl.report().num_windows)),
+            (
+                "variables".to_string(),
+                Json::from(sl.report().num_variables),
+            ),
+            ("telemetry".to_string(), delta.to_json()),
+        ]));
+    }
+    let wall_ns = wall_start.elapsed().as_nanos() as u64;
+    let total = sherlock_obs::snapshot().delta(&session_base);
+
+    let doc = Json::Obj(vec![
+        ("benchmark".to_string(), Json::from("pipeline")),
+        ("rounds".to_string(), Json::from(ROUNDS)),
+        ("wall_ns".to_string(), Json::from(wall_ns)),
+        ("telemetry".to_string(), total.to_json()),
+        ("apps".to_string(), Json::Arr(apps_json)),
+    ]);
+    let path = "BENCH_pipeline.json";
+    std::fs::write(path, doc.render_pretty()).expect("write BENCH_pipeline.json");
+
+    let count = |name: &str| total.counters.get(name).copied().unwrap_or(0);
+    println!("{}", t.rule());
+    println!(
+        "\ntotal {:.1} ms wall; {} windows extracted, {} simplex pivots across {} solves, \
+         {} delays injected",
+        wall_ns as f64 / 1e6,
+        count("windows.extracted"),
+        count("simplex.pivots"),
+        count("simplex.solves"),
+        count("perturber.delays_injected"),
+    );
+    println!("wrote {path}");
+}

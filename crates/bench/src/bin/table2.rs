@@ -8,13 +8,19 @@ use sherlock_bench::{cells, run_inference, score, unique_correct, unique_ops, Ta
 use sherlock_core::SherLockConfig;
 
 fn main() {
+    sherlock_sim::install_sim_panic_hook(); // seeded racy assertions fire by design
     let cfg = SherLockConfig::default();
     let p = TablePrinter::new(&[6, 6, 10, 14, 9, 8]);
     println!("Table 2: SherLock inferred results after 3 rounds");
     println!(
         "{}",
         p.row(cells![
-            "ID", "Syncs", "Data Racy", "Instr. Errors", "Not Sync", "Recall"
+            "ID",
+            "Syncs",
+            "Data Racy",
+            "Instr. Errors",
+            "Not Sync",
+            "Recall"
         ])
     );
     println!("{}", p.rule());

@@ -7,7 +7,7 @@ use sherlock_core::SherLockConfig;
 use sherlock_racer::SyncSpec;
 
 fn main() {
-    std::panic::set_hook(Box::new(|_| {})); // seeded racy assertions fire by design
+    sherlock_sim::install_sim_panic_hook(); // seeded racy assertions fire by design
     let cfg = SherLockConfig::default();
     let p = TablePrinter::new(&[6, 11, 13, 12, 14]);
     println!("Table 3: SherLock vs manual annotation in race detection");
@@ -33,10 +33,7 @@ fn main() {
         for (t, r) in sums.iter_mut().zip(row) {
             *t += r;
         }
-        println!(
-            "{}",
-            p.row(cells![app.id, row[0], row[1], row[2], row[3]])
-        );
+        println!("{}", p.row(cells![app.id, row[0], row[1], row[2], row[3]]));
     }
     println!("{}", p.rule());
     println!(

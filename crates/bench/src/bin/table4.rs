@@ -8,7 +8,7 @@ use sherlock_racer::SyncSpec;
 use sherlock_trace::OpRef;
 
 fn main() {
-    std::panic::set_hook(Box::new(|_| {}));
+    sherlock_sim::install_sim_panic_hook();
     let cfg = SherLockConfig::default();
 
     // Causes, mirroring the paper's rows.
@@ -42,11 +42,7 @@ fn main() {
 
         // Missed synchronizations by cause.
         for g in &app.truth.sync_groups {
-            let covered = sl
-                .report()
-                .inferred
-                .iter()
-                .any(|i| g.matches(i.op, i.role));
+            let covered = sl.report().inferred.iter().any(|i| g.matches(i.op, i.role));
             if !covered {
                 let d = g.description.to_ascii_lowercase();
                 let hidden = g.ops.iter().any(|&op| {
@@ -98,7 +94,12 @@ fn main() {
     println!("Table 4: Breakdown of false positives/negatives");
     println!(
         "{}",
-        p.row(cells!["Cause", "#False Sync.", "#Missed Sync.", "#False Races"])
+        p.row(cells![
+            "Cause",
+            "#False Sync.",
+            "#Missed Sync.",
+            "#False Races"
+        ])
     );
     println!("{}", p.rule());
     let rows = ["Instr. Errors", "Double Roles", "Dispose/Static", "Others"];

@@ -6,23 +6,38 @@ use sherlock_bench::{cells, run_inference, score, unique_correct, unique_ops, Ta
 use sherlock_core::{Hypotheses, SherLockConfig};
 
 fn main() {
-    std::panic::set_hook(Box::new(|_| {}));
+    sherlock_sim::install_sim_panic_hook();
     let variants: Vec<(&str, Hypotheses)> = vec![
         ("SherLock", Hypotheses::default()),
-        ("w/o Mostly are Protected", Hypotheses::without("mostly_protected")),
+        (
+            "w/o Mostly are Protected",
+            Hypotheses::without("mostly_protected"),
+        ),
         (
             "w/o Synchronizations are Rare",
             Hypotheses::without("synchronizations_are_rare"),
         ),
-        ("w/o Acq-Time Varies", Hypotheses::without("acquisition_time_varies")),
-        ("w/o Mostly are Paired", Hypotheses::without("mostly_paired")),
-        ("w/o Read-Acq & Write-Rel", Hypotheses::without("read_acq_write_rel")),
+        (
+            "w/o Acq-Time Varies",
+            Hypotheses::without("acquisition_time_varies"),
+        ),
+        (
+            "w/o Mostly are Paired",
+            Hypotheses::without("mostly_paired"),
+        ),
+        (
+            "w/o Read-Acq & Write-Rel",
+            Hypotheses::without("read_acq_write_rel"),
+        ),
         ("w/o Single Role", Hypotheses::without("single_role")),
     ];
 
     let p = TablePrinter::new(&[30, 9, 7, 10]);
     println!("Table 5: Inference with or without certain hypothesis");
-    println!("{}", p.row(cells!["Variant", "#Correct", "#Total", "Precision"]));
+    println!(
+        "{}",
+        p.row(cells!["Variant", "#Correct", "#Total", "Precision"])
+    );
     println!("{}", p.rule());
 
     for (name, hyp) in variants {

@@ -5,7 +5,7 @@ use sherlock_bench::{run_inference, score, unique_correct, unique_ops};
 use sherlock_core::SherLockConfig;
 
 fn main() {
-    std::panic::set_hook(Box::new(|_| {}));
+    sherlock_sim::install_sim_panic_hook();
     let lambdas = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0, 5.0, 10.0, 50.0, 100.0];
     println!("Table 6: Sensitivity of lambda (unique sums across 8 apps, 3 rounds)");
     print!("{:<10}", "lambda");

@@ -6,7 +6,7 @@ use sherlock_core::SherLockConfig;
 use sherlock_trace::Time;
 
 fn main() {
-    std::panic::set_hook(Box::new(|_| {}));
+    sherlock_sim::install_sim_panic_hook();
     let nears = [
         ("0.01s", Time::from_millis(10)),
         ("1s", Time::from_secs(1)),

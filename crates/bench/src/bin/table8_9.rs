@@ -7,7 +7,7 @@ use sherlock_bench::{run_inference, score};
 use sherlock_core::{Role, SherLockConfig};
 
 fn main() {
-    std::panic::set_hook(Box::new(|_| {}));
+    sherlock_sim::install_sim_panic_hook();
     let cfg = SherLockConfig::default();
     println!("Tables 8-9: Inferred synchronizations per application\n");
     for app in all_apps() {

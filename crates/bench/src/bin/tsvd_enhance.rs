@@ -12,7 +12,7 @@ use sherlock_trace::Time;
 use sherlock_tsvd::{conflicting_api_pairs, run_tsvd, synchronized_pairs};
 
 fn main() {
-    std::panic::set_hook(Box::new(|_| {}));
+    sherlock_sim::install_sim_panic_hook();
     let cfg = SherLockConfig::default();
     let mut conflicting = 0usize;
     let mut tsvd_hb = 0usize;

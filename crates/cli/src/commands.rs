@@ -4,9 +4,9 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
 use sherlock_apps::{all_apps, app_by_id, App};
 use sherlock_core::{solver, Observations, SherLock, SherLockConfig};
+use sherlock_obs::json::Json;
 use sherlock_racer::{first_race, SyncSpec};
 use sherlock_sim::SimConfig;
 use sherlock_trace::{durations, windows, Time, Trace};
@@ -16,14 +16,18 @@ type Flags = BTreeMap<String, String>;
 fn flag_u64(flags: &Flags, name: &str, default: u64) -> Result<u64, String> {
     match flags.get(name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} expects an integer, got {v:?}")),
     }
 }
 
 fn flag_f64(flags: &Flags, name: &str, default: f64) -> Result<f64, String> {
     match flags.get(name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} expects a number, got {v:?}")),
     }
 }
 
@@ -44,10 +48,44 @@ fn config_from(flags: &Flags) -> Result<SherLockConfig, String> {
     Ok(cfg)
 }
 
+/// Implements `--profile`: marks command start, and on [`Profiler::finish`]
+/// prints the per-phase time/count breakdown of everything that ran in
+/// between, with percentages against this command's wall-clock time.
+struct Profiler {
+    enabled: bool,
+    start: std::time::Instant,
+    base: sherlock_obs::Snapshot,
+}
+
+impl Profiler {
+    fn new(flags: &Flags) -> Self {
+        Profiler {
+            enabled: flags.contains_key("profile"),
+            start: std::time::Instant::now(),
+            base: sherlock_obs::snapshot(),
+        }
+    }
+
+    fn finish(self) {
+        if self.enabled {
+            let wall_ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let delta = sherlock_obs::snapshot().delta(&self.base);
+            println!("\n-- profile --");
+            print!("{}", delta.render_profile(wall_ns));
+        }
+    }
+}
+
 /// `sherlock list`
 pub fn list() -> Result<(), String> {
     for app in all_apps() {
-        println!("{}  {} ({} LoC, {} tests)", app.id, app.name, app.loc, app.num_tests());
+        println!(
+            "{}  {} ({} LoC, {} tests)",
+            app.id,
+            app.name,
+            app.loc,
+            app.num_tests()
+        );
         for t in &app.tests {
             println!("    - {}", t.name());
         }
@@ -55,42 +93,48 @@ pub fn list() -> Result<(), String> {
     Ok(())
 }
 
-/// A serializable rendering of an inference report.
-#[derive(Serialize, Deserialize)]
-struct ReportFile {
-    releases: Vec<String>,
-    acquires: Vec<String>,
-    num_windows: usize,
-    num_variables: usize,
-    racy_pairs: usize,
-    objective: f64,
+/// Serializes an inference report (the `--out` file): inferred sites, LP
+/// size, and the session's telemetry snapshot.
+fn report_to_json(report: &sherlock_core::InferenceReport) -> Json {
+    let sites = |ops: Vec<String>| Json::Arr(ops.into_iter().map(Json::Str).collect());
+    Json::Obj(vec![
+        (
+            "releases".to_string(),
+            sites(
+                report
+                    .releases()
+                    .map(|op| op.resolve().to_string())
+                    .collect(),
+            ),
+        ),
+        (
+            "acquires".to_string(),
+            sites(
+                report
+                    .acquires()
+                    .map(|op| op.resolve().to_string())
+                    .collect(),
+            ),
+        ),
+        ("num_windows".to_string(), Json::from(report.num_windows)),
+        (
+            "num_variables".to_string(),
+            Json::from(report.num_variables),
+        ),
+        ("racy_pairs".to_string(), Json::from(report.racy_pairs)),
+        ("objective".to_string(), Json::Num(report.objective)),
+        ("telemetry".to_string(), report.telemetry.to_json()),
+    ])
 }
 
-impl ReportFile {
-    fn from_report(report: &sherlock_core::InferenceReport) -> Self {
-        ReportFile {
-            releases: report.releases().map(|op| op.resolve().to_string()).collect(),
-            acquires: report.acquires().map(|op| op.resolve().to_string()).collect(),
-            num_windows: report.num_windows,
-            num_variables: report.num_variables,
-            racy_pairs: report.racy_pairs,
-            objective: report.objective,
-        }
-    }
-}
-
-fn emit_report(
-    report: &sherlock_core::InferenceReport,
-    flags: &Flags,
-) -> Result<(), String> {
+fn emit_report(report: &sherlock_core::InferenceReport, flags: &Flags) -> Result<(), String> {
     print!("{}", report.render());
     println!(
         "({} windows, {} variables, {} racy pairs pruned)",
         report.num_windows, report.num_variables, report.racy_pairs
     );
     if let Some(path) = flags.get("out") {
-        let json = serde_json::to_string_pretty(&ReportFile::from_report(report))
-            .map_err(|e| e.to_string())?;
+        let json = report_to_json(report).render_pretty();
         fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
         println!("report written to {path}");
     }
@@ -102,11 +146,14 @@ pub fn infer(positional: &[String], flags: &Flags) -> Result<(), String> {
     let app = the_app(positional)?;
     let rounds = flag_u64(flags, "rounds", 3)? as usize;
     let cfg = config_from(flags)?;
+    let profiler = Profiler::new(flags);
     let mut sl = SherLock::new(cfg);
     sl.run_rounds(&app.tests, rounds)
         .map_err(|e| format!("solver failed: {e}"))?;
     println!("== {} ({}) after {rounds} round(s)", app.id, app.name);
-    emit_report(sl.report(), flags)
+    emit_report(sl.report(), flags)?;
+    profiler.finish();
+    Ok(())
 }
 
 /// `sherlock observe <app> [...]`
@@ -119,7 +166,7 @@ pub fn observe(positional: &[String], flags: &Flags) -> Result<(), String> {
     for (i, test) in app.tests.iter().enumerate() {
         let run = test.run(SimConfig::with_seed(seed.wrapping_add(i as u64)));
         let path = Path::new(&dir).join(format!("{}.trace.json", test.name()));
-        let json = serde_json::to_string(&run.trace).map_err(|e| e.to_string())?;
+        let json = sherlock_trace::json::to_json(&run.trace);
         fs::write(&path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
         println!(
             "{:40} {:>6} events, {:>2} panics -> {}",
@@ -142,11 +189,17 @@ pub fn solve(positional: &[String], flags: &Flags) -> Result<(), String> {
         near: cfg.near,
         cap_per_pair: cfg.cap_per_pair,
     };
+    let profiler = Profiler::new(flags);
     let mut obs = Observations::new();
     for path in positional {
         let json = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        let trace: Trace = serde_json::from_str(&json).map_err(|e| format!("{path}: {e}"))?;
-        for w in windows::extract(&trace, &wcfg) {
+        let trace: Trace =
+            sherlock_trace::json::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
+        let ws = {
+            let _s = sherlock_obs::span("phase.windows");
+            windows::extract(&trace, &wcfg)
+        };
+        for w in ws {
             if w.is_racy() {
                 obs.mark_racy(w.pair());
             }
@@ -155,15 +208,21 @@ pub fn solve(positional: &[String], flags: &Flags) -> Result<(), String> {
         obs.add_durations(durations::extract(&trace));
         obs.finish_run();
     }
-    let report = solver::solve(&obs, &cfg).map_err(|e| format!("solver failed: {e}"))?;
+    let report = {
+        let _s = sherlock_obs::span("phase.solve");
+        solver::solve(&obs, &cfg).map_err(|e| format!("solver failed: {e}"))?
+    };
     println!("== inference over {} trace file(s)", positional.len());
-    emit_report(&report, flags)
+    emit_report(&report, flags)?;
+    profiler.finish();
+    Ok(())
 }
 
 /// `sherlock races <app> [...]`
 pub fn races(positional: &[String], flags: &Flags) -> Result<(), String> {
     let app = the_app(positional)?;
     let spec_name = flags.get("spec").map(String::as_str).unwrap_or("inferred");
+    let profiler = Profiler::new(flags);
     let spec = match spec_name {
         "manual" => app.truth.manual_spec(),
         "none" => SyncSpec::empty(),
@@ -174,7 +233,11 @@ pub fn races(positional: &[String], flags: &Flags) -> Result<(), String> {
                 .map_err(|e| format!("solver failed: {e}"))?;
             SyncSpec::from_report(sl.report())
         }
-        other => return Err(format!("--spec expects manual|inferred|none, got {other:?}")),
+        other => {
+            return Err(format!(
+                "--spec expects manual|inferred|none, got {other:?}"
+            ))
+        }
     };
     println!(
         "== {} under the {} spec ({} acquires, {} releases)",
@@ -187,7 +250,10 @@ pub fn races(positional: &[String], flags: &Flags) -> Result<(), String> {
     let mut trues = 0;
     let mut falses = 0;
     for (i, test) in app.tests.iter().enumerate() {
-        let run = test.run(SimConfig::with_seed(seed.wrapping_add(i as u64)));
+        let run = {
+            let _s = sherlock_obs::span("phase.observe");
+            test.run(SimConfig::with_seed(seed.wrapping_add(i as u64)))
+        };
         match first_race(&run.trace, &spec) {
             Some(r) => {
                 let verdict = if app.truth.is_true_race(&r.location) {
@@ -197,11 +263,17 @@ pub fn races(positional: &[String], flags: &Flags) -> Result<(), String> {
                     falses += 1;
                     "false"
                 };
-                println!("  {:40} {verdict} {:?} at {}", test.name(), r.kind, r.location);
+                println!(
+                    "  {:40} {verdict} {:?} at {}",
+                    test.name(),
+                    r.kind,
+                    r.location
+                );
             }
             None => println!("  {:40} no race", test.name()),
         }
     }
     println!("{trues} true, {falses} false first reports");
+    profiler.finish();
     Ok(())
 }

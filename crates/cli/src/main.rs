@@ -8,6 +8,10 @@
 //! sherlock solve  <trace.json>...              # inference over saved traces
 //! sherlock races  <app> [--spec manual|inferred|none]
 //! ```
+//!
+//! Every subcommand also accepts the global observability flags
+//! `--log <level>`, `--trace-out <file>`, and `--profile` (see README.md,
+//! "Observability").
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -16,8 +20,11 @@ mod commands;
 
 fn main() -> ExitCode {
     // Seeded racy workloads fail assertions by design; the simulator catches
-    // the panics and the reports note them — keep stderr readable.
-    std::panic::set_hook(Box::new(|_| {}));
+    // those panics and the reports note them. Suppress default-handler noise
+    // for simulated threads ONLY — a panic anywhere else (the driver, the
+    // solver, this binary) must stay loudly visible.
+    sherlock_sim::install_sim_panic_hook();
+    sherlock_obs::init_from_env();
 
     let mut args = std::env::args().skip(1);
     let Some(command) = args.next() else {
@@ -32,6 +39,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(e) = apply_obs_flags(&flags) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
 
     let result = match command.as_str() {
         "list" => commands::list(),
@@ -46,6 +57,9 @@ fn main() -> ExitCode {
         other => Err(format!("unknown command {other:?}")),
     };
 
+    // Append the final metrics snapshot to --trace-out, if enabled.
+    sherlock_obs::flush_jsonl();
+
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -53,6 +67,19 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Applies the global observability flags (`--log`, `--trace-out`).
+fn apply_obs_flags(flags: &Flags) -> Result<(), String> {
+    if let Some(raw) = flags.get("log") {
+        let level = sherlock_obs::Level::parse(raw)
+            .ok_or_else(|| format!("--log expects error|warn|info|debug|trace|off, got {raw:?}"))?;
+        sherlock_obs::set_log_level(level);
+    }
+    if let Some(path) = flags.get("trace-out") {
+        sherlock_obs::set_jsonl_file(path).map_err(|e| format!("opening {path}: {e}"))?;
+    }
+    Ok(())
 }
 
 const USAGE: &str = "\
@@ -78,6 +105,14 @@ USAGE:
 
   sherlock solve <trace.json>... [--lambda X] [--near-ms N]
       Run window extraction and the Solver over previously saved traces.
+
+GLOBAL FLAGS (any subcommand):
+  --log <level>       Leveled stderr logging: error|warn|info|debug|trace|off.
+                      SHERLOCK_LOG sets the same gate; the flag wins.
+  --trace-out <file>  Write a JSON-lines telemetry stream (spans, log
+                      records, final metrics snapshot) to <file>.
+  --profile           After `infer`/`solve`/`races`, print a per-phase
+                      time/count breakdown of the pipeline.
 ";
 
 type Flags = BTreeMap<String, String>;

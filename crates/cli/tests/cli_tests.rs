@@ -19,7 +19,9 @@ fn sherlock(args: &[&str]) -> (bool, String, String) {
 fn list_names_all_eight_apps() {
     let (ok, stdout, _) = sherlock(&["list"]);
     assert!(ok);
-    for id in ["App-1", "App-2", "App-3", "App-4", "App-5", "App-6", "App-7", "App-8"] {
+    for id in [
+        "App-1", "App-2", "App-3", "App-4", "App-5", "App-6", "App-7", "App-8",
+    ] {
         assert!(stdout.contains(id), "missing {id} in:\n{stdout}");
     }
 }
@@ -85,6 +87,111 @@ fn unknown_command_prints_usage() {
     let (ok, _, stderr) = sherlock(&["frobnicate"]);
     assert!(!ok);
     assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn profile_and_trace_out_are_self_consistent() {
+    use sherlock_obs::json::Json;
+
+    let path = format!("{}/infer-telemetry.jsonl", env!("CARGO_TARGET_TMPDIR"));
+    let (ok, stdout, stderr) = sherlock(&["infer", "App-2", "--profile", "--trace-out", &path]);
+    assert!(ok, "infer failed: {stderr}");
+
+    // --profile prints the per-phase table after the report.
+    assert!(stdout.contains("-- profile --"), "{stdout}");
+    for needle in [
+        "phase.observe",
+        "phase.windows",
+        "phase.solve",
+        "(sum of phases)",
+        "(wall clock)",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle} in:\n{stdout}");
+    }
+
+    // --trace-out wrote one valid JSON object per line: a meta header, span
+    // and log records, and a final metrics snapshot.
+    let text = std::fs::read_to_string(&path).expect("jsonl written");
+    let lines: Vec<Json> = text
+        .lines()
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("invalid JSONL line {l:?}: {e}")))
+        .collect();
+    assert!(
+        lines.len() > 10,
+        "expected a real telemetry stream, got {} lines",
+        lines.len()
+    );
+    assert_eq!(lines[0].get("type").and_then(Json::as_str), Some("meta"));
+    let metrics = lines
+        .iter()
+        .rev()
+        .find(|l| l.get("type").and_then(Json::as_str) == Some("metrics"))
+        .expect("final metrics snapshot present");
+
+    // Per-phase durations are self-consistent: the phases partition the work
+    // done inside `driver.round`, so their total can neither exceed the
+    // rounds' total nor be a small fraction of it.
+    let spans = metrics
+        .get("data")
+        .and_then(|d| d.get("spans"))
+        .and_then(Json::as_object)
+        .expect("metrics.data.spans");
+    let total_ns = |name: &str| {
+        spans
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.get("total_ns"))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("span {name} missing from {spans:?}"))
+    };
+    let phase_total: u64 = spans
+        .iter()
+        .filter(|(k, _)| k.starts_with("phase."))
+        .map(|(k, _)| total_ns(k))
+        .sum();
+    let round_total = total_ns("driver.round");
+    assert!(
+        phase_total <= round_total,
+        "phases ({phase_total}ns) exceed rounds ({round_total}ns)"
+    );
+    assert!(
+        phase_total * 2 >= round_total,
+        "phases ({phase_total}ns) cover under half of the rounds ({round_total}ns)"
+    );
+
+    // Three rounds by default — one driver.round span per round, each with a
+    // plausible duration on every emitted span record.
+    let round_spans: Vec<&Json> = lines
+        .iter()
+        .filter(|l| {
+            l.get("type").and_then(Json::as_str) == Some("span")
+                && l.get("name").and_then(Json::as_str) == Some("driver.round")
+        })
+        .collect();
+    assert_eq!(round_spans.len(), 3, "one span record per round");
+    for s in round_spans {
+        assert!(s.get("dur_us").and_then(Json::as_u64).is_some());
+        assert!(s.get("start_us").and_then(Json::as_u64).is_some());
+    }
+}
+
+#[test]
+fn log_flag_gates_stderr() {
+    let (ok, _, quiet) = sherlock(&["infer", "App-2"]);
+    assert!(ok);
+    assert!(
+        !quiet.contains("[debug"),
+        "default run must not log: {quiet}"
+    );
+    let (ok, _, verbose) = sherlock(&["infer", "App-2", "--log", "debug"]);
+    assert!(ok);
+    assert!(
+        verbose.contains("[debug driver] round"),
+        "missing driver log in: {verbose}"
+    );
+    let (ok, _, stderr) = sherlock(&["infer", "App-2", "--log", "loud"]);
+    assert!(!ok);
+    assert!(stderr.contains("--log expects"), "{stderr}");
 }
 
 #[test]

@@ -122,7 +122,7 @@ impl Default for SherLockConfig {
             delay: Time::from_millis(100),
             threshold: 0.9,
             rare_coefficient: 0.1,
-            base_seed: 0x5ee_d,
+            base_seed: 0x5eed,
             hypotheses: Hypotheses::default(),
             feedback: Feedback::default(),
             delay_probability: 1.0,

@@ -2,6 +2,7 @@
 //! together (paper Fig. 1).
 
 use sherlock_lp::LpError;
+use sherlock_obs as obs;
 use sherlock_sim::{DelayPlan, SimConfig};
 use sherlock_trace::durations;
 use sherlock_trace::windows::{self, WindowConfig};
@@ -56,6 +57,9 @@ pub struct SherLock {
     report: InferenceReport,
     round: usize,
     stats: Vec<RoundStats>,
+    /// Metric values at session start; every report's `telemetry` is the
+    /// delta against this, so it covers exactly this session's work.
+    session_start: obs::Snapshot,
 }
 
 impl SherLock {
@@ -67,6 +71,7 @@ impl SherLock {
             report: InferenceReport::default(),
             round: 0,
             stats: Vec::new(),
+            session_start: obs::snapshot(),
         }
     }
 
@@ -102,17 +107,22 @@ impl SherLock {
     ///
     /// Propagates [`LpError`] from the Solver.
     pub fn run_round(&mut self, tests: &[TestCase]) -> Result<&InferenceReport, LpError> {
+        let _round = obs::span("driver.round");
+        obs::counter!("driver.rounds").incr();
         if !self.config.feedback.accumulate {
             self.observations = Observations::new();
         }
-        let plan = if self.config.feedback.inject_delays && self.round > 0 {
-            perturber::delay_plan_with_probability(
-                &self.report,
-                self.config.delay,
-                self.config.delay_probability,
-            )
-        } else {
-            DelayPlan::none()
+        let plan = {
+            let _s = obs::span("phase.perturb");
+            if self.config.feedback.inject_delays && self.round > 0 {
+                perturber::delay_plan_with_probability(
+                    &self.report,
+                    self.config.delay,
+                    self.config.delay_probability,
+                )
+            } else {
+                DelayPlan::none()
+            }
         };
 
         let wcfg = WindowConfig {
@@ -132,14 +142,26 @@ impl SherLock {
             sim_cfg.instrument = self.config.instrument.clone();
             sim_cfg.delay_plan = plan.clone();
 
-            let run = test.run(sim_cfg);
+            let run = {
+                let _s = obs::span("phase.observe");
+                obs::counter!("driver.tests_run").incr();
+                test.run(sim_cfg)
+            };
             stats.events += run.trace.len();
             stats.panics += run.panics.len();
 
-            let mut ws = windows::extract(&run.trace, &wcfg);
+            let mut ws = {
+                let _s = obs::span("phase.windows");
+                windows::extract(&run.trace, &wcfg)
+            };
             stats.windows_extracted += ws.len();
 
-            let refinement = perturber::refine_windows(&run.trace, &mut ws);
+            let refinement = {
+                let _s = obs::span("phase.perturb");
+                perturber::refine_windows(&run.trace, &mut ws)
+            };
+            obs::counter!("perturber.confirmations").add(refinement.confirmations as u64);
+            obs::counter!("perturber.exclusions").add(refinement.exclusions.len() as u64);
             stats.confirmations += refinement.confirmations;
             stats.exclusions += refinement.exclusions.len();
             for (pair, op) in refinement.exclusions {
@@ -153,13 +175,30 @@ impl SherLock {
                 }
                 self.observations.add_window(w);
             }
-            self.observations.add_durations(durations::extract(&run.trace));
+            self.observations
+                .add_durations(durations::extract(&run.trace));
             self.observations.finish_run();
         }
+        obs::counter!("windows.racy").add(stats.racy_windows as u64);
 
-        self.report = solver::solve(&self.observations, &self.config)?;
+        self.report = {
+            let _s = obs::span("phase.solve");
+            solver::solve(&self.observations, &self.config)?
+        };
         self.round += 1;
+        obs::debug!(
+            "driver",
+            "round {} done: {} events, {} windows ({} racy), {} confirmations, {} exclusions",
+            self.round,
+            stats.events,
+            stats.windows_extracted,
+            stats.racy_windows,
+            stats.confirmations,
+            stats.exclusions
+        );
         self.stats.push(stats);
+        drop(_round);
+        self.report.telemetry = obs::snapshot().delta(&self.session_start);
         Ok(&self.report)
     }
 

@@ -144,8 +144,14 @@ mod tests {
             a_time: Time::ZERO,
             b_time: Time::from_micros(10),
             object: ObjectId(1),
-            release: rel.iter().map(|&(op, count)| Candidate { op, count }).collect(),
-            acquire: acq.iter().map(|&(op, count)| Candidate { op, count }).collect(),
+            release: rel
+                .iter()
+                .map(|&(op, count)| Candidate { op, count })
+                .collect(),
+            acquire: acq
+                .iter()
+                .map(|&(op, count)| Candidate { op, count })
+                .collect(),
             release_capable: true,
             acquire_capable: true,
         }
@@ -184,7 +190,10 @@ mod tests {
         obs.add_window(&mk_window(a, b, &[(a, 1)], &[(b, 1)]));
         obs.add_window(&mk_window(a, b, &[(a, 1)], &[(b, 5)]));
         assert_eq!(obs.avg_occurrence(b), 3.0);
-        assert_eq!(obs.avg_occurrence(OpRef::field_read("Obs", "none").intern()), 0.0);
+        assert_eq!(
+            obs.avg_occurrence(OpRef::field_read("Obs", "none").intern()),
+            0.0
+        );
     }
 
     #[test]

@@ -83,8 +83,12 @@ pub fn refine_windows(trace: &Trace, windows: &mut [Window]) -> Refinement {
             // release coordinating this pair; the real one is before the
             // delay started.
             refinement.exclusions.push((w.pair(), rec.op));
-            w.release =
-                candidates_in(trace, w.a_thread.0, w.a_time, rec.start.saturating_sub(Time::from_nanos(1)));
+            w.release = candidates_in(
+                trace,
+                w.a_thread.0,
+                w.a_time,
+                rec.start.saturating_sub(Time::from_nanos(1)),
+            );
         }
     }
     refinement
@@ -155,8 +159,10 @@ mod tests {
         tb.push(Time::from_millis(5), 1, b, 1);
         tb.push(Time::from_millis(102), 0, decoy, 1);
         let trace = tb.finish();
-        let mut windows =
-            sherlock_trace::windows::extract(&trace, &sherlock_trace::windows::WindowConfig::default());
+        let mut windows = sherlock_trace::windows::extract(
+            &trace,
+            &sherlock_trace::windows::WindowConfig::default(),
+        );
         assert_eq!(windows.len(), 1);
         let r = refine_windows(&trace, &mut windows);
         assert_eq!(r.exclusions, vec![((a, b), decoy)]);
@@ -182,8 +188,10 @@ mod tests {
         tb.push(Time::from_millis(102), 0, real, 1);
         tb.push(Time::from_millis(105), 1, b, 1);
         let trace = tb.finish();
-        let mut windows =
-            sherlock_trace::windows::extract(&trace, &sherlock_trace::windows::WindowConfig::default());
+        let mut windows = sherlock_trace::windows::extract(
+            &trace,
+            &sherlock_trace::windows::WindowConfig::default(),
+        );
         assert_eq!(windows.len(), 1);
         let r = refine_windows(&trace, &mut windows);
         assert_eq!(r.confirmations, 1);
@@ -210,8 +218,10 @@ mod tests {
         tb.push(Time::from_millis(102), 0, real, 1);
         tb.push(Time::from_millis(105), 1, b, 1);
         let trace = tb.finish();
-        let mut windows =
-            sherlock_trace::windows::extract(&trace, &sherlock_trace::windows::WindowConfig::default());
+        let mut windows = sherlock_trace::windows::extract(
+            &trace,
+            &sherlock_trace::windows::WindowConfig::default(),
+        );
         let before = windows.clone();
         let r = refine_windows(&trace, &mut windows);
         assert_eq!(r.confirmations, 0);

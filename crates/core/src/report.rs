@@ -49,6 +49,10 @@ pub struct InferenceReport {
     pub num_windows: usize,
     /// Static pairs discarded as data races.
     pub racy_pairs: usize,
+    /// Telemetry accumulated by the session that produced this report: phase
+    /// spans, counters, and histograms, as a delta since the session started
+    /// (see [`sherlock_obs::Snapshot`]).
+    pub telemetry: sherlock_obs::Snapshot,
 }
 
 impl InferenceReport {

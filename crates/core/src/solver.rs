@@ -182,9 +182,7 @@ pub fn solve(obs: &Observations, cfg: &SherLockConfig) -> Result<InferenceReport
         let n = sorted.len();
         for (op, cv) in cvs {
             let pct = match cv {
-                Some(cv) if n > 1 => {
-                    sorted.partition_point(|&x| x < cv) as f64 / (n - 1) as f64
-                }
+                Some(cv) if n > 1 => sorted.partition_point(|&x| x < cv) as f64 / (n - 1) as f64,
                 _ => 0.5,
             };
             let v = vars[&(op, Role::Acquire)];
@@ -268,6 +266,8 @@ pub fn solve(obs: &Observations, cfg: &SherLockConfig) -> Result<InferenceReport
     }
     inferred.sort_by_key(|i| (i.op, i.role));
 
+    sherlock_obs::histogram!("lp.variables").observe(vars.len() as u64);
+    sherlock_obs::histogram!("lp.windows").observe(windows.len() as u64);
     Ok(InferenceReport {
         inferred,
         probabilities,
@@ -275,6 +275,7 @@ pub fn solve(obs: &Observations, cfg: &SherLockConfig) -> Result<InferenceReport
         num_variables: vars.len(),
         num_windows: windows.len(),
         racy_pairs: racy.len(),
+        telemetry: sherlock_obs::Snapshot::default(),
     })
 }
 
@@ -351,7 +352,10 @@ mod tests {
         for _ in 0..3 {
             let mut w = window(a, b, &[], &[b]);
             w.release = vec![
-                Candidate { op: frequent, count: 10 },
+                Candidate {
+                    op: frequent,
+                    count: 10,
+                },
                 Candidate { op: rare, count: 1 },
             ];
             obs.add_window(&w);

@@ -46,7 +46,9 @@ impl TestCase {
 
 impl fmt::Debug for TestCase {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("TestCase").field("name", &self.name).finish()
+        f.debug_struct("TestCase")
+            .field("name", &self.name)
+            .finish()
     }
 }
 

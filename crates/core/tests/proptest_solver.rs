@@ -24,13 +24,15 @@ fn window_spec() -> impl Strategy<Value = WindowSpec> {
         (1u32..4, 1u32..4),
         proptest::bool::weighted(0.15),
     )
-        .prop_map(|(pair_field, rel_methods, acq_methods, counts, racy)| WindowSpec {
-            pair_field,
-            rel_methods,
-            acq_methods,
-            counts,
-            racy,
-        })
+        .prop_map(
+            |(pair_field, rel_methods, acq_methods, counts, racy)| WindowSpec {
+                pair_field,
+                rel_methods,
+                acq_methods,
+                counts,
+                racy,
+            },
+        )
 }
 
 fn field_ops(i: usize) -> (OpId, OpId) {
@@ -44,8 +46,14 @@ fn build_observations(specs: &[WindowSpec]) -> Observations {
     let mut obs = Observations::new();
     for (k, s) in specs.iter().enumerate() {
         let (w, r) = field_ops(s.pair_field);
-        let mut release = vec![Candidate { op: w, count: s.counts.0 }];
-        let mut acquire = vec![Candidate { op: r, count: s.counts.1 }];
+        let mut release = vec![Candidate {
+            op: w,
+            count: s.counts.0,
+        }];
+        let mut acquire = vec![Candidate {
+            op: r,
+            count: s.counts.1,
+        }];
         for &m in &s.rel_methods {
             release.push(Candidate {
                 op: OpRef::app_end("PSol", format!("m{m}")).intern(),

@@ -76,6 +76,10 @@ const MAX_ITERATIONS: usize = 200_000;
 /// Returns [`SimplexError::Infeasible`], [`SimplexError::Unbounded`], or
 /// [`SimplexError::IterationLimit`].
 pub fn solve(problem: &Problem) -> Result<(Vec<f64>, f64), SimplexError> {
+    let _s = sherlock_obs::span("lp.simplex");
+    sherlock_obs::counter!("simplex.solves").incr();
+    sherlock_obs::histogram!("simplex.rows").observe(problem.rows.len() as u64);
+    sherlock_obs::histogram!("simplex.vars").observe(problem.num_vars as u64);
     Tableau::build(problem).solve(problem)
 }
 
@@ -133,10 +137,7 @@ impl Tableau {
             relations.push(rel);
         }
 
-        let n_art = relations
-            .iter()
-            .filter(|r| **r != Relation::Le)
-            .count();
+        let n_art = relations.iter().filter(|r| **r != Relation::Le).count();
         let cols = n + n_slack + n_art;
         let art_start = n + n_slack;
 
@@ -239,6 +240,9 @@ impl Tableau {
     fn iterate(&mut self, col_limit: usize) -> Result<(), SimplexError> {
         for iter in 0..MAX_ITERATIONS {
             let bland = iter >= DANTZIG_BUDGET;
+            if iter == DANTZIG_BUDGET {
+                sherlock_obs::counter!("simplex.bland_switches").incr();
+            }
             let entering = if bland {
                 (0..col_limit).find(|&j| self.obj[j] < -EPS)
             } else {
@@ -265,7 +269,7 @@ impl Tableau {
                     let ratio = self.data[i][self.cols] / a;
                     let better = ratio < best_ratio - EPS
                         || (ratio < best_ratio + EPS
-                            && leave.map_or(true, |l| {
+                            && leave.is_none_or(|l| {
                                 if bland {
                                     self.basis[i] < self.basis[l]
                                 } else {
@@ -290,6 +294,7 @@ impl Tableau {
     }
 
     fn pivot(&mut self, row: usize, col: usize) {
+        sherlock_obs::counter!("simplex.pivots").incr();
         let p = self.data[row][col];
         debug_assert!(p.abs() > EPS, "pivot on (near-)zero element");
         for v in &mut self.data[row] {

@@ -33,11 +33,7 @@ fn random_lp(num_vars: usize, num_rows: usize) -> impl Strategy<Value = RandomLp
         let rows = rows
             .into_iter()
             .map(|(coeffs, slack, relation)| {
-                let at_witness: f64 = coeffs
-                    .iter()
-                    .zip(&witness)
-                    .map(|(c, x)| c * x)
-                    .sum();
+                let at_witness: f64 = coeffs.iter().zip(&witness).map(|(c, x)| c * x).sum();
                 let slack = slack as f64 / 10.0;
                 let rhs = match relation {
                     Relation::Le => at_witness + slack,

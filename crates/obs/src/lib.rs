@@ -1,0 +1,50 @@
+//! Zero-dependency structured telemetry for SherLock-rs.
+//!
+//! The paper's evaluation hinges on quantities the pipeline must be able to
+//! report about itself: per-round window and constraint growth (Fig. 4), LP
+//! size and solve behaviour (Table 5), and instrumentation overhead (§6.6).
+//! This crate is the measurement substrate — hand-rolled on `std::sync` +
+//! `std::time` because the build environment has no registry access:
+//!
+//! * [`span`] — RAII nested spans with wall-clock timing, aggregated by name
+//!   in a thread-safe process-wide registry;
+//! * [`counter!`]/[`histogram!`] — named counters and fixed power-of-two
+//!   bucket histograms (`simplex.pivots`, `windows.extracted`,
+//!   `kernel.context_switches`, `perturber.delays_injected`, …);
+//! * sinks — a leveled stderr logger (`SHERLOCK_LOG` / `--log`) and a
+//!   JSON-lines file (`--trace-out FILE`), both off by default;
+//! * [`snapshot`]/[`Snapshot`] — point-in-time metric captures with delta
+//!   arithmetic; the inference driver attaches one to every report as its
+//!   `telemetry` section.
+//!
+//! With no sink enabled the layer compiles down to relaxed atomic bumps and
+//! one `Instant::now` pair per span — designed to stay under 5 % of
+//! `sherlock infer` wall time.
+//!
+//! ```
+//! use sherlock_obs as obs;
+//!
+//! obs::counter!("windows.extracted").add(3);
+//! {
+//!     let _solve = obs::span("phase.solve");
+//!     obs::histogram!("simplex.rows").observe(120);
+//! }
+//! let snap = obs::snapshot();
+//! assert!(snap.counters["windows.extracted"] >= 3);
+//! assert!(snap.spans["phase.solve"].count >= 1);
+//! ```
+
+pub mod json;
+mod metrics;
+mod sink;
+mod span;
+
+pub use metrics::{
+    bucket_index, counter, fmt_ns, histogram, snapshot, span_stat, Counter, HistSnap, Histogram,
+    Snapshot, SpanSnap, SpanStat, NUM_BUCKETS,
+};
+pub use sink::{
+    flush_jsonl, init_from_env, jsonl_enabled, jsonl_line, log, log_enabled, set_jsonl_file,
+    set_log_level, Level,
+};
+pub use span::{epoch_micros, span, SpanGuard};

@@ -1,0 +1,573 @@
+//! Counters and fixed-bucket histograms with a process-wide registry.
+//!
+//! Everything is lock-free on the hot path: a counter bump is one relaxed
+//! atomic add, a histogram observation is two. The registry itself is only
+//! locked when a metric is first created or when a [`Snapshot`] is taken.
+//! Metric handles are interned and leaked, so call sites can cache a
+//! `&'static` handle (the [`counter!`](crate::counter!) and
+//! [`histogram!`](crate::histogram!) macros do this with a `OnceLock`).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::json::Json;
+
+/// A monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds the value `0`, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`, and bucket 64 holds `[2^63, u64::MAX]`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A histogram over `u64` values with fixed power-of-two buckets.
+///
+/// The bucket index of `v` is the number of significant bits in `v`
+/// (`0 → 0`, `1 → 1`, `2..4 → 2..3`, …), so bucketing is a single
+/// `leading_zeros` — no search, no configuration, and every possible `u64`
+/// (including `0` and `u64::MAX`) lands in exactly one bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index a value lands in.
+pub fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation so far (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    fn snap(&self) -> HistSnap {
+        HistSnap {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Aggregate timing of one span name (see [`crate::span`]).
+#[derive(Debug, Default)]
+pub struct SpanStat {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl SpanStat {
+    pub(crate) fn record(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Completed spans under this name.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Total wall-clock nanoseconds across completed spans.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+}
+
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+    spans: Mutex<BTreeMap<&'static str, &'static SpanStat>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
+        spans: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// Interns the counter `name`, returning its process-wide handle.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut map = registry()
+        .counters
+        .lock()
+        .expect("metric registry poisoned");
+    map.entry(name).or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// Interns the histogram `name`, returning its process-wide handle.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut map = registry()
+        .histograms
+        .lock()
+        .expect("metric registry poisoned");
+    map.entry(name).or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// Interns the span aggregate `name` (used by the span layer).
+pub fn span_stat(name: &'static str) -> &'static SpanStat {
+    let mut map = registry().spans.lock().expect("metric registry poisoned");
+    map.entry(name).or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistSnap {
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Per-bucket counts ([`NUM_BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+}
+
+impl HistSnap {
+    /// Mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("count".to_string(), Json::from(self.count)),
+            ("sum".to_string(), Json::from(self.sum)),
+            ("max".to_string(), Json::from(self.max)),
+        ];
+        // Only nonzero buckets, as {"lt": upper_bound, "n": count} pairs;
+        // the last bucket has no finite upper bound.
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let lt = if i >= 64 {
+                    Json::Null
+                } else {
+                    Json::from(1u64 << i)
+                };
+                vec![("lt".to_string(), lt), ("n".to_string(), Json::from(n))]
+                    .into_iter()
+                    .collect()
+            })
+            .collect();
+        members.push(("buckets".to_string(), Json::Arr(buckets)));
+        Json::Obj(members)
+    }
+}
+
+/// Point-in-time copy of one span aggregate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanSnap {
+    /// Completed spans.
+    pub count: u64,
+    /// Total wall-clock nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// A point-in-time copy of every registered metric — the repo's telemetry
+/// interchange type: [`crate::snapshot`] produces it, the driver attaches it
+/// to inference reports, and sinks serialize it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Span aggregates by name.
+    pub spans: BTreeMap<String, SpanSnap>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistSnap>,
+}
+
+/// Captures the current value of every registered metric.
+pub fn snapshot() -> Snapshot {
+    let reg = registry();
+    let counters = reg
+        .counters
+        .lock()
+        .expect("metric registry poisoned")
+        .iter()
+        .map(|(&k, c)| (k.to_string(), c.get()))
+        .collect();
+    let spans = reg
+        .spans
+        .lock()
+        .expect("metric registry poisoned")
+        .iter()
+        .map(|(&k, s)| {
+            (
+                k.to_string(),
+                SpanSnap {
+                    count: s.count(),
+                    total_ns: s.total_ns(),
+                    max_ns: s.max_ns.load(Ordering::Relaxed),
+                },
+            )
+        })
+        .collect();
+    let histograms = reg
+        .histograms
+        .lock()
+        .expect("metric registry poisoned")
+        .iter()
+        .map(|(&k, h)| (k.to_string(), h.snap()))
+        .collect();
+    Snapshot {
+        counters,
+        spans,
+        histograms,
+    }
+}
+
+impl Snapshot {
+    /// The metrics accumulated since `earlier`: every counter, span, and
+    /// histogram value minus its value in the earlier snapshot (metrics
+    /// absent earlier are kept whole). All metrics are monotone, so the
+    /// difference is well defined.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), v - earlier.counters.get(k).copied().unwrap_or(0)))
+            .filter(|(_, v)| *v > 0)
+            .collect();
+        let spans = self
+            .spans
+            .iter()
+            .map(|(k, s)| {
+                let e = earlier.spans.get(k).copied().unwrap_or_default();
+                (
+                    k.clone(),
+                    SpanSnap {
+                        count: s.count - e.count,
+                        total_ns: s.total_ns - e.total_ns,
+                        max_ns: s.max_ns, // max is not differentiable; keep current
+                    },
+                )
+            })
+            .filter(|(_, s)| s.count > 0)
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let e = earlier.histograms.get(k).cloned().unwrap_or_default();
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &n)| n - e.buckets.get(i).copied().unwrap_or(0))
+                    .collect();
+                (
+                    k.clone(),
+                    HistSnap {
+                        count: h.count - e.count,
+                        sum: h.sum.wrapping_sub(e.sum),
+                        max: h.max,
+                        buckets,
+                    },
+                )
+            })
+            .filter(|(_, h): &(String, HistSnap)| h.count > 0)
+            .collect();
+        Snapshot {
+            counters,
+            spans,
+            histograms,
+        }
+    }
+
+    /// Serializes the snapshot (the `"telemetry"` JSON schema documented in
+    /// README.md: `counters`, `spans`, and `histograms` objects by name).
+    pub fn to_json(&self) -> Json {
+        let counters: Json = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::from(v)))
+            .collect();
+        let spans: Json = self
+            .spans
+            .iter()
+            .map(|(k, s)| {
+                let obj: Json = vec![
+                    ("count", Json::from(s.count)),
+                    ("total_ns", Json::from(s.total_ns)),
+                    ("max_ns", Json::from(s.max_ns)),
+                ]
+                .into_iter()
+                .collect();
+                (k.clone(), obj)
+            })
+            .collect();
+        let histograms: Json = self
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.to_json()))
+            .collect();
+        vec![
+            ("counters", counters),
+            ("spans", spans),
+            ("histograms", histograms),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    /// Renders a human-readable per-phase time/count breakdown (the
+    /// `sherlock infer --profile` table). `wall_ns` is the caller-measured
+    /// wall time the phase percentages are computed against.
+    pub fn render_profile(&self, wall_ns: u64) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>12} {:>12} {:>7}",
+            "phase", "count", "total", "mean", "% wall"
+        );
+        let mut phase_total = 0u64;
+        for (name, s) in &self.spans {
+            if !name.starts_with("phase.") {
+                continue;
+            }
+            phase_total += s.total_ns;
+            let _ = writeln!(
+                out,
+                "{:<24} {:>8} {:>12} {:>12} {:>6.1}%",
+                name,
+                s.count,
+                fmt_ns(s.total_ns),
+                fmt_ns(s.total_ns.checked_div(s.count).unwrap_or(0)),
+                pct(s.total_ns, wall_ns),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>12} {:>12} {:>6.1}%",
+            "(sum of phases)",
+            "",
+            fmt_ns(phase_total),
+            "",
+            pct(phase_total, wall_ns),
+        );
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>12}",
+            "(wall clock)",
+            "",
+            fmt_ns(wall_ns)
+        );
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "\n{:<40} {:>14}", "counter", "value");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "{name:<40} {v:>14}");
+            }
+        }
+        out
+    }
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64 * 100.0
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Interns a counter once per call site and caches the handle in a static,
+/// making repeated access a single relaxed atomic add.
+#[macro_export]
+macro_rules! counter {
+    ($name:literal) => {{
+        static HANDLE: std::sync::OnceLock<&'static $crate::Counter> = std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::counter($name))
+    }};
+}
+
+/// Interns a histogram once per call site and caches the handle in a static.
+#[macro_export]
+macro_rules! histogram {
+    ($name:literal) => {{
+        static HANDLE: std::sync::OnceLock<&'static $crate::Histogram> = std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index((1 << 62) - 1), 62);
+        assert_eq!(bucket_index(1 << 63), 64);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert!(bucket_index(u64::MAX) < NUM_BUCKETS);
+    }
+
+    #[test]
+    fn histogram_aggregates() {
+        let h = Histogram::default();
+        for v in [0, 1, 1, 3, 1024, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), u64::MAX);
+        let s = h.snap();
+        assert_eq!(s.buckets[0], 1); // the 0
+        assert_eq!(s.buckets[1], 2); // the 1s
+        assert_eq!(s.buckets[2], 1); // the 3
+        assert_eq!(s.buckets[11], 1); // 1024 ∈ [2^10, 2^11)
+        assert_eq!(s.buckets[64], 1); // u64::MAX
+        assert_eq!(s.buckets.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn counters_increment_concurrently() {
+        let c = counter("test.concurrent");
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn interning_returns_same_handle() {
+        let a = counter("test.interned") as *const Counter;
+        let b = counter("test.interned") as *const Counter;
+        assert_eq!(a, b);
+        let c = counter!("test.interned.macro");
+        c.add(2);
+        assert_eq!(counter("test.interned.macro").get(), 2);
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts() {
+        let c = counter("test.delta");
+        c.add(5);
+        let before = snapshot();
+        c.add(7);
+        histogram("test.delta.hist").observe(9);
+        let d = snapshot().delta(&before);
+        assert_eq!(d.counters.get("test.delta"), Some(&7));
+        assert_eq!(
+            d.histograms.get("test.delta.hist").map(|h| h.count),
+            Some(1)
+        );
+        // Unchanged metrics are dropped from the delta.
+        assert!(!d.counters.contains_key("test.concurrent") || d.counters["test.concurrent"] > 0);
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        counter("test.json").add(3);
+        let j = snapshot().to_json();
+        assert_eq!(
+            j.get("counters")
+                .unwrap()
+                .get("test.json")
+                .unwrap()
+                .as_u64(),
+            Some(3)
+        );
+        assert!(j.get("spans").is_some());
+        assert!(j.get("histograms").is_some());
+    }
+}

@@ -1,0 +1,227 @@
+//! Pluggable telemetry sinks.
+//!
+//! Two sinks exist, both off by default so that an uninstrumented run pays
+//! nothing beyond relaxed atomic bumps:
+//!
+//! * a human-readable **stderr logger**, gated by a level set from the
+//!   `SHERLOCK_LOG` environment variable or the CLI's `--log <level>` flag;
+//! * a **JSON-lines file** (`--trace-out FILE`) receiving one object per
+//!   span, log record, and final metrics snapshot.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::json::write_escaped;
+use crate::span::epoch_micros;
+
+/// Verbosity of a log record (and the stderr gate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or user-visible failures.
+    Error = 1,
+    /// Suspicious but non-fatal conditions.
+    Warn = 2,
+    /// High-level progress.
+    Info = 3,
+    /// Per-phase details (e.g. suppressed simulated-thread panics).
+    Debug = 4,
+    /// Everything.
+    Trace = 5,
+}
+
+impl Level {
+    /// Parses `error|warn|info|debug|trace|off` (or `0`–`5`).
+    pub fn parse(s: &str) -> Option<Option<Level>> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Some(None),
+            "error" | "1" => Some(Some(Level::Error)),
+            "warn" | "warning" | "2" => Some(Some(Level::Warn)),
+            "info" | "3" => Some(Some(Level::Info)),
+            "debug" | "4" => Some(Some(Level::Debug)),
+            "trace" | "5" => Some(Some(Level::Trace)),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+static STDERR_LEVEL: AtomicU8 = AtomicU8::new(0); // 0 = off
+static JSONL_ON: AtomicBool = AtomicBool::new(false);
+
+fn jsonl_file() -> &'static Mutex<Option<BufWriter<File>>> {
+    static FILE: OnceLock<Mutex<Option<BufWriter<File>>>> = OnceLock::new();
+    FILE.get_or_init(|| Mutex::new(None))
+}
+
+/// Sets the stderr log level (`None` disables stderr logging).
+pub fn set_log_level(level: Option<Level>) {
+    STDERR_LEVEL.store(level.map_or(0, |l| l as u8), Ordering::Relaxed);
+}
+
+/// Reads `SHERLOCK_LOG` and applies it as the stderr level; unparsable
+/// values are ignored. Returns the applied level, if any.
+pub fn init_from_env() -> Option<Level> {
+    let raw = std::env::var("SHERLOCK_LOG").ok()?;
+    let parsed = Level::parse(&raw)?;
+    set_log_level(parsed);
+    parsed
+}
+
+/// Whether a record at `level` would reach stderr.
+pub fn log_enabled(level: Level) -> bool {
+    level as u8 <= STDERR_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Emits one log record to the enabled sinks. Prefer the [`crate::debug!`]
+/// family of macros, which skip formatting entirely when nothing listens.
+pub fn log(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    let stderr = log_enabled(level);
+    let jsonl = jsonl_enabled();
+    if !stderr && !jsonl {
+        return;
+    }
+    let msg = args.to_string();
+    if stderr {
+        eprintln!("[{:5} {target}] {msg}", level.name());
+    }
+    if jsonl {
+        let mut line = String::with_capacity(96 + msg.len());
+        line.push_str("{\"type\":\"log\",\"level\":\"");
+        line.push_str(level.name());
+        line.push_str("\",\"target\":");
+        write_escaped(&mut line, target);
+        line.push_str(",\"t_us\":");
+        line.push_str(&epoch_micros().to_string());
+        line.push_str(",\"msg\":");
+        write_escaped(&mut line, &msg);
+        line.push('}');
+        jsonl_line(&line);
+    }
+}
+
+/// Opens (truncating) `path` as the JSON-lines sink and writes a meta line.
+///
+/// # Errors
+///
+/// Propagates the underlying file-creation error.
+pub fn set_jsonl_file(path: &str) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    let mut guard = jsonl_file().lock().expect("jsonl sink poisoned");
+    *guard = Some(BufWriter::new(file));
+    JSONL_ON.store(true, Ordering::Release);
+    drop(guard);
+    let mut line = String::from(
+        "{\"type\":\"meta\",\"producer\":\"sherlock-obs\",\"version\":1,\"epoch_us\":",
+    );
+    line.push_str(&epoch_micros().to_string());
+    line.push('}');
+    jsonl_line(&line);
+    Ok(())
+}
+
+/// Whether the JSON-lines sink is installed.
+pub fn jsonl_enabled() -> bool {
+    JSONL_ON.load(Ordering::Acquire)
+}
+
+/// Appends one line (without trailing newline) to the JSON-lines sink.
+pub fn jsonl_line(line: &str) {
+    if !jsonl_enabled() {
+        return;
+    }
+    let mut guard = jsonl_file().lock().expect("jsonl sink poisoned");
+    if let Some(w) = guard.as_mut() {
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.write_all(b"\n");
+    }
+}
+
+/// Writes a final `{"type":"metrics", ...}` snapshot line and flushes the
+/// JSON-lines sink (keeping it open for further records).
+pub fn flush_jsonl() {
+    if !jsonl_enabled() {
+        return;
+    }
+    let snap = crate::snapshot();
+    let mut line = String::from("{\"type\":\"metrics\",\"t_us\":");
+    line.push_str(&epoch_micros().to_string());
+    line.push_str(",\"data\":");
+    line.push_str(&snap.to_json().render());
+    line.push('}');
+    jsonl_line(&line);
+    let mut guard = jsonl_file().lock().expect("jsonl sink poisoned");
+    if let Some(w) = guard.as_mut() {
+        let _ = w.flush();
+    }
+}
+
+/// Logs at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log($crate::Level::Error, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log($crate::Level::Warn, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log($crate::Level::Info, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log($crate::Level::Debug, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Trace`].
+#[macro_export]
+macro_rules! trace {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log($crate::Level::Trace, $target, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(Level::parse("debug"), Some(Some(Level::Debug)));
+        assert_eq!(Level::parse("WARN"), Some(Some(Level::Warn)));
+        assert_eq!(Level::parse("off"), Some(None));
+        assert_eq!(Level::parse("3"), Some(Some(Level::Info)));
+        assert_eq!(Level::parse("verbose"), None);
+    }
+
+    #[test]
+    fn levels_order() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Debug < Level::Trace);
+    }
+}

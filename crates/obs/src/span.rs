@@ -1,0 +1,139 @@
+//! RAII nested spans with wall-clock timing.
+//!
+//! [`span`] returns a guard; dropping it records the elapsed wall time into
+//! the span's process-wide aggregate ([`crate::Snapshot::spans`]) and, when a
+//! JSONL sink is installed, emits one `{"type":"span", ...}` line. Nesting is
+//! tracked per thread: each guard knows its depth, so a trace consumer can
+//! reconstruct the tree from `(thread, depth, start_us, dur_us)`.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+use crate::metrics::{span_stat, SpanStat};
+use crate::sink;
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Microseconds since the process's telemetry epoch (first use).
+pub fn epoch_micros() -> u64 {
+    static EPOCH: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// Live guard for one span; see [`span`].
+pub struct SpanGuard {
+    name: &'static str,
+    stat: &'static SpanStat,
+    start: Instant,
+    start_us: u64,
+    depth: usize,
+}
+
+/// Opens a span named `name`; the returned guard closes it on drop.
+///
+/// ```
+/// {
+///     let _solve = sherlock_obs::span("phase.solve");
+///     // ... timed work ...
+/// } // recorded here
+/// ```
+pub fn span(name: &'static str) -> SpanGuard {
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    SpanGuard {
+        name,
+        stat: span_stat(name),
+        start: Instant::now(),
+        start_us: epoch_micros(),
+        depth,
+    }
+}
+
+impl SpanGuard {
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let ns = self.start.elapsed().as_nanos() as u64;
+        self.stat.record(ns);
+        if sink::jsonl_enabled() {
+            let mut line = String::with_capacity(128);
+            line.push_str("{\"type\":\"span\",\"name\":");
+            crate::json::write_escaped(&mut line, self.name);
+            line.push_str(",\"thread\":");
+            let t = std::thread::current();
+            crate::json::write_escaped(&mut line, t.name().unwrap_or("?"));
+            use std::fmt::Write;
+            let _ = write!(
+                line,
+                ",\"depth\":{},\"start_us\":{},\"dur_us\":{}}}",
+                self.depth,
+                self.start_us,
+                ns / 1_000,
+            );
+            sink::jsonl_line(&line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot;
+
+    #[test]
+    fn spans_nest_and_time_monotonically() {
+        let before = snapshot();
+        {
+            let outer = span("test.outer");
+            assert_eq!(outer.depth, 0);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let inner = span("test.inner");
+                assert_eq!(inner.depth, 1);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let d = snapshot().delta(&before);
+        let outer = d.spans.get("test.outer").copied().unwrap();
+        let inner = d.spans.get("test.inner").copied().unwrap();
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        // The outer span strictly contains the inner one.
+        assert!(outer.total_ns >= inner.total_ns);
+        // Both saw their sleeps.
+        assert!(inner.total_ns >= 1_000_000);
+        assert!(outer.total_ns >= 3_000_000);
+    }
+
+    #[test]
+    fn depth_recovers_after_drop() {
+        {
+            let _a = span("test.depth.a");
+            {
+                let _b = span("test.depth.b");
+            }
+            let c = span("test.depth.c");
+            assert_eq!(c.depth, 1);
+        }
+        let d = span("test.depth.d");
+        assert_eq!(d.depth, 0);
+    }
+
+    #[test]
+    fn epoch_is_monotone() {
+        let a = epoch_micros();
+        let b = epoch_micros();
+        assert!(b >= a);
+    }
+}

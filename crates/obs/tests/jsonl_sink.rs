@@ -1,0 +1,70 @@
+//! Integration test for the JSON-lines sink: installs it in this process,
+//! emits spans/logs/metrics, and parses every line back.
+
+use sherlock_obs as obs;
+use sherlock_obs::json::Json;
+
+#[test]
+fn jsonl_sink_round_trips() {
+    let path = std::env::temp_dir().join(format!("sherlock-obs-test-{}.jsonl", std::process::id()));
+    let path_str = path.to_str().expect("utf-8 temp path");
+    obs::set_jsonl_file(path_str).expect("create jsonl sink");
+
+    {
+        let _outer = obs::span("test.jsonl.outer");
+        let _inner = obs::span("test.jsonl.inner");
+        obs::counter!("test.jsonl.counter").add(11);
+    }
+    obs::debug!("test", "escaped \"quote\" and backslash \\ and\nnewline");
+    obs::set_log_level(None); // stderr stays quiet; jsonl still records
+    obs::flush_jsonl();
+
+    let text = std::fs::read_to_string(&path).expect("read jsonl");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines.len() >= 4,
+        "expected meta+spans+log+metrics, got {lines:?}"
+    );
+
+    let mut types = Vec::new();
+    let mut span_names = Vec::new();
+    for line in &lines {
+        let v = Json::parse(line).unwrap_or_else(|e| panic!("invalid JSONL line {line:?}: {e}"));
+        let ty = v
+            .get("type")
+            .and_then(Json::as_str)
+            .expect("type field")
+            .to_string();
+        if ty == "span" {
+            span_names.push(v.get("name").and_then(Json::as_str).unwrap().to_string());
+            assert!(v.get("dur_us").and_then(Json::as_u64).is_some());
+            assert!(v.get("start_us").and_then(Json::as_u64).is_some());
+            assert!(v.get("depth").and_then(Json::as_u64).is_some());
+        }
+        if ty == "log" {
+            assert!(v
+                .get("msg")
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("escaped \"quote\""));
+        }
+        if ty == "metrics" {
+            let counters = v
+                .get("data")
+                .and_then(|d| d.get("counters"))
+                .expect("counters");
+            assert_eq!(
+                counters.get("test.jsonl.counter").and_then(Json::as_u64),
+                Some(11)
+            );
+        }
+        types.push(ty);
+    }
+    assert_eq!(types[0], "meta");
+    assert!(types.contains(&"log".to_string()));
+    assert!(types.contains(&"metrics".to_string()));
+    // Inner span closes (and is emitted) before outer.
+    assert_eq!(span_names, vec!["test.jsonl.inner", "test.jsonl.outer"]);
+
+    let _ = std::fs::remove_file(&path);
+}

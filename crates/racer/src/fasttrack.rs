@@ -89,13 +89,15 @@ impl Default for VarState {
 /// the first report best-effort, like the original; the paper's evaluation
 /// counts only the first report per run ([`first_race`]).
 pub fn detect(trace: &Trace, spec: &SyncSpec) -> Vec<Race> {
+    let _s = sherlock_obs::span("racer.detect");
+    sherlock_obs::counter!("racer.events_checked").add(trace.len() as u64);
     let mut threads: HashMap<u32, VectorClock> = HashMap::new();
     let mut channels: HashMap<u64, VectorClock> = HashMap::new();
     let mut vars: HashMap<(u64, String), VarState> = HashMap::new();
     let mut loc_cache: HashMap<OpId, Option<String>> = HashMap::new();
     let mut races: Vec<Race> = Vec::new();
 
-    fn thread_vc<'a>(threads: &'a mut HashMap<u32, VectorClock>, t: u32) -> &'a mut VectorClock {
+    fn thread_vc(threads: &mut HashMap<u32, VectorClock>, t: u32) -> &mut VectorClock {
         threads.entry(t).or_insert_with(|| {
             let mut vc = VectorClock::new();
             vc.set(t, 1);
@@ -115,10 +117,7 @@ pub fn detect(trace: &Trace, spec: &SyncSpec) -> Vec<Race> {
         }
         if is_release {
             let vc = thread_vc(&mut threads, t).clone();
-            channels
-                .entry(ev.object.0)
-                .or_insert_with(VectorClock::new)
-                .join(&vc);
+            channels.entry(ev.object.0).or_default().join(&vc);
             thread_vc(&mut threads, t).tick(t);
         }
 
@@ -135,9 +134,7 @@ pub fn detect(trace: &Trace, spec: &SyncSpec) -> Vec<Race> {
                 // Interlocked operations are hardware-atomic: by the C#
                 // memory model they cannot data-race, although they induce
                 // no happens-before for surrounding accesses.
-                OpRef::MethodBegin { class, .. } if class == "System.Threading.Interlocked" => {
-                    None
-                }
+                OpRef::MethodBegin { class, .. } if class == "System.Threading.Interlocked" => None,
                 OpRef::MethodBegin { class, .. } => Some(class),
                 OpRef::MethodEnd { .. } => None,
             })
@@ -193,8 +190,8 @@ pub fn detect(trace: &Trace, spec: &SyncSpec) -> Vec<Race> {
                     });
                 }
                 let read_race = match &state.read {
-                    ReadState::Epoch(e, op) => (!e.le(&vc)).then(|| (*op, e.tid)),
-                    ReadState::Shared(svc, op) => (!svc.le(&vc)).then(|| (*op, t)),
+                    ReadState::Epoch(e, op) => (!e.le(&vc)).then_some((*op, e.tid)),
+                    ReadState::Shared(svc, op) => (!svc.le(&vc)).then_some((*op, t)),
                 };
                 if let Some((op, tid)) = read_race {
                     races.push(Race {
@@ -214,6 +211,7 @@ pub fn detect(trace: &Trace, spec: &SyncSpec) -> Vec<Race> {
             AccessClass::None => unreachable!("filtered above"),
         }
     }
+    sherlock_obs::counter!("racer.races_reported").add(races.len() as u64);
     races
 }
 

@@ -79,8 +79,10 @@ impl SyncSpec {
     /// Annotates a field as volatile: its writes release and its reads
     /// acquire (the paper's Manual_dr "supported volatile variables").
     pub fn with_volatile(mut self, class: &str, field: &str) -> Self {
-        self.releases.insert(OpRef::field_write(class, field).intern());
-        self.acquires.insert(OpRef::field_read(class, field).intern());
+        self.releases
+            .insert(OpRef::field_write(class, field).intern());
+        self.acquires
+            .insert(OpRef::field_read(class, field).intern());
         self
     }
 
@@ -89,7 +91,8 @@ impl SyncSpec {
     /// `Thread.Start` and its exit releases the join edge consumed by
     /// `Thread.Join`.
     pub fn with_delegate(mut self, class: &str, method: &str) -> Self {
-        self.acquires.insert(OpRef::app_begin(class, method).intern());
+        self.acquires
+            .insert(OpRef::app_begin(class, method).intern());
         self.releases.insert(OpRef::app_end(class, method).intern());
         self
     }
@@ -131,7 +134,8 @@ impl SyncSpec {
     }
 
     fn rel_lib_begin(&mut self, class: &str, method: &str) {
-        self.releases.insert(OpRef::lib_begin(class, method).intern());
+        self.releases
+            .insert(OpRef::lib_begin(class, method).intern());
     }
 }
 
@@ -147,9 +151,7 @@ mod tests {
         assert!(m.is_release(OpRef::lib_begin("System.Threading.Monitor", "Exit").intern()));
         assert!(m.is_release(OpRef::lib_begin("System.Threading.Thread", "Start").intern()));
         // The task-parallel library is exactly what Manual_dr misses.
-        assert!(!m.is_release(
-            OpRef::lib_begin("System.Threading.Tasks.Task", "Run").intern()
-        ));
+        assert!(!m.is_release(OpRef::lib_begin("System.Threading.Tasks.Task", "Run").intern()));
         assert!(!m.is_release(
             OpRef::lib_begin("System.Threading.ThreadPool", "QueueUserWorkItem").intern()
         ));
@@ -171,8 +173,16 @@ mod tests {
         let rel = OpRef::app_end("R", "m").intern();
         let report = InferenceReport {
             inferred: vec![
-                InferredOp { op: acq, role: Role::Acquire, probability: 1.0 },
-                InferredOp { op: rel, role: Role::Release, probability: 1.0 },
+                InferredOp {
+                    op: acq,
+                    role: Role::Acquire,
+                    probability: 1.0,
+                },
+                InferredOp {
+                    op: rel,
+                    role: Role::Release,
+                    probability: 1.0,
+                },
             ],
             ..Default::default()
         };

@@ -1,0 +1,94 @@
+//! Scoped suppression of simulated-thread panic output.
+//!
+//! Simulated threads panic on purpose: seeded races trip test assertions
+//! (paper §5.5) and aborted runs unwind via a private token. The kernel
+//! catches all of these, so their default-handler backtraces are pure noise —
+//! but a blanket `panic::set_hook(|_| {})` (what the CLI and bench binaries
+//! used to install) also silences *real* bugs on the driver thread. This hook
+//! suppresses only threads the kernel spawned, identified by their
+//! `sim-`-prefixed OS thread name, and delegates everything else to the
+//! previously installed hook.
+
+use std::panic;
+use std::sync::Once;
+
+/// OS-thread-name prefix [`crate::Sim`] gives every simulated thread.
+const SIM_THREAD_PREFIX: &str = "sim-";
+
+/// Installs the scoped panic hook (idempotent; first call wins).
+///
+/// Panics on `sim-*` threads are suppressed from stderr and instead recorded
+/// through the observability layer at debug level (`SHERLOCK_LOG=debug` shows
+/// them); all other panics reach the hook that was active before this call.
+pub fn install_sim_panic_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let current = std::thread::current();
+            match current.name() {
+                Some(name) if name.starts_with(SIM_THREAD_PREFIX) => {
+                    sherlock_obs::counter!("kernel.panics_suppressed").add(1);
+                    sherlock_obs::debug!("sim.panic", "suppressed panic on {name}: {info}");
+                }
+                _ => previous(info),
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn suppresses_sim_threads_and_delegates_others() {
+        // Record which thread names reach the "previous" hook; other tests in
+        // this binary may panic concurrently, so assert on specific names
+        // rather than on a boolean.
+        let delegated: Arc<Mutex<Vec<String>>> = Arc::default();
+        let sink = Arc::clone(&delegated);
+        panic::set_hook(Box::new(move |_| {
+            let name = std::thread::current().name().unwrap_or("?").to_string();
+            sink.lock().unwrap().push(name);
+        }));
+        install_sim_panic_hook();
+
+        let suppressed_before = sherlock_obs::snapshot()
+            .counters
+            .get("kernel.panics_suppressed")
+            .copied()
+            .unwrap_or(0);
+
+        std::thread::Builder::new()
+            .name("sim-victim".to_string())
+            .spawn(|| panic!("expected"))
+            .unwrap()
+            .join()
+            .unwrap_err();
+        std::thread::Builder::new()
+            .name("plain-worker".to_string())
+            .spawn(|| panic!("expected"))
+            .unwrap()
+            .join()
+            .unwrap_err();
+
+        let names = delegated.lock().unwrap().clone();
+        assert!(
+            !names.iter().any(|n| n == "sim-victim"),
+            "sim-thread panic must not reach the previous hook: {names:?}"
+        );
+        assert!(
+            names.iter().any(|n| n == "plain-worker"),
+            "non-sim panic must delegate to the previous hook: {names:?}"
+        );
+        let suppressed_after = sherlock_obs::snapshot()
+            .counters
+            .get("kernel.panics_suppressed")
+            .copied()
+            .unwrap_or(0);
+        assert!(suppressed_after > suppressed_before);
+        let _ = panic::take_hook();
+    }
+}

@@ -15,11 +15,11 @@ use std::rc::Rc;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sherlock_obs::counter;
 use sherlock_trace::{AccessClass, OpRef, ThreadId, Time, Trace, TraceBuilder};
 
 use crate::config::SimConfig;
+use crate::rng::SplitMix64;
 
 /// Panic payload used to unwind simulated threads when a run is aborted.
 struct AbortToken;
@@ -49,7 +49,7 @@ struct ThreadSlot {
 pub(crate) struct KState {
     pub(crate) config: SimConfig,
     clock: Time,
-    rng: StdRng,
+    rng: SplitMix64,
     trace: TraceBuilder,
     threads: Vec<ThreadSlot>,
     next_object: u64,
@@ -172,7 +172,7 @@ impl Sim {
         let kernel = Arc::new(Kernel {
             state: Mutex::new(KState {
                 clock: Time::ZERO,
-                rng: StdRng::seed_from_u64(self.config.seed),
+                rng: SplitMix64::new(self.config.seed),
                 trace: TraceBuilder::new(),
                 threads: Vec::new(),
                 next_object: 1,
@@ -187,6 +187,7 @@ impl Sim {
 
         let mut outcome = Outcome::Completed;
         let mut last_nondaemon_activity = Time::ZERO;
+        let mut last_run: Option<u32> = None;
         loop {
             enum Act {
                 Run(u32),
@@ -251,13 +252,17 @@ impl Sim {
                                 None => Act::Deadlock(blocked_nondaemons()),
                             }
                         } else {
-                            Act::Run(runnable[st.rng.gen_range(0..runnable.len())])
+                            Act::Run(runnable[st.rng.gen_index(runnable.len())])
                         }
                     }
                 }
             };
             match act {
                 Act::Run(tid) => {
+                    if last_run != Some(tid) {
+                        counter!("kernel.context_switches").add(1);
+                        last_run = Some(tid);
+                    }
                     let go = {
                         let st = kernel.state.lock().expect("kernel state poisoned");
                         st.threads[tid as usize].go.clone()
@@ -299,6 +304,8 @@ impl Sim {
             .state
             .into_inner()
             .expect("kernel state poisoned");
+        counter!("kernel.steps").add(st.steps);
+        counter!("kernel.runs").add(1);
         RunReport {
             trace: st.trace.finish(),
             end_time: st.clock,
@@ -373,12 +380,8 @@ pub(crate) fn spawn_on(
             CURRENT.with(|c| *c.borrow_mut() = None);
         })
         .expect("failed to spawn OS thread for sim thread");
-    kernel
-        .state
-        .lock()
-        .expect("kernel state poisoned")
-        .threads[tid as usize]
-        .os_handle = Some(handle);
+    kernel.state.lock().expect("kernel state poisoned").threads[tid as usize].os_handle =
+        Some(handle);
     tid
 }
 
@@ -428,12 +431,12 @@ impl KState {
     fn advance_clock(&mut self) {
         let min = self.config.min_op_cost.as_nanos();
         let max = self.config.max_op_cost.as_nanos().max(min + 1);
-        let mut cost = self.rng.gen_range(min..max);
+        let mut cost = self.rng.gen_range(min, max);
         // Real executions have heavy-tailed per-operation noise (cache
         // misses, GC pauses, preemption); without it, long methods would
         // average their jitter away (CLT) and show unrealistically uniform
         // durations, starving the Acquisition-Time-Varies statistic.
-        if self.rng.gen_range(0..16) == 0 {
+        if self.rng.gen_range(0, 16) == 0 {
             cost = cost.saturating_mul(20);
         }
         self.clock = self.clock.saturating_add(Time::from_nanos(cost));
@@ -443,7 +446,13 @@ impl KState {
 
 /// Current virtual time.
 pub(crate) fn kernel_now() -> Time {
-    with_ctx(|ctx| ctx.kernel.state.lock().expect("kernel state poisoned").clock)
+    with_ctx(|ctx| {
+        ctx.kernel
+            .state
+            .lock()
+            .expect("kernel state poisoned")
+            .clock
+    })
 }
 
 /// Index of the current simulated thread.
@@ -454,7 +463,11 @@ pub(crate) fn kernel_current_tid() -> u32 {
 /// Name of a simulated thread.
 pub(crate) fn kernel_thread_name(tid: u32) -> String {
     with_ctx(|ctx| {
-        ctx.kernel.state.lock().expect("kernel state poisoned").threads[tid as usize]
+        ctx.kernel
+            .state
+            .lock()
+            .expect("kernel state poisoned")
+            .threads[tid as usize]
             .name
             .clone()
     })
@@ -528,7 +541,12 @@ pub(crate) fn kernel_wake(tid: u32) {
 /// Whether a simulated thread has finished.
 pub(crate) fn kernel_is_finished(tid: u32) -> bool {
     with_ctx(|ctx| {
-        ctx.kernel.state.lock().expect("kernel state poisoned").threads[tid as usize].state
+        ctx.kernel
+            .state
+            .lock()
+            .expect("kernel state poisoned")
+            .threads[tid as usize]
+            .state
             == ThreadState::Finished
     })
 }
@@ -599,7 +617,7 @@ pub(crate) fn kernel_trace(op: &OpRef, object: u64, access: AccessClass) {
         let delay_start = if let Some((d, probability)) = delay {
             let start = {
                 let mut st = ctx.kernel.state.lock().expect("kernel state poisoned");
-                let fire = probability >= 1.0 || st.rng.gen_bool(probability.max(0.0));
+                let fire = st.rng.gen_bool(probability);
                 if fire {
                     st.advance_clock();
                     let start = st.clock;
@@ -626,8 +644,12 @@ pub(crate) fn kernel_trace(op: &OpRef, object: u64, access: AccessClass) {
             // timestamp, so window refinement bounds of the form
             // `[a, rec.end]` keep the delayed release inside the window.
             if let Some(start) = delay_start {
+                counter!("perturber.delays_injected").add(1);
+                sherlock_obs::histogram!("perturber.delay_ns")
+                    .observe((t.saturating_sub(start)).as_nanos());
                 st.trace.push_delay(ctx.tid, op_id, start, t);
             }
+            counter!("kernel.events_traced").add(1);
             st.trace.push_classified(t, ctx.tid, op_id, object, access);
         }
         ctx.yield_to_scheduler();

@@ -40,8 +40,11 @@
 
 pub mod api;
 mod config;
+mod hook;
 mod kernel;
 pub mod prims;
+pub mod rng;
 
 pub use config::{DelayPlan, InstrumentConfig, SimConfig};
+pub use hook::install_sim_panic_hook;
 pub use kernel::{Outcome, PanicReport, RunReport, Sim};

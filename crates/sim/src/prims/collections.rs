@@ -50,13 +50,7 @@ impl<K: Eq + Hash + Clone + Send + 'static, V: Clone + Send + 'static> Concurren
     /// Returns the value for `key`, running the traced delegate
     /// `class::delegate` to produce it if absent. Delegates from concurrent
     /// calls are mutually exclusive (via an internal, untraced latch).
-    pub fn get_or_add(
-        &self,
-        key: K,
-        class: &str,
-        delegate: &str,
-        f: impl FnOnce() -> V,
-    ) -> V {
+    pub fn get_or_add(&self, key: K, class: &str, delegate: &str, f: impl FnOnce() -> V) -> V {
         api::lib_call(CM_CLASS, "GetOrAdd", self.inner.object, || {
             let me = api::current_thread();
             // Enter the internal atomic region.
@@ -155,9 +149,19 @@ impl<T: Clone + Send + 'static> UnsafeList<T> {
 
     /// `List.get_Item` — a read-like call site.
     pub fn get(&self, index: usize) -> Option<T> {
-        api::lib_call_classified(LIST_CLASS, "get_Item", self.object, AccessClass::Read, || {
-            self.items.lock().expect("list poisoned").get(index).cloned()
-        })
+        api::lib_call_classified(
+            LIST_CLASS,
+            "get_Item",
+            self.object,
+            AccessClass::Read,
+            || {
+                self.items
+                    .lock()
+                    .expect("list poisoned")
+                    .get(index)
+                    .cloned()
+            },
+        )
     }
 
     /// `List.get_Count` — a read-like call site.

@@ -127,7 +127,12 @@ impl<T: Send + 'static> BlockingCollection<T> {
 
     /// Untraced current length (for assertions in tests).
     pub fn len_untraced(&self) -> usize {
-        self.inner.state.lock().expect("collection poisoned").items.len()
+        self.inner
+            .state
+            .lock()
+            .expect("collection poisoned")
+            .items
+            .len()
     }
 }
 

@@ -37,16 +37,21 @@ impl EventWaitHandle {
 
     /// Signals the event (`EventWaitHandle.Set`), waking waiters.
     pub fn set(&self) {
-        api::lib_call("System.Threading.EventWaitHandle", "Set", self.inner.object, || {
-            let waiters = {
-                let mut s = self.inner.state.lock().expect("event poisoned");
-                s.signaled = true;
-                std::mem::take(&mut s.waiters)
-            };
-            for t in waiters {
-                kernel::kernel_wake(t);
-            }
-        });
+        api::lib_call(
+            "System.Threading.EventWaitHandle",
+            "Set",
+            self.inner.object,
+            || {
+                let waiters = {
+                    let mut s = self.inner.state.lock().expect("event poisoned");
+                    s.signaled = true;
+                    std::mem::take(&mut s.waiters)
+                };
+                for t in waiters {
+                    kernel::kernel_wake(t);
+                }
+            },
+        );
     }
 
     /// Unsignals the event (`EventWaitHandle.Reset`).
@@ -63,9 +68,14 @@ impl EventWaitHandle {
 
     /// Blocks until the event is signaled (`WaitHandle.WaitOne`).
     pub fn wait_one(&self) {
-        api::lib_call("System.Threading.WaitHandle", "WaitOne", self.inner.object, || {
-            self.block_untraced();
-        });
+        api::lib_call(
+            "System.Threading.WaitHandle",
+            "WaitOne",
+            self.inner.object,
+            || {
+                self.block_untraced();
+            },
+        );
     }
 
     /// Blocks until *all* the given events are signaled
@@ -160,39 +170,49 @@ impl Semaphore {
 
     /// Releases `n` permits.
     pub fn release(&self, n: u32) {
-        api::lib_call("System.Threading.Semaphore", "Release", self.inner.object, || {
-            let waiters = {
-                let mut s = self.inner.state.lock().expect("semaphore poisoned");
-                s.count += n;
-                std::mem::take(&mut s.waiters)
-            };
-            for t in waiters {
-                kernel::kernel_wake(t);
-            }
-        });
+        api::lib_call(
+            "System.Threading.Semaphore",
+            "Release",
+            self.inner.object,
+            || {
+                let waiters = {
+                    let mut s = self.inner.state.lock().expect("semaphore poisoned");
+                    s.count += n;
+                    std::mem::take(&mut s.waiters)
+                };
+                for t in waiters {
+                    kernel::kernel_wake(t);
+                }
+            },
+        );
     }
 
     /// Blocks until a permit is available, then takes it.
     pub fn wait_one(&self) {
-        api::lib_call("System.Threading.Semaphore", "WaitOne", self.inner.object, || {
-            let me = api::current_thread();
-            loop {
-                let ok = {
-                    let mut s = self.inner.state.lock().expect("semaphore poisoned");
-                    if s.count > 0 {
-                        s.count -= 1;
-                        true
-                    } else {
-                        s.waiters.push(me);
-                        false
+        api::lib_call(
+            "System.Threading.Semaphore",
+            "WaitOne",
+            self.inner.object,
+            || {
+                let me = api::current_thread();
+                loop {
+                    let ok = {
+                        let mut s = self.inner.state.lock().expect("semaphore poisoned");
+                        if s.count > 0 {
+                            s.count -= 1;
+                            true
+                        } else {
+                            s.waiters.push(me);
+                            false
+                        }
+                    };
+                    if ok {
+                        return;
                     }
-                };
-                if ok {
-                    return;
+                    kernel::kernel_block_current();
                 }
-                kernel::kernel_block_current();
-            }
-        });
+            },
+        );
     }
 }
 
@@ -270,10 +290,15 @@ impl RwLock {
 
     /// Downgrades the writer lock back to a reader lock.
     pub fn downgrade_from_writer_lock(&self) {
-        api::lib_call(RW_CLASS, "DowngradeFromWriterLock", self.inner.object, || {
-            self.unlock_writer_untraced();
-            self.lock_reader_untraced();
-        });
+        api::lib_call(
+            RW_CLASS,
+            "DowngradeFromWriterLock",
+            self.inner.object,
+            || {
+                self.unlock_writer_untraced();
+                self.lock_reader_untraced();
+            },
+        );
     }
 
     fn lock_reader_untraced(&self) {

@@ -5,8 +5,8 @@ use std::sync::Arc;
 
 use sherlock_sim::prims::{
     testfx, Barrier, BlockingCollection, ConcurrentMap, CountdownEvent, DataflowBlock,
-    EventWaitHandle, GcHeap, Interlocked, Monitor, RwLock, Semaphore, SimThread, StaticCtor,
-    Task, ThreadPool, TracedVar, UnsafeList,
+    EventWaitHandle, GcHeap, Interlocked, Monitor, RwLock, Semaphore, SimThread, StaticCtor, Task,
+    ThreadPool, TracedVar, UnsafeList,
 };
 use sherlock_sim::{api, DelayPlan, Outcome, Sim, SimConfig};
 use sherlock_trace::{OpRef, Time, Trace};
@@ -126,7 +126,7 @@ fn daemons_do_not_keep_the_run_alive() {
 #[test]
 fn join_handle_reports_finished() {
     let r = run_seeded(8, || {
-        let h = api::spawn("quick", || api::yield_now());
+        let h = api::spawn("quick", api::yield_now);
         h.join();
         assert!(h.is_finished());
     });
@@ -135,7 +135,7 @@ fn join_handle_reports_finished() {
 
 #[test]
 fn delay_plan_injects_and_records_delays() {
-    let op = OpRef::field_write("Delayed", "f", ).intern();
+    let op = OpRef::field_write("Delayed", "f").intern();
     let mut cfg = SimConfig::with_seed(9);
     cfg.delay_plan = DelayPlan::before_all([op], Time::from_millis(100));
     let r = Sim::new(cfg).run(|| {
@@ -156,7 +156,10 @@ fn instrument_filter_hides_methods_from_trace() {
         api::app_method("Hidden", "<Run>b__hidden0", 1, || {});
         api::app_method("Visible", "Run", 1, || {});
     });
-    assert_eq!(op_count(&r.trace, &OpRef::app_begin("Hidden", "<Run>b__hidden0")), 0);
+    assert_eq!(
+        op_count(&r.trace, &OpRef::app_begin("Hidden", "<Run>b__hidden0")),
+        0
+    );
     assert_eq!(op_count(&r.trace, &OpRef::app_begin("Visible", "Run")), 1);
     assert_eq!(op_count(&r.trace, &OpRef::app_end("Visible", "Run")), 1);
 }
@@ -225,11 +228,17 @@ fn monitor_provides_mutual_exclusion() {
     });
     assert!(r.is_clean(), "panics: {:?}", r.panics);
     assert_eq!(
-        op_count(&r.trace, &OpRef::lib_begin("System.Threading.Monitor", "Enter")),
+        op_count(
+            &r.trace,
+            &OpRef::lib_begin("System.Threading.Monitor", "Enter")
+        ),
         20
     );
     assert_eq!(
-        op_count(&r.trace, &OpRef::lib_end("System.Threading.Monitor", "Exit")),
+        op_count(
+            &r.trace,
+            &OpRef::lib_end("System.Threading.Monitor", "Exit")
+        ),
         20
     );
 }
@@ -251,13 +260,22 @@ fn monitor_is_reentrant() {
 #[test]
 fn sim_thread_traces_start_join_and_delegate() {
     let r = run_seeded(15, || {
-        let t = SimThread::start("Worker", "Run", || api::yield_now());
+        let t = SimThread::start("Worker", "Run", api::yield_now);
         t.join();
         assert!(t.is_finished());
     });
     assert!(r.is_clean());
-    assert_eq!(op_count(&r.trace, &OpRef::lib_begin("System.Threading.Thread", "Start")), 1);
-    assert_eq!(op_count(&r.trace, &OpRef::lib_end("System.Threading.Thread", "Join")), 1);
+    assert_eq!(
+        op_count(
+            &r.trace,
+            &OpRef::lib_begin("System.Threading.Thread", "Start")
+        ),
+        1
+    );
+    assert_eq!(
+        op_count(&r.trace, &OpRef::lib_end("System.Threading.Thread", "Join")),
+        1
+    );
     assert_eq!(op_count(&r.trace, &OpRef::app_begin("Worker", "Run")), 1);
     assert_eq!(op_count(&r.trace, &OpRef::app_end("Worker", "Run")), 1);
 }
@@ -310,9 +328,13 @@ fn thread_pool_work_items_run() {
         let mut items = Vec::new();
         for _ in 0..3 {
             let n = Arc::clone(&n);
-            items.push(ThreadPool::queue_user_work_item("Pool", "Work", move || {
-                n.fetch_add(1, Ordering::SeqCst);
-            }));
+            items.push(ThreadPool::queue_user_work_item(
+                "Pool",
+                "Work",
+                move || {
+                    n.fetch_add(1, Ordering::SeqCst);
+                },
+            ));
         }
         for t in &items {
             t.wait();
@@ -377,7 +399,10 @@ fn wait_all_needs_every_handle() {
     });
     assert!(r.is_clean());
     assert_eq!(
-        op_count(&r.trace, &OpRef::lib_begin("System.Threading.WaitHandle", "WaitAll")),
+        op_count(
+            &r.trace,
+            &OpRef::lib_begin("System.Threading.WaitHandle", "WaitAll")
+        ),
         1
     );
 }
@@ -472,8 +497,14 @@ fn static_ctor_runs_once_and_blocks_racers() {
         assert!(cctor.is_initialized());
     });
     assert!(r.is_clean(), "panics: {:?}", r.panics);
-    assert_eq!(op_count(&r.trace, &OpRef::app_begin("ClassFactory", ".cctor")), 1);
-    assert_eq!(op_count(&r.trace, &OpRef::app_end("ClassFactory", ".cctor")), 1);
+    assert_eq!(
+        op_count(&r.trace, &OpRef::app_begin("ClassFactory", ".cctor")),
+        1
+    );
+    assert_eq!(
+        op_count(&r.trace, &OpRef::app_end("ClassFactory", ".cctor")),
+        1
+    );
 }
 
 #[test]
@@ -493,7 +524,10 @@ fn gc_runs_finalizer_after_drop_last_ref() {
         }
     });
     assert!(r.is_clean(), "outcome: {:?}", r.outcome);
-    assert_eq!(op_count(&r.trace, &OpRef::app_begin("Entity", "Finalize")), 1);
+    assert_eq!(
+        op_count(&r.trace, &OpRef::app_begin("Entity", "Finalize")),
+        1
+    );
 }
 
 #[test]
@@ -517,7 +551,11 @@ fn get_or_add_runs_delegate_once_per_key_atomically() {
         for h in handles {
             h.join();
         }
-        assert_eq!(calls.load(Ordering::SeqCst), 1, "delegate ran more than once");
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "delegate ran more than once"
+        );
         assert_eq!(map.peek(&2020), Some(99));
     });
     assert!(r.is_clean(), "panics: {:?}", r.panics);
@@ -603,7 +641,10 @@ fn assert_helpers_trace_and_fail() {
     assert_eq!(
         op_count(
             &r.trace,
-            &OpRef::lib_begin("Microsoft.VisualStudio.TestTools.UnitTesting.Assert", "IsTrue")
+            &OpRef::lib_begin(
+                "Microsoft.VisualStudio.TestTools.UnitTesting.Assert",
+                "IsTrue"
+            )
         ),
         1
     );
@@ -641,11 +682,17 @@ fn monitor_wait_pulse_round_trip() {
     });
     assert!(r.is_clean(), "panics: {:?}", r.panics);
     assert_eq!(
-        op_count(&r.trace, &OpRef::lib_begin("System.Threading.Monitor", "Wait")),
+        op_count(
+            &r.trace,
+            &OpRef::lib_begin("System.Threading.Monitor", "Wait")
+        ),
         1
     );
     assert_eq!(
-        op_count(&r.trace, &OpRef::lib_begin("System.Threading.Monitor", "Pulse")),
+        op_count(
+            &r.trace,
+            &OpRef::lib_begin("System.Threading.Monitor", "Pulse")
+        ),
         1
     );
 }

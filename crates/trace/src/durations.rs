@@ -150,7 +150,7 @@ mod tests {
         let mut tb = TraceBuilder::new();
         tb.push(Time::from_micros(0), 0, begin("u"), 1);
         let d = extract(&tb.finish());
-        assert!(d.get(&begin("u")).is_none());
+        assert!(!d.contains_key(&begin("u")));
     }
 
     #[test]
@@ -168,8 +168,7 @@ mod tests {
 
     #[test]
     fn stats_varying_duration_has_positive_cv() {
-        let s =
-            DurationStats::from_samples(&[Time::from_micros(1), Time::from_micros(9)]).unwrap();
+        let s = DurationStats::from_samples(&[Time::from_micros(1), Time::from_micros(9)]).unwrap();
         assert!(s.coefficient_of_variation() > 0.5);
     }
 

@@ -5,7 +5,6 @@ use crate::time::Time;
 
 /// Identifier of a simulated thread within one run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ThreadId(pub u32);
 
 impl fmt::Display for ThreadId {
@@ -20,7 +19,6 @@ impl fmt::Display for ThreadId {
 /// for method events it is the "parent object id". `ObjectId::STATIC` marks
 /// static members and free functions.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ObjectId(pub u64);
 
 impl ObjectId {
@@ -36,7 +34,6 @@ impl ObjectId {
 /// classes) are additionally classified read- or write-like so that e.g. two
 /// concurrent `List.Add` calls on the same object form a conflicting pair.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AccessClass {
     /// Not a memory access (plain method entry/exit).
     #[default]
@@ -62,7 +59,6 @@ impl AccessClass {
 
 /// One log entry: a dynamic instance of a static operation.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Event {
     /// Virtual timestamp at which the operation executed.
     pub time: Time,
@@ -83,7 +79,6 @@ pub struct Event {
 /// currently inferred release (paper §4.3) and then checks whether the delay
 /// propagated to the other thread of each window.
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DelayRecord {
     /// Thread that was delayed.
     pub thread: ThreadId,
@@ -97,13 +92,18 @@ pub struct DelayRecord {
 
 /// The execution log of one run: time-ordered events plus delay records.
 #[derive(Clone, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Trace {
     events: Vec<Event>,
     delays: Vec<DelayRecord>,
 }
 
 impl Trace {
+    /// Reassembles a trace from parts (used by [`crate::json`] after
+    /// validating event ordering).
+    pub(crate) fn from_parts(events: Vec<Event>, delays: Vec<DelayRecord>) -> Trace {
+        Trace { events, delays }
+    }
+
     /// All events, in nondecreasing timestamp order.
     pub fn events(&self) -> &[Event] {
         &self.events
@@ -231,7 +231,12 @@ mod tests {
             OpRef::field_read("Evt", "x").intern(),
             1,
         );
-        tb.push(Time::from_nanos(2), 0, OpRef::app_begin("Evt", "m").intern(), 1);
+        tb.push(
+            Time::from_nanos(2),
+            0,
+            OpRef::app_begin("Evt", "m").intern(),
+            1,
+        );
         let t = tb.finish();
         assert_eq!(t.len(), 3);
         assert_eq!(t.events()[0].access, AccessClass::Write);

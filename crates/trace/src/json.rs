@@ -1,0 +1,295 @@
+//! Dependency-free JSON serialization of [`Trace`] files.
+//!
+//! The on-disk shape is byte-compatible with what the previous
+//! `serde`-derived implementation produced (externally-tagged `OpRef`
+//! variants, unit-variant strings for [`AccessClass`] and [`MethodKind`],
+//! newtype ids as bare numbers), so trace files written by older builds parse
+//! unchanged:
+//!
+//! ```json
+//! {"events":[{"time":1000,"thread":0,
+//!             "op":{"FieldWrite":{"class":"Doc","field":"ready"}},
+//!             "object":7,"access":"Write"}],
+//!  "delays":[{"thread":1,"op":{...},"start":5,"end":105}]}
+//! ```
+//!
+//! `OpId`s serialize as their fully-qualified [`OpRef`]; deserialization
+//! re-interns, so ids survive across processes even though the interning
+//! registry does not.
+
+use sherlock_obs::json::{Json, JsonError};
+
+use crate::event::{AccessClass, DelayRecord, Event, ObjectId, ThreadId, Trace};
+use crate::op::{MethodKind, OpId, OpRef};
+use crate::time::Time;
+
+/// Serializes a trace as compact JSON.
+pub fn to_json(trace: &Trace) -> String {
+    let events: Vec<Json> = trace.events().iter().map(event_to_json).collect();
+    let delays: Vec<Json> = trace.delays().iter().map(delay_to_json).collect();
+    Json::Obj(vec![
+        ("events".to_string(), Json::Arr(events)),
+        ("delays".to_string(), Json::Arr(delays)),
+    ])
+    .render()
+}
+
+fn op_to_json(op: OpId) -> Json {
+    let (tag, members) = match op.resolve() {
+        OpRef::FieldRead { class, field } => (
+            "FieldRead",
+            vec![
+                ("class".to_string(), Json::Str(class)),
+                ("field".to_string(), Json::Str(field)),
+            ],
+        ),
+        OpRef::FieldWrite { class, field } => (
+            "FieldWrite",
+            vec![
+                ("class".to_string(), Json::Str(class)),
+                ("field".to_string(), Json::Str(field)),
+            ],
+        ),
+        OpRef::MethodBegin {
+            class,
+            method,
+            kind,
+        } => (
+            "MethodBegin",
+            vec![
+                ("class".to_string(), Json::Str(class)),
+                ("method".to_string(), Json::Str(method)),
+                ("kind".to_string(), Json::from(kind_name(kind))),
+            ],
+        ),
+        OpRef::MethodEnd {
+            class,
+            method,
+            kind,
+        } => (
+            "MethodEnd",
+            vec![
+                ("class".to_string(), Json::Str(class)),
+                ("method".to_string(), Json::Str(method)),
+                ("kind".to_string(), Json::from(kind_name(kind))),
+            ],
+        ),
+    };
+    Json::Obj(vec![(tag.to_string(), Json::Obj(members))])
+}
+
+fn kind_name(kind: MethodKind) -> &'static str {
+    match kind {
+        MethodKind::App => "App",
+        MethodKind::Lib => "Lib",
+    }
+}
+
+fn access_name(access: AccessClass) -> &'static str {
+    match access {
+        AccessClass::None => "None",
+        AccessClass::Read => "Read",
+        AccessClass::Write => "Write",
+    }
+}
+
+fn event_to_json(e: &Event) -> Json {
+    Json::Obj(vec![
+        ("time".to_string(), Json::from(e.time.as_nanos())),
+        ("thread".to_string(), Json::from(u64::from(e.thread.0))),
+        ("op".to_string(), op_to_json(e.op)),
+        ("object".to_string(), Json::from(e.object.0)),
+        ("access".to_string(), Json::from(access_name(e.access))),
+    ])
+}
+
+fn delay_to_json(d: &DelayRecord) -> Json {
+    Json::Obj(vec![
+        ("thread".to_string(), Json::from(u64::from(d.thread.0))),
+        ("op".to_string(), op_to_json(d.op)),
+        ("start".to_string(), Json::from(d.start.as_nanos())),
+        ("end".to_string(), Json::from(d.end.as_nanos())),
+    ])
+}
+
+/// Parses a trace file produced by [`to_json`] (or the older serde format).
+///
+/// # Errors
+///
+/// Returns a message describing the first syntax or schema violation,
+/// including out-of-order event timestamps.
+pub fn from_json(text: &str) -> Result<Trace, String> {
+    let doc = Json::parse(text).map_err(|e: JsonError| e.to_string())?;
+    let events_json = doc
+        .get("events")
+        .and_then(Json::as_array)
+        .ok_or("missing \"events\" array")?;
+    let delays_json = doc
+        .get("delays")
+        .and_then(Json::as_array)
+        .ok_or("missing \"delays\" array")?;
+
+    let mut events = Vec::with_capacity(events_json.len());
+    let mut last = Time::ZERO;
+    for (i, e) in events_json.iter().enumerate() {
+        let time = Time::from_nanos(
+            e.get("time")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("event {i}: missing numeric \"time\""))?,
+        );
+        if time < last {
+            return Err(format!("event {i}: timestamps out of order"));
+        }
+        last = time;
+        events.push(Event {
+            time,
+            thread: ThreadId(thread_field(e, i)?),
+            op: parse_op(e.get("op"), &format!("event {i}"))?,
+            object: ObjectId(
+                e.get("object")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("event {i}: missing numeric \"object\""))?,
+            ),
+            access: match e.get("access").and_then(Json::as_str) {
+                Some("None") => AccessClass::None,
+                Some("Read") => AccessClass::Read,
+                Some("Write") => AccessClass::Write,
+                other => return Err(format!("event {i}: bad access {other:?}")),
+            },
+        });
+    }
+
+    let mut delays = Vec::with_capacity(delays_json.len());
+    for (i, d) in delays_json.iter().enumerate() {
+        let field = |name: &str| {
+            d.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("delay {i}: missing numeric {name:?}"))
+        };
+        delays.push(DelayRecord {
+            thread: ThreadId(thread_field(d, i)?),
+            op: parse_op(d.get("op"), &format!("delay {i}"))?,
+            start: Time::from_nanos(field("start")?),
+            end: Time::from_nanos(field("end")?),
+        });
+    }
+
+    Ok(Trace::from_parts(events, delays))
+}
+
+fn thread_field(v: &Json, i: usize) -> Result<u32, String> {
+    v.get("thread")
+        .and_then(Json::as_u64)
+        .and_then(|t| u32::try_from(t).ok())
+        .ok_or_else(|| format!("record {i}: missing u32 \"thread\""))
+}
+
+fn parse_op(v: Option<&Json>, ctx: &str) -> Result<OpId, String> {
+    let obj = v
+        .and_then(Json::as_object)
+        .ok_or_else(|| format!("{ctx}: missing \"op\" object"))?;
+    let [(tag, body)] = obj else {
+        return Err(format!("{ctx}: op must have exactly one variant tag"));
+    };
+    let text = |name: &str| {
+        body.get(name)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("{ctx}: op missing string {name:?}"))
+    };
+    let kind = || match body.get("kind").and_then(Json::as_str) {
+        Some("App") => Ok(MethodKind::App),
+        Some("Lib") => Ok(MethodKind::Lib),
+        other => Err(format!("{ctx}: bad method kind {other:?}")),
+    };
+    let op = match tag.as_str() {
+        "FieldRead" => OpRef::FieldRead {
+            class: text("class")?,
+            field: text("field")?,
+        },
+        "FieldWrite" => OpRef::FieldWrite {
+            class: text("class")?,
+            field: text("field")?,
+        },
+        "MethodBegin" => OpRef::MethodBegin {
+            class: text("class")?,
+            method: text("method")?,
+            kind: kind()?,
+        },
+        "MethodEnd" => OpRef::MethodEnd {
+            class: text("class")?,
+            method: text("method")?,
+            kind: kind()?,
+        },
+        other => return Err(format!("{ctx}: unknown op variant {other:?}")),
+    };
+    Ok(op.intern())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceBuilder;
+
+    fn sample_trace() -> Trace {
+        let mut tb = TraceBuilder::new();
+        let w = OpRef::field_write("Doc \"quoted\\path\"", "ready\n").intern();
+        let r = OpRef::field_read("Doc \"quoted\\path\"", "ready\n").intern();
+        let lb = OpRef::lib_begin("System.Threading.Monitor", "Enter").intern();
+        let ae = OpRef::app_end("Worker", "Run").intern();
+        tb.push(Time::from_nanos(10), 0, w, 7);
+        tb.push(Time::from_nanos(20), 0, lb, 3);
+        tb.push(Time::from_nanos(30), 1, r, 7);
+        tb.push(Time::from_nanos(30), 1, ae, 9);
+        tb.push_delay(1, w, Time::from_nanos(12), Time::from_nanos(29));
+        tb.finish()
+    }
+
+    #[test]
+    fn round_trips_events_delays_and_special_chars() {
+        let t = sample_trace();
+        let json = to_json(&t);
+        let back = from_json(&json).expect("parse back");
+        assert_eq!(back.events(), t.events());
+        assert_eq!(back.delays(), t.delays());
+    }
+
+    #[test]
+    fn shape_matches_legacy_serde_format() {
+        let mut tb = TraceBuilder::new();
+        tb.push(
+            Time::from_nanos(5),
+            2,
+            OpRef::field_read("C", "f").intern(),
+            1,
+        );
+        let json = to_json(&tb.finish());
+        assert_eq!(
+            json,
+            r#"{"events":[{"time":5,"thread":2,"op":{"FieldRead":{"class":"C","field":"f"}},"object":1,"access":"Read"}],"delays":[]}"#
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_order_and_malformed() {
+        let bad_order = r#"{"events":[
+            {"time":9,"thread":0,"op":{"FieldRead":{"class":"C","field":"f"}},"object":1,"access":"Read"},
+            {"time":3,"thread":0,"op":{"FieldRead":{"class":"C","field":"f"}},"object":1,"access":"Read"}
+        ],"delays":[]}"#;
+        assert!(from_json(bad_order).unwrap_err().contains("out of order"));
+        assert!(from_json("{}").is_err());
+        assert!(from_json("not json").is_err());
+        let bad_variant = r#"{"events":[{"time":1,"thread":0,"op":{"Nope":{}},"object":1,"access":"Read"}],"delays":[]}"#;
+        assert!(from_json(bad_variant)
+            .unwrap_err()
+            .contains("unknown op variant"));
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = TraceBuilder::new().finish();
+        let back = from_json(&to_json(&t)).unwrap();
+        assert!(back.is_empty());
+        assert!(back.delays().is_empty());
+    }
+}

@@ -36,6 +36,7 @@ mod op;
 mod time;
 
 pub mod durations;
+pub mod json;
 pub mod windows;
 
 pub use event::{AccessClass, DelayRecord, Event, ObjectId, ThreadId, Trace, TraceBuilder};

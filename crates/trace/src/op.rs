@@ -12,7 +12,6 @@ use std::sync::{Mutex, OnceLock};
 /// return may acquire (e.g. `WaitHandle::WaitOne`) — so both roles stay open,
 /// restrained by the Single-Role constraint instead.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MethodKind {
     /// A method whose body is instrumented (application code).
     App,
@@ -33,7 +32,6 @@ pub enum MethodKind {
 /// assert_eq!(id.resolve().to_string(), "Read-ByteBuffer::endOfFile");
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum OpRef {
     /// A read of a heap field.
     FieldRead { class: String, field: String },
@@ -235,22 +233,6 @@ impl OpId {
     /// Looks up the full static name of this operation.
     pub fn resolve(self) -> OpRef {
         registry().resolve(self)
-    }
-}
-
-/// Serializes as the fully-qualified [`OpRef`]; deserialization re-interns,
-/// so ids survive across processes even though the registry does not.
-#[cfg(feature = "serde")]
-impl serde::Serialize for OpId {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        self.resolve().serialize(serializer)
-    }
-}
-
-#[cfg(feature = "serde")]
-impl<'de> serde::Deserialize<'de> for OpId {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        Ok(OpRef::deserialize(deserializer)?.intern())
     }
 }
 

@@ -14,7 +14,6 @@ use std::ops::{Add, AddAssign, Sub};
 /// assert_eq!(t + Time::from_millis(900), Time::from_secs(1));
 /// ```
 #[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Time(u64);
 
 impl Time {

@@ -133,6 +133,7 @@ fn op_meta(cache: &mut HashMap<OpId, OpMeta>, op: OpId) -> OpMeta {
 /// [`WindowConfig::near`]. Windows are returned in order of their later
 /// endpoint.
 pub fn extract(trace: &Trace, cfg: &WindowConfig) -> Vec<Window> {
+    let _s = sherlock_obs::span("windows.extract");
     let events = trace.events();
     let mut meta_cache: HashMap<OpId, OpMeta> = HashMap::new();
 
@@ -191,10 +192,15 @@ pub fn extract(trace: &Trace, cfg: &WindowConfig) -> Vec<Window> {
     // Output order: by the later endpoint, then the earlier.
     pairs.sort_unstable_by_key(|&(i, j)| (j, i));
 
-    pairs
+    let out: Vec<Window> = pairs
         .into_iter()
-        .map(|(i, j)| build_window(trace, i, j, &mut meta_cache))
-        .collect()
+        .map(|(i, j)| {
+            sherlock_obs::histogram!("windows.span_events").observe((j - i + 1) as u64);
+            build_window(trace, i, j, &mut meta_cache)
+        })
+        .collect();
+    sherlock_obs::counter!("windows.extracted").add(out.len() as u64);
+    out
 }
 
 fn build_window(
@@ -260,8 +266,18 @@ mod tests {
     fn basic_write_read_window() {
         let mut tb = TraceBuilder::new();
         tb.push(Time::from_millis(1), 0, w("W", "flag"), 9);
-        tb.push(Time::from_millis(2), 0, OpRef::app_end("W", "produce").intern(), 9);
-        tb.push(Time::from_millis(3), 1, OpRef::app_begin("W", "consume").intern(), 9);
+        tb.push(
+            Time::from_millis(2),
+            0,
+            OpRef::app_end("W", "produce").intern(),
+            9,
+        );
+        tb.push(
+            Time::from_millis(3),
+            1,
+            OpRef::app_begin("W", "consume").intern(),
+            9,
+        );
         tb.push(Time::from_millis(4), 1, r("W", "flag"), 9);
         let ws = extract(&tb.finish(), &WindowConfig::default());
         assert_eq!(ws.len(), 1);
@@ -420,7 +436,12 @@ mod tests {
     fn third_party_thread_events_are_excluded_from_candidates() {
         let mut tb = TraceBuilder::new();
         tb.push(Time::from_micros(1), 0, w("TP", "x"), 1);
-        tb.push(Time::from_micros(2), 2, OpRef::app_begin("TP", "noise").intern(), 1);
+        tb.push(
+            Time::from_micros(2),
+            2,
+            OpRef::app_begin("TP", "noise").intern(),
+            1,
+        );
         tb.push(Time::from_micros(3), 1, r("TP", "x"), 1);
         let ws = extract(&tb.finish(), &WindowConfig::default());
         assert_eq!(ws.len(), 1);

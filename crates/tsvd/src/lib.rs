@@ -128,9 +128,11 @@ pub fn run_tsvd(test: &TestCase, rounds: usize, base_seed: u64, delay: Time) -> 
                     let quiet = !events
                         .iter()
                         .any(|q| q.thread == e.thread && q.time > mid && q.time < rec.end)
-                        && !run.trace.delays().iter().any(|d| {
-                            d.thread == e.thread && d.start < rec.end && d.end > mid
-                        });
+                        && !run
+                            .trace
+                            .delays()
+                            .iter()
+                            .any(|d| d.thread == e.thread && d.start < rec.end && d.end > mid);
                     if quiet {
                         hb.insert((rec.op, e.op));
                     }
@@ -172,8 +174,8 @@ pub fn synchronized_pairs(trace: &Trace, spec: &SyncSpec) -> BTreeSet<ApiPair> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sherlock_sim::prims::{EventWaitHandle, UnsafeList};
     use sherlock_sim::api;
+    use sherlock_sim::prims::{EventWaitHandle, UnsafeList};
 
     fn add_op() -> OpId {
         OpRef::lib_begin("System.Collections.Generic.List", "Add").intern()

@@ -19,7 +19,7 @@ use sherlock_sim::SimConfig;
 fn main() {
     // Seeded races intentionally fail assertions on some interleavings;
     // silence the default panic printer (the simulator catches them).
-    std::panic::set_hook(Box::new(|_| {}));
+    sherlock_sim::install_sim_panic_hook();
 
     let app = app_by_id("App-7").expect("App-7 exists");
 

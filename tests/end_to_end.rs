@@ -18,7 +18,8 @@ fn infer(tests: Vec<TestCase>) -> sherlock_core::InferenceReport {
 
 fn assert_release(report: &sherlock_core::InferenceReport, ops: &[OpRef]) {
     assert!(
-        ops.iter().any(|o| report.contains(o.intern(), Role::Release)),
+        ops.iter()
+            .any(|o| report.contains(o.intern(), Role::Release)),
         "none of {ops:?} inferred as release; got:\n{}",
         report.render()
     );
@@ -26,7 +27,8 @@ fn assert_release(report: &sherlock_core::InferenceReport, ops: &[OpRef]) {
 
 fn assert_acquire(report: &sherlock_core::InferenceReport, ops: &[OpRef]) {
     assert!(
-        ops.iter().any(|o| report.contains(o.intern(), Role::Acquire)),
+        ops.iter()
+            .any(|o| report.contains(o.intern(), Role::Acquire)),
         "none of {ops:?} inferred as acquire; got:\n{}",
         report.render()
     );
@@ -275,8 +277,14 @@ fn infers_get_or_add_sync() {
     assert_release(
         &report,
         &[
-            OpRef::lib_begin("System.Collections.Concurrent.ConcurrentDictionary", "GetOrAdd"),
-            OpRef::lib_end("System.Collections.Concurrent.ConcurrentDictionary", "GetOrAdd"),
+            OpRef::lib_begin(
+                "System.Collections.Concurrent.ConcurrentDictionary",
+                "GetOrAdd",
+            ),
+            OpRef::lib_end(
+                "System.Collections.Concurrent.ConcurrentDictionary",
+                "GetOrAdd",
+            ),
             OpRef::app_end("E2E.Map", "<Fill>d"),
         ],
     );
