@@ -140,6 +140,29 @@ impl GroundTruth {
         }
         spec
     }
+
+    /// The complete ground-truth specification: the manual baseline plus
+    /// every operation evidencing a real synchronization in
+    /// [`GroundTruth::sync_groups`] — including the task/pool/continuation
+    /// idioms Manual_dr famously misses. This is the oracle side of the
+    /// differential race detector: a spec with *no* missing happens-before
+    /// edges, so any race it reports on a seeded location is real.
+    pub fn full_spec(&self) -> SyncSpec {
+        let mut spec = self.manual_spec();
+        for g in &self.sync_groups {
+            for &op in &g.ops {
+                match g.role {
+                    Role::Acquire => {
+                        spec = spec.with_acquire(op);
+                    }
+                    Role::Release => {
+                        spec = spec.with_release(op);
+                    }
+                }
+            }
+        }
+        spec
+    }
 }
 
 /// One benchmark application: metadata, unit tests, and ground truth
@@ -210,6 +233,31 @@ mod tests {
         assert!(spec.is_release(OpRef::field_write("Buf", "eof").intern()));
         assert!(spec.is_acquire(OpRef::app_begin("Worker", "Run").intern()));
         assert!(spec.is_acquire(OpRef::lib_end("System.Threading.Monitor", "Enter").intern()));
+    }
+
+    #[test]
+    fn full_spec_extends_manual_with_group_ops() {
+        let mut t = GroundTruth::default();
+        t.sync_groups.push(SyncGroup::new(
+            "task completion",
+            Role::Release,
+            lib_site("System.Threading.Tasks.Task", "Run"),
+        ));
+        t.sync_groups.push(SyncGroup::new(
+            "task wait",
+            Role::Acquire,
+            lib_site("System.Threading.Tasks.Task", "Wait"),
+        ));
+        let full = t.full_spec();
+        // Group ops of both roles land in the right sets…
+        assert!(full.is_release(OpRef::lib_begin("System.Threading.Tasks.Task", "Run").intern()));
+        assert!(full.is_acquire(OpRef::lib_end("System.Threading.Tasks.Task", "Wait").intern()));
+        // …and the manual baseline is still present.
+        assert!(full.is_acquire(OpRef::lib_end("System.Threading.Monitor", "Enter").intern()));
+        // manual_spec alone does not know the task APIs.
+        assert!(!t
+            .manual_spec()
+            .is_release(OpRef::lib_begin("System.Threading.Tasks.Task", "Run").intern()));
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Schedule-exploration throughput benchmark: fans two representative apps
+//! across seeds under each scheduling strategy, measuring runs/sec and
+//! distinct-schedules/sec per strategy. Writes `BENCH_explore.json` and
+//! prints a summary table.
+
+use std::time::Instant;
+
+use sherlock_apps::all_apps;
+use sherlock_bench::{cells, TablePrinter};
+use sherlock_obs::json::Json;
+use sherlock_sim::{ExploreConfig, Explorer, StrategyKind};
+
+const RUNS_PER_TEST: u64 = 24;
+const APPS: [&str; 2] = ["App-1", "App-7"];
+
+fn main() {
+    sherlock_sim::install_sim_panic_hook();
+    sherlock_obs::init_from_env();
+
+    let strategies = [
+        StrategyKind::RandomWalk,
+        StrategyKind::Pct { depth: 3 },
+        StrategyKind::RoundRobin { quantum: 4 },
+    ];
+
+    let t = TablePrinter::new(&[10, 10, 8, 10, 12, 14]);
+    println!("Exploration benchmark ({RUNS_PER_TEST} runs per test)\n");
+    println!(
+        "{}",
+        t.row(cells![
+            "app", "strategy", "runs", "distinct", "wall(ms)", "runs/sec"
+        ])
+    );
+    println!("{}", t.rule());
+
+    let wall_start = Instant::now();
+    let mut rows_json: Vec<Json> = Vec::new();
+    for app in all_apps().into_iter().filter(|a| APPS.contains(&a.id)) {
+        for strategy in strategies {
+            let start = Instant::now();
+            let mut runs = 0u64;
+            let mut distinct = 0u64;
+            for (i, test) in app.tests.iter().enumerate() {
+                let mut ecfg = ExploreConfig::default();
+                ecfg.runs = RUNS_PER_TEST;
+                ecfg.base_seed = (i as u64) << 32;
+                ecfg.strategy = strategy;
+                let result = Explorer::new(ecfg).run(test.body());
+                runs += result.runs();
+                distinct += result.distinct.len() as u64;
+            }
+            let wall_ns = start.elapsed().as_nanos() as u64;
+            let secs = (wall_ns as f64 / 1e9).max(1e-9);
+            println!(
+                "{}",
+                t.row(cells![
+                    app.id,
+                    strategy.name(),
+                    runs,
+                    distinct,
+                    format!("{:.1}", wall_ns as f64 / 1e6),
+                    format!("{:.0}", runs as f64 / secs)
+                ])
+            );
+            rows_json.push(Json::Obj(vec![
+                ("app".to_string(), Json::from(app.id)),
+                ("strategy".to_string(), Json::from(strategy.name())),
+                ("runs".to_string(), Json::from(runs)),
+                ("distinct".to_string(), Json::from(distinct)),
+                ("wall_ns".to_string(), Json::from(wall_ns)),
+                ("runs_per_sec".to_string(), Json::Num(runs as f64 / secs)),
+                (
+                    "distinct_per_sec".to_string(),
+                    Json::Num(distinct as f64 / secs),
+                ),
+            ]));
+        }
+    }
+    let wall_ns = wall_start.elapsed().as_nanos() as u64;
+
+    let doc = Json::Obj(vec![
+        ("benchmark".to_string(), Json::from("explore")),
+        ("runs_per_test".to_string(), Json::from(RUNS_PER_TEST)),
+        ("wall_ns".to_string(), Json::from(wall_ns)),
+        ("rows".to_string(), Json::Arr(rows_json)),
+        ("telemetry".to_string(), sherlock_obs::snapshot().to_json()),
+    ]);
+    let path = "BENCH_explore.json";
+    std::fs::write(path, doc.render_pretty()).expect("write BENCH_explore.json");
+    println!("{}", t.rule());
+    println!("\ntotal {:.1} ms wall", wall_ns as f64 / 1e6);
+    println!("wrote {path}");
+}

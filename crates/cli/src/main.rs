@@ -7,6 +7,7 @@
 //! sherlock observe <app> [--seed N] [--out-dir DIR]   # save traces as JSON
 //! sherlock solve  <trace.json>...              # inference over saved traces
 //! sherlock races  <app> [--spec manual|inferred|none]
+//! sherlock explore <app> [--runs N] [--strategy random|pct|rr]   # schedule coverage
 //! ```
 //!
 //! Every subcommand also accepts the global observability flags
@@ -50,6 +51,7 @@ fn main() -> ExitCode {
         "observe" => commands::observe(&positional, &flags),
         "solve" => commands::solve(&positional, &flags),
         "races" => commands::races(&positional, &flags),
+        "explore" => commands::explore(&positional, &flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -102,6 +104,16 @@ USAGE:
   sherlock races <app> [--spec manual|inferred|none] [--rounds N]
       Run the FastTrack race detector over the application's tests under
       the chosen synchronization specification (first report per run).
+
+  sherlock explore <app> [--runs N] [--strategy random|pct|rr] [--depth N]
+                   [--quantum N] [--seed N] [--jobs N] [--rounds N]
+                   [--no-oracle] [--out report.json]
+      Fan the application's tests out across N seeded schedules under the
+      chosen scheduling strategy (PCT depth via --depth, round-robin
+      quantum via --quantum), deduplicate schedules by trace hash, and run
+      the differential FastTrack oracle (ground-truth spec vs. the spec
+      inferred after absorbing the explored traces). Exits nonzero on any
+      spec disagreement.
 
   sherlock solve <trace.json>... [--lambda X] [--near-ms N]
       Run window extraction and the Solver over previously saved traces.

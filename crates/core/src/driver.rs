@@ -202,6 +202,57 @@ impl SherLock {
         Ok(&self.report)
     }
 
+    /// Feeds one externally produced trace (e.g. an explored schedule from
+    /// `sherlock-sim`'s Explorer) into the session's observations: windows
+    /// are extracted, refined against any delay records the trace carries,
+    /// racy pairs marked, and durations accumulated — exactly the Observer
+    /// path of [`run_round`](Self::run_round), minus running a test. Call
+    /// [`resolve`](Self::resolve) afterwards to fold the new evidence into
+    /// the report.
+    pub fn absorb_trace(&mut self, trace: &sherlock_trace::Trace) -> RoundStats {
+        let _s = obs::span("driver.absorb_trace");
+        obs::counter!("driver.traces_absorbed").incr();
+        let wcfg = WindowConfig {
+            near: self.config.near,
+            cap_per_pair: self.config.cap_per_pair,
+        };
+        let mut stats = RoundStats::default();
+        stats.events = trace.len();
+        let mut ws = windows::extract(trace, &wcfg);
+        stats.windows_extracted = ws.len();
+        let refinement = perturber::refine_windows(trace, &mut ws);
+        stats.confirmations = refinement.confirmations;
+        stats.exclusions = refinement.exclusions.len();
+        for (pair, op) in refinement.exclusions {
+            self.observations.exclude_release(pair, op);
+        }
+        for w in &ws {
+            if w.is_racy() {
+                stats.racy_windows += 1;
+                self.observations.mark_racy(w.pair());
+            }
+            self.observations.add_window(w);
+        }
+        self.observations.add_durations(durations::extract(trace));
+        self.observations.finish_run();
+        stats
+    }
+
+    /// Re-solves over the accumulated observations without running any test
+    /// — the companion of [`absorb_trace`](Self::absorb_trace).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LpError`] from the Solver.
+    pub fn resolve(&mut self) -> Result<&InferenceReport, LpError> {
+        self.report = {
+            let _s = obs::span("phase.solve");
+            solver::solve(&self.observations, &self.config)?
+        };
+        self.report.telemetry = obs::snapshot().delta(&self.session_start);
+        Ok(&self.report)
+    }
+
     /// Runs `rounds` full rounds (3 in the paper) and returns the final
     /// report.
     ///

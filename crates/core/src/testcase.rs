@@ -42,6 +42,12 @@ impl TestCase {
         let body = Arc::clone(&self.body);
         Sim::new(config).run(move || body())
     }
+
+    /// A shared handle to the test body, for harnesses that drive their own
+    /// simulators (the schedule Explorer fans one body across many kernels).
+    pub fn body(&self) -> Arc<dyn Fn() + Send + Sync + 'static> {
+        Arc::clone(&self.body)
+    }
 }
 
 impl fmt::Debug for TestCase {

@@ -1,9 +1,10 @@
 //! Property tests for the Solver over randomized observation sets: the hard
 //! properties of §4.2 must hold for *every* input, and outputs are valid
-//! probabilities.
+//! probabilities. Driven by `sherlock_sim::testutil` so they run under plain
+//! `cargo test` with no external generator crate.
 
-use proptest::prelude::*;
 use sherlock_core::{solver, Observations, Role, SherLockConfig};
+use sherlock_sim::testutil::{check, shrink_vec, Config, Gen};
 use sherlock_trace::windows::{Candidate, Window};
 use sherlock_trace::{ObjectId, OpId, OpRef, ThreadId, Time};
 
@@ -16,23 +17,37 @@ struct WindowSpec {
     racy: bool,
 }
 
-fn window_spec() -> impl Strategy<Value = WindowSpec> {
-    (
-        0usize..4,
-        proptest::collection::vec(0usize..5, 0..3),
-        proptest::collection::vec(0usize..5, 0..3),
-        (1u32..4, 1u32..4),
-        proptest::bool::weighted(0.15),
-    )
-        .prop_map(
-            |(pair_field, rel_methods, acq_methods, counts, racy)| WindowSpec {
-                pair_field,
-                rel_methods,
-                acq_methods,
-                counts,
-                racy,
-            },
-        )
+fn gen_window_spec(g: &mut Gen) -> WindowSpec {
+    WindowSpec {
+        pair_field: g.usize_in(0, 3),
+        rel_methods: g.vec(0, 2, |g| g.usize_in(0, 4)),
+        acq_methods: g.vec(0, 2, |g| g.usize_in(0, 4)),
+        counts: (g.u64_in(1, 3) as u32, g.u64_in(1, 3) as u32),
+        racy: g.bool(0.15),
+    }
+}
+
+fn gen_specs(max: usize) -> impl FnMut(&mut Gen) -> Vec<WindowSpec> {
+    move |g| g.vec(0, max, gen_window_spec)
+}
+
+/// Shrinks by dropping windows, then by simplifying the surviving ones.
+fn shrink_specs(specs: &[WindowSpec]) -> Vec<Vec<WindowSpec>> {
+    let mut out = shrink_vec(specs);
+    for (i, s) in specs.iter().enumerate() {
+        if !s.rel_methods.is_empty() || !s.acq_methods.is_empty() {
+            let mut simpler = specs.to_vec();
+            simpler[i].rel_methods.clear();
+            simpler[i].acq_methods.clear();
+            out.push(simpler);
+        }
+        if s.racy {
+            let mut simpler = specs.to_vec();
+            simpler[i].racy = false;
+            out.push(simpler);
+        }
+    }
+    out
 }
 
 fn field_ops(i: usize) -> (OpId, OpId) {
@@ -92,71 +107,139 @@ fn build_observations(specs: &[WindowSpec]) -> Observations {
     obs
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn cases(n: u64) -> Config {
+    Config {
+        cases: n,
+        ..Config::default()
+    }
+}
 
-    /// Hard properties: probabilities in [0,1]; reads never release, writes
-    /// never acquire, app begins never release, app ends never acquire; one
-    /// op never holds both roles at once.
-    #[test]
-    fn hard_constraints_hold(specs in proptest::collection::vec(window_spec(), 0..10)) {
-        let obs = build_observations(&specs);
-        let report = solver::solve(&obs, &SherLockConfig::default()).expect("solvable");
-        for (&(op, role), &p) in &report.probabilities {
-            prop_assert!((0.0..=1.0 + 1e-7).contains(&p), "p out of range: {p}");
-            let r = op.resolve();
-            match role {
-                Role::Release => prop_assert!(r.can_release(), "{r} released"),
-                Role::Acquire => prop_assert!(r.can_acquire(), "{r} acquired"),
+/// Hard properties: probabilities in [0,1]; reads never release, writes
+/// never acquire, app begins never release, app ends never acquire; one
+/// op never holds both roles at once.
+#[test]
+fn hard_constraints_hold() {
+    check(
+        &cases(64),
+        gen_specs(10),
+        |s| shrink_specs(s),
+        |specs| {
+            let obs = build_observations(specs);
+            let report = solver::solve(&obs, &SherLockConfig::default()).expect("solvable");
+            for (&(op, role), &p) in &report.probabilities {
+                if !(0.0..=1.0 + 1e-7).contains(&p) {
+                    return Err(format!("p out of range: {p}"));
+                }
+                let r = op.resolve();
+                match role {
+                    Role::Release if !r.can_release() => {
+                        return Err(format!("{r} released"));
+                    }
+                    Role::Acquire if !r.can_acquire() => {
+                        return Err(format!("{r} acquired"));
+                    }
+                    _ => {}
+                }
             }
-        }
-        for i in &report.inferred {
-            let both = report.inferred.iter().any(|j| j.op == i.op && j.role != i.role);
-            prop_assert!(!both, "op {} inferred in both roles", i.op);
-        }
-    }
+            for i in &report.inferred {
+                if report
+                    .inferred
+                    .iter()
+                    .any(|j| j.op == i.op && j.role != i.role)
+                {
+                    return Err(format!("op {} inferred in both roles", i.op));
+                }
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Solving twice over the same observations is deterministic.
-    #[test]
-    fn solving_is_deterministic(specs in proptest::collection::vec(window_spec(), 0..8)) {
-        let obs = build_observations(&specs);
-        let cfg = SherLockConfig::default();
-        let a = solver::solve(&obs, &cfg).expect("solvable");
-        let b = solver::solve(&obs, &cfg).expect("solvable");
-        prop_assert_eq!(a.inferred, b.inferred);
-    }
+/// Solving twice over the same observations is deterministic.
+#[test]
+fn solving_is_deterministic() {
+    check(
+        &cases(64),
+        gen_specs(8),
+        |s| shrink_specs(s),
+        |specs| {
+            let obs = build_observations(specs);
+            let cfg = SherLockConfig::default();
+            let a = solver::solve(&obs, &cfg).expect("solvable");
+            let b = solver::solve(&obs, &cfg).expect("solvable");
+            if a.inferred != b.inferred {
+                return Err(format!("{:?} != {:?}", a.inferred, b.inferred));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// With Mostly-Protected ablated, nothing is ever inferred.
-    #[test]
-    fn no_protection_no_inference(specs in proptest::collection::vec(window_spec(), 0..8)) {
-        let obs = build_observations(&specs);
-        let mut cfg = SherLockConfig::default();
-        cfg.hypotheses.mostly_protected = false;
-        let report = solver::solve(&obs, &cfg).expect("solvable");
-        prop_assert!(report.inferred.is_empty());
-    }
+/// With Mostly-Protected ablated, nothing is ever inferred.
+#[test]
+fn no_protection_no_inference() {
+    check(
+        &cases(64),
+        gen_specs(8),
+        |s| shrink_specs(s),
+        |specs| {
+            let obs = build_observations(specs);
+            let mut cfg = SherLockConfig::default();
+            cfg.hypotheses.mostly_protected = false;
+            let report = solver::solve(&obs, &cfg).expect("solvable");
+            if !report.inferred.is_empty() {
+                return Err(format!(
+                    "inferred without protection: {:?}",
+                    report.inferred
+                ));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Very large λ suppresses all inference (Table 6's right edge).
-    #[test]
-    fn huge_lambda_suppresses(specs in proptest::collection::vec(window_spec(), 0..8)) {
-        let obs = build_observations(&specs);
-        let mut cfg = SherLockConfig::default();
-        cfg.lambda = 10_000.0;
-        let report = solver::solve(&obs, &cfg).expect("solvable");
-        prop_assert!(report.inferred.is_empty(), "{:?}", report.inferred);
-    }
+/// Very large λ suppresses all inference (Table 6's right edge).
+#[test]
+fn huge_lambda_suppresses() {
+    check(
+        &cases(64),
+        gen_specs(8),
+        |s| shrink_specs(s),
+        |specs| {
+            let obs = build_observations(specs);
+            let mut cfg = SherLockConfig::default();
+            cfg.lambda = 10_000.0;
+            let report = solver::solve(&obs, &cfg).expect("solvable");
+            if !report.inferred.is_empty() {
+                return Err(format!("inferred under huge lambda: {:?}", report.inferred));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Racy pairs contribute nothing: if every window is racy, nothing is
-    /// inferred under race removal.
-    #[test]
-    fn all_racy_means_nothing_inferred(specs in proptest::collection::vec(window_spec(), 0..8)) {
-        let mut all_racy = specs.clone();
-        for s in &mut all_racy {
-            s.racy = true;
-        }
-        let obs = build_observations(&all_racy);
-        let report = solver::solve(&obs, &SherLockConfig::default()).expect("solvable");
-        prop_assert!(report.inferred.is_empty());
-        prop_assert_eq!(report.num_windows, 0);
-    }
+/// Racy pairs contribute nothing: if every window is racy, nothing is
+/// inferred under race removal.
+#[test]
+fn all_racy_means_nothing_inferred() {
+    check(
+        &cases(64),
+        gen_specs(8),
+        |s| shrink_specs(s),
+        |specs| {
+            let mut all_racy = specs.clone();
+            for s in &mut all_racy {
+                s.racy = true;
+            }
+            let obs = build_observations(&all_racy);
+            let report = solver::solve(&obs, &SherLockConfig::default()).expect("solvable");
+            if !report.inferred.is_empty() {
+                return Err(format!("inferred from racy-only: {:?}", report.inferred));
+            }
+            if report.num_windows != 0 {
+                return Err(format!("num_windows = {}", report.num_windows));
+            }
+            Ok(())
+        },
+    );
 }

@@ -347,6 +347,17 @@ impl Snapshot {
         }
     }
 
+    /// The counters whose names start with `prefix`, in name order — used by
+    /// subsystem summaries (e.g. `sherlock explore` prints every
+    /// `explore.`-prefixed counter it accumulated).
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+
     /// Serializes the snapshot (the `"telemetry"` JSON schema documented in
     /// README.md: `counters`, `spans`, and `histograms` objects by name).
     pub fn to_json(&self) -> Json {
@@ -553,6 +564,16 @@ mod tests {
         );
         // Unchanged metrics are dropped from the delta.
         assert!(!d.counters.contains_key("test.concurrent") || d.counters["test.concurrent"] > 0);
+    }
+
+    #[test]
+    fn counters_with_prefix_filters_and_sorts() {
+        counter("test.prefix.b").add(2);
+        counter("test.prefix.a").add(1);
+        counter("test.other").add(9);
+        let got = snapshot().counters_with_prefix("test.prefix.");
+        let names: Vec<&str> = got.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, vec!["test.prefix.a", "test.prefix.b"]);
     }
 
     #[test]

@@ -1,0 +1,363 @@
+//! Differential race detection: FastTrack under two specs, disagreement as a
+//! first-class result.
+//!
+//! SherLock's promise is that its *inferred* synchronization spec is good
+//! enough to drive a race detector (`SherLock_dr`, paper §5.4). The
+//! differential oracle tests that promise directly on every explored
+//! schedule: run [`detect`](crate::detect) under the ground-truth spec and
+//! under the inferred spec, project each report set onto static locations,
+//! and compare. On *seeded-race* locations (the caller passes the set — the
+//! racer crate has no dependency on the benchmark apps), any asymmetry is a
+//! [`Disagreement`]:
+//!
+//! * ground-truth finds a seeded race the inferred spec masks → the
+//!   inference invented a happens-before edge (false synchronization);
+//! * the inferred spec reports a seeded race ground truth orders → cannot
+//!   happen with a complete ground spec, and flags a broken oracle if it
+//!   does.
+//!
+//! One subtlety keeps the comparison fair: FastTrack exempts every operation
+//! a spec *declares* as synchronization from race checking (volatile
+//! semantics). When inference misreads a seeded racy access itself as a
+//! synchronization op — the paper's Table 2 "Data Racy" column — the
+//! detector under the inferred spec never *checks* that location; it has
+//! abstained, not concluded the accesses are ordered. Those locations are
+//! reported separately as [`DifferentialReport::declared_sync`] rather than
+//! as disagreements; a [`Disagreement`] means both detectors checked the
+//! location and reached different verdicts.
+//!
+//! Differences on non-seeded locations are kept as informational noise
+//! (`*_only_spurious`): an incomplete inferred spec produces false races
+//! exactly like `Manual_dr` does, which is a precision number, not an oracle
+//! failure.
+
+use std::collections::BTreeSet;
+
+use sherlock_obs::counter;
+use sherlock_trace::{OpRef, Trace};
+
+use crate::fasttrack::detect;
+use crate::spec::SyncSpec;
+
+/// One seeded-race location on which the two specs disagree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Disagreement {
+    /// Static `Class::field` location of the seeded race.
+    pub location: String,
+    /// Whether the ground-truth spec detected it (`true` means the inferred
+    /// spec *masked* a real race; `false` means the inferred spec reported a
+    /// seeded race the complete ground spec proves ordered).
+    pub ground_detected: bool,
+    /// Index (into the input slice) of the first trace exhibiting the
+    /// disagreement.
+    pub first_trace: usize,
+}
+
+/// Aggregate result of differential detection over a set of traces.
+#[derive(Clone, Debug, Default)]
+pub struct DifferentialReport {
+    /// Traces analyzed.
+    pub traces: usize,
+    /// Total race reports under the ground-truth spec.
+    pub ground_reports: usize,
+    /// Total race reports under the inferred spec.
+    pub inferred_reports: usize,
+    /// Seeded-race locations the ground-truth spec detected on some trace.
+    pub ground_true_locations: BTreeSet<String>,
+    /// Seeded-race locations the inferred spec detected on some trace.
+    pub inferred_true_locations: BTreeSet<String>,
+    /// Non-seeded locations only the ground-truth spec reported.
+    pub ground_only_spurious: BTreeSet<String>,
+    /// Non-seeded locations only the inferred spec reported (false races
+    /// from missing inferred synchronizations — the `SherLock_dr` precision
+    /// story, not an oracle failure).
+    pub inferred_only_spurious: BTreeSet<String>,
+    /// Seeded-race locations whose accesses one spec *declares* as
+    /// synchronization operations (paper Table 2 "Data Racy"): the detector
+    /// abstains there, so the location cannot be differentially compared.
+    pub declared_sync: BTreeSet<String>,
+    /// The seeded-race locations the two specs disagree on.
+    pub disagreements: Vec<Disagreement>,
+}
+
+impl DifferentialReport {
+    /// Whether the two specs agree on every seeded-race location.
+    pub fn agrees(&self) -> bool {
+        self.disagreements.is_empty()
+    }
+
+    /// Human-readable summary block for CLI output.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "differential oracle: {} trace(s), {} ground / {} inferred race report(s)",
+            self.traces, self.ground_reports, self.inferred_reports
+        );
+        let _ = writeln!(
+            out,
+            "  seeded races detected: ground {:?}, inferred {:?}",
+            self.ground_true_locations, self.inferred_true_locations
+        );
+        if !self.ground_only_spurious.is_empty() || !self.inferred_only_spurious.is_empty() {
+            let _ = writeln!(
+                out,
+                "  spurious-only (informational): ground {:?}, inferred {:?}",
+                self.ground_only_spurious, self.inferred_only_spurious
+            );
+        }
+        if !self.declared_sync.is_empty() {
+            let _ = writeln!(
+                out,
+                "  declared-sync, not compared (Table 2 \"Data Racy\"): {:?}",
+                self.declared_sync
+            );
+        }
+        if self.agrees() {
+            let _ = writeln!(out, "  spec disagreements: none");
+        } else {
+            for d in &self.disagreements {
+                let side = if d.ground_detected {
+                    "MASKED by inferred spec (false synchronization)"
+                } else {
+                    "reported only under inferred spec"
+                };
+                let _ = writeln!(
+                    out,
+                    "  DISAGREEMENT {} — {} (first trace {})",
+                    d.location, side, d.first_trace
+                );
+            }
+        }
+        out
+    }
+}
+
+/// The `Class::field` locations whose accesses a spec declares as
+/// synchronization operations — FastTrack abstains from race checking these.
+fn spec_field_locations(spec: &SyncSpec) -> BTreeSet<String> {
+    spec.acquires
+        .iter()
+        .chain(spec.releases.iter())
+        .filter_map(|op| match op.resolve() {
+            OpRef::FieldRead { class, field } | OpRef::FieldWrite { class, field } => {
+                Some(format!("{class}::{field}"))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+fn static_locations(trace: &Trace, spec: &SyncSpec) -> (usize, BTreeSet<String>) {
+    let races = detect(trace, spec);
+    let locations = races
+        .iter()
+        .map(|r| {
+            r.location
+                .split('@')
+                .next()
+                .unwrap_or(&r.location)
+                .to_string()
+        })
+        .collect();
+    (races.len(), locations)
+}
+
+/// Runs FastTrack under `ground` and `inferred` on every trace and reports
+/// where the specs disagree about the seeded races in `true_locations`
+/// (static `Class::field` names).
+pub fn differential(
+    traces: &[&Trace],
+    ground: &SyncSpec,
+    inferred: &SyncSpec,
+    true_locations: &BTreeSet<String>,
+) -> DifferentialReport {
+    let _s = sherlock_obs::span("racer.differential");
+    let mut report = DifferentialReport {
+        traces: traces.len(),
+        ..DifferentialReport::default()
+    };
+    // Per-location index of the first trace whose *aggregate* sets differ —
+    // recorded while streaming so disagreements can name a witness trace.
+    let mut first_seen: std::collections::BTreeMap<(String, bool), usize> =
+        std::collections::BTreeMap::new();
+
+    for (i, trace) in traces.iter().enumerate() {
+        let (gn, glocs) = static_locations(trace, ground);
+        let (sn, slocs) = static_locations(trace, inferred);
+        report.ground_reports += gn;
+        report.inferred_reports += sn;
+        for loc in glocs {
+            if true_locations.contains(&loc) {
+                first_seen.entry((loc.clone(), true)).or_insert(i);
+                report.ground_true_locations.insert(loc);
+            } else {
+                report.ground_only_spurious.insert(loc);
+            }
+        }
+        for loc in slocs {
+            if true_locations.contains(&loc) {
+                first_seen.entry((loc.clone(), false)).or_insert(i);
+                report.inferred_true_locations.insert(loc);
+            } else {
+                report.inferred_only_spurious.insert(loc);
+            }
+        }
+    }
+    // Spurious sets become "only" sets: drop the intersection.
+    let both: BTreeSet<String> = report
+        .ground_only_spurious
+        .intersection(&report.inferred_only_spurious)
+        .cloned()
+        .collect();
+    for loc in &both {
+        report.ground_only_spurious.remove(loc);
+        report.inferred_only_spurious.remove(loc);
+    }
+
+    // Locations either spec declares as sync ops are not comparable: the
+    // declaring side's detector abstained rather than proved ordering.
+    let abstained: BTreeSet<String> = spec_field_locations(ground)
+        .union(&spec_field_locations(inferred))
+        .cloned()
+        .collect();
+
+    for loc in report
+        .ground_true_locations
+        .symmetric_difference(&report.inferred_true_locations)
+    {
+        if abstained.contains(loc) {
+            report.declared_sync.insert(loc.clone());
+            continue;
+        }
+        let ground_detected = report.ground_true_locations.contains(loc);
+        let first_trace = first_seen
+            .get(&(loc.clone(), ground_detected))
+            .copied()
+            .unwrap_or(0);
+        report.disagreements.push(Disagreement {
+            location: loc.clone(),
+            ground_detected,
+            first_trace,
+        });
+    }
+    counter!("differential.traces").add(traces.len() as u64);
+    counter!("differential.disagreements").add(report.disagreements.len() as u64);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sherlock_trace::{OpRef, Time, TraceBuilder};
+
+    /// A two-thread trace: T0 writes `C::x` then performs `rel`; T1 performs
+    /// `acq` then reads `C::x`. Ordered iff the spec knows rel/acq.
+    fn handoff_trace() -> Trace {
+        let w = OpRef::field_write("C", "x").intern();
+        let r = OpRef::field_read("C", "x").intern();
+        let rel = OpRef::lib_begin("Chan", "Send").intern();
+        let acq = OpRef::lib_end("Chan", "Recv").intern();
+        let mut tb = TraceBuilder::new();
+        tb.push(Time::from_nanos(1), 0, w, 7);
+        tb.push(Time::from_nanos(2), 0, rel, 9);
+        tb.push(Time::from_nanos(3), 1, acq, 9);
+        tb.push(Time::from_nanos(4), 1, r, 7);
+        tb.finish()
+    }
+
+    fn chan_spec() -> SyncSpec {
+        SyncSpec::empty()
+            .with_release(OpRef::lib_begin("Chan", "Send").intern())
+            .with_acquire(OpRef::lib_end("Chan", "Recv").intern())
+    }
+
+    #[test]
+    fn agreement_when_specs_match() {
+        let t = handoff_trace();
+        let truth: BTreeSet<String> = ["C::x".to_string()].into();
+        let rep = differential(&[&t], &chan_spec(), &chan_spec(), &truth);
+        assert!(rep.agrees());
+        assert_eq!(rep.ground_reports, 0);
+        assert!(rep.render().contains("spec disagreements: none"));
+    }
+
+    #[test]
+    fn masked_race_is_a_disagreement() {
+        // Ground spec is empty for this synthetic trace's channel (so the
+        // seeded race is visible), while the "inferred" spec hallucinated
+        // the Chan edge — masking the race.
+        let t = handoff_trace();
+        let truth: BTreeSet<String> = ["C::x".to_string()].into();
+        let rep = differential(&[&t], &SyncSpec::empty(), &chan_spec(), &truth);
+        assert!(!rep.agrees());
+        assert_eq!(rep.disagreements.len(), 1);
+        let d = &rep.disagreements[0];
+        assert_eq!(d.location, "C::x");
+        assert!(d.ground_detected);
+        assert_eq!(d.first_trace, 0);
+        assert!(rep.render().contains("MASKED"));
+    }
+
+    #[test]
+    fn declared_sync_location_abstains_instead_of_disagreeing() {
+        // Inference misread the racy field itself as a volatile-style sync
+        // pair (Table 2 "Data Racy"): the detector abstains at C::x, so the
+        // masked race is recorded as declared-sync, not a disagreement.
+        let t = handoff_trace();
+        let truth: BTreeSet<String> = ["C::x".to_string()].into();
+        let inferred = SyncSpec::empty()
+            .with_release(OpRef::field_write("C", "x").intern())
+            .with_acquire(OpRef::field_read("C", "x").intern());
+        let rep = differential(&[&t], &SyncSpec::empty(), &inferred, &truth);
+        assert!(rep.agrees());
+        assert_eq!(
+            rep.declared_sync,
+            ["C::x".to_string()].into_iter().collect::<BTreeSet<_>>()
+        );
+        assert!(rep.render().contains("Data Racy"));
+    }
+
+    #[test]
+    fn spurious_races_are_informational_not_disagreements() {
+        // Nothing in `true_locations`: the race both specs see is spurious
+        // and identical → intersection dropped, no disagreement.
+        let t = handoff_trace();
+        let rep = differential(
+            &[&t],
+            &SyncSpec::empty(),
+            &SyncSpec::empty(),
+            &BTreeSet::new(),
+        );
+        assert!(rep.agrees());
+        assert!(rep.ground_only_spurious.is_empty());
+        assert!(rep.inferred_only_spurious.is_empty());
+        // One-sided spurious shows up in the inferred-only bucket.
+        let rep = differential(&[&t], &chan_spec(), &SyncSpec::empty(), &BTreeSet::new());
+        assert!(rep.agrees(), "spurious differences never disagree");
+        assert_eq!(
+            rep.inferred_only_spurious,
+            ["C::x".to_string()].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn aggregates_across_traces() {
+        let t = handoff_trace();
+        let truth: BTreeSet<String> = ["C::x".to_string()].into();
+        let rep = differential(
+            &[&t, &t, &t],
+            &SyncSpec::empty(),
+            &SyncSpec::empty(),
+            &truth,
+        );
+        assert_eq!(rep.traces, 3);
+        assert!(rep.agrees());
+        assert_eq!(rep.ground_reports, 3);
+        assert_eq!(
+            rep.ground_true_locations,
+            ["C::x".to_string()].into_iter().collect()
+        );
+    }
+}

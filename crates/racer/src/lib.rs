@@ -9,7 +9,10 @@
 //! * [`SyncSpec`] — which operations induce happens-before edges, with the
 //!   [`SyncSpec::manual`] baseline and [`SyncSpec::from_report`] for
 //!   inference output;
-//! * [`detect`]/[`first_race`] — the detector itself.
+//! * [`detect`]/[`first_race`] — the detector itself;
+//! * [`differential`] — the detector under a ground-truth spec *and* an
+//!   inferred spec on the same traces, with seeded-race disagreement
+//!   reported as a first-class result (the schedule-exploration oracle).
 //!
 //! # Example
 //!
@@ -29,9 +32,11 @@
 //! assert!(!races.is_empty());
 //! ```
 
+mod differential;
 mod fasttrack;
 mod spec;
 pub mod vc;
 
+pub use differential::{differential, DifferentialReport, Disagreement};
 pub use fasttrack::{detect, first_race, Race, RaceKind};
 pub use spec::SyncSpec;

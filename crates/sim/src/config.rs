@@ -2,6 +2,8 @@ use std::collections::HashMap;
 
 use sherlock_trace::{OpId, Time};
 
+use crate::strategy::StrategyKind;
+
 /// What the Observer instruments and how (paper §4.1).
 ///
 /// The paper's instrumentation uses heuristics to identify and skip
@@ -129,6 +131,9 @@ pub struct SimConfig {
     pub instrument: InstrumentConfig,
     /// Delays to inject.
     pub delay_plan: DelayPlan,
+    /// Scheduling strategy. [`StrategyKind::RandomWalk`] reproduces the
+    /// historical seeded-uniform scheduler byte-for-byte.
+    pub strategy: StrategyKind,
 }
 
 impl SimConfig {
@@ -142,6 +147,7 @@ impl SimConfig {
             idle_timeout: Time::from_secs(30),
             instrument: InstrumentConfig::default(),
             delay_plan: DelayPlan::none(),
+            strategy: StrategyKind::RandomWalk,
         }
     }
 }

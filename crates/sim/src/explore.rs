@@ -1,0 +1,303 @@
+//! Multi-seed schedule exploration.
+//!
+//! One simulated run replays exactly one interleaving per `(workload, seed)`;
+//! the [`Explorer`] fans the same workload out across many seeds — one
+//! kernel per seed, spread over a pool of OS worker threads, results funneled
+//! back through a channel — and deduplicates the outcomes by
+//! [`Trace::stable_hash`], so "how many *distinct* schedules did we
+//! actually cover" is a first-class number rather than a guess.
+//!
+//! Determinism is preserved end-to-end: every run's seed is a pure function
+//! of `(base_seed, run index)`, and results are re-sorted by run index before
+//! deduplication, so the distinct-schedule set is independent of worker
+//! count and OS scheduling of the workers themselves.
+//!
+//! [`Trace::stable_hash`]: sherlock_trace::Trace::stable_hash
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+
+use sherlock_obs::counter;
+
+use crate::config::SimConfig;
+use crate::kernel::{Outcome, RunReport, Sim};
+use crate::strategy::StrategyKind;
+
+/// Configuration of one exploration campaign.
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Number of schedules to run.
+    pub runs: u64,
+    /// Seed of run `i` is `base_seed + i` (wrapping).
+    pub base_seed: u64,
+    /// Scheduling strategy for every run.
+    pub strategy: StrategyKind,
+    /// Worker OS threads; 0 means `std::thread::available_parallelism`.
+    pub jobs: usize,
+    /// Template for each run's [`SimConfig`] (its `seed` and `strategy`
+    /// fields are overwritten per run).
+    pub sim: SimConfig,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            runs: 64,
+            base_seed: 0,
+            strategy: StrategyKind::RandomWalk,
+            jobs: 0,
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+/// Per-run summary kept for every explored schedule (distinct or not).
+#[derive(Clone, Debug)]
+pub struct ScheduleSummary {
+    /// Index of the run within the campaign.
+    pub run_index: u64,
+    /// The scheduling seed the run used.
+    pub seed: u64,
+    /// [`Trace::stable_hash`] of the run's trace.
+    ///
+    /// [`Trace::stable_hash`]: sherlock_trace::Trace::stable_hash
+    pub trace_hash: u64,
+    /// Scheduled steps the run executed.
+    pub steps: u64,
+    /// Events in the run's trace.
+    pub events: usize,
+    /// Whether the run deadlocked.
+    pub deadlocked: bool,
+    /// Whether any simulated thread panicked.
+    pub panicked: bool,
+}
+
+/// The result of one exploration campaign.
+#[derive(Debug, Default)]
+pub struct ExploreResult {
+    /// One summary per run, sorted by run index.
+    pub summaries: Vec<ScheduleSummary>,
+    /// The first [`RunReport`] per distinct trace hash, in run-index order.
+    pub distinct: Vec<RunReport>,
+}
+
+impl ExploreResult {
+    /// Number of runs executed.
+    pub fn runs(&self) -> u64 {
+        self.summaries.len() as u64
+    }
+
+    /// Trace hashes of the distinct schedules, in first-seen order.
+    pub fn distinct_hashes(&self) -> Vec<u64> {
+        self.distinct
+            .iter()
+            .map(|r| r.trace.stable_hash())
+            .collect()
+    }
+
+    /// Distinct schedules that deadlocked.
+    pub fn deadlocks(&self) -> usize {
+        self.distinct
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Deadlock(_)))
+            .count()
+    }
+
+    /// Distinct schedules with at least one panicking thread.
+    pub fn panics(&self) -> usize {
+        self.distinct
+            .iter()
+            .filter(|r| !r.panics.is_empty())
+            .count()
+    }
+}
+
+/// Fans a workload out across seeds and collects deduplicated schedules.
+pub struct Explorer {
+    config: ExploreConfig,
+}
+
+impl Explorer {
+    /// Creates an explorer for the given campaign configuration.
+    pub fn new(config: ExploreConfig) -> Self {
+        Explorer { config }
+    }
+
+    /// Runs the campaign: `runs` kernels at seeds `base_seed..base_seed+runs`
+    /// over `jobs` OS worker threads, each executing `workload` under its own
+    /// [`Sim`]. The workload closure is invoked once per run on that run's
+    /// root simulated thread.
+    pub fn run(&self, workload: Arc<dyn Fn() + Send + Sync>) -> ExploreResult {
+        let _s = sherlock_obs::span("explore.campaign");
+        let cfg = &self.config;
+        let runs = cfg.runs;
+        let runs_counter = match cfg.strategy.name() {
+            "pct" => counter!("explore.pct.runs"),
+            "rr" => counter!("explore.rr.runs"),
+            _ => counter!("explore.random.runs"),
+        };
+        let jobs = if cfg.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            cfg.jobs
+        };
+        let jobs = jobs.min(runs.max(1) as usize).max(1);
+
+        let next = AtomicU64::new(0);
+        let (tx, rx) = channel::<(u64, RunReport)>();
+
+        let collected: Vec<(u64, RunReport)> = std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                let tx = tx.clone();
+                let next = &next;
+                let workload = Arc::clone(&workload);
+                let sim_template = cfg.sim.clone();
+                let (base_seed, strategy) = (cfg.base_seed, cfg.strategy);
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= runs {
+                        break;
+                    }
+                    let mut sim_cfg = sim_template.clone();
+                    sim_cfg.seed = base_seed.wrapping_add(i);
+                    sim_cfg.strategy = strategy;
+                    let w = Arc::clone(&workload);
+                    let report = Sim::new(sim_cfg).run(move || w());
+                    if tx.send((i, report)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            rx.into_iter().collect()
+        });
+
+        // Workers race to the channel; re-keying by run index makes the
+        // distinct set a deterministic function of (workload, config).
+        let mut by_index: BTreeMap<u64, RunReport> = collected.into_iter().collect();
+        let mut summaries = Vec::with_capacity(by_index.len());
+        let mut seen: BTreeMap<u64, ()> = BTreeMap::new();
+        let mut distinct = Vec::new();
+        for (i, report) in std::mem::take(&mut by_index) {
+            let hash = report.trace.stable_hash();
+            summaries.push(ScheduleSummary {
+                run_index: i,
+                seed: cfg.base_seed.wrapping_add(i),
+                trace_hash: hash,
+                steps: report.steps,
+                events: report.trace.len(),
+                deadlocked: matches!(report.outcome, Outcome::Deadlock(_)),
+                panicked: !report.panics.is_empty(),
+            });
+            if seen.insert(hash, ()).is_none() {
+                distinct.push(report);
+            }
+        }
+        runs_counter.add(summaries.len() as u64);
+        counter!("explore.runs").add(summaries.len() as u64);
+        counter!("explore.distinct_traces").add(distinct.len() as u64);
+        counter!("explore.duplicate_traces").add(summaries.len() as u64 - distinct.len() as u64);
+        ExploreResult {
+            summaries,
+            distinct,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prims::TracedVar;
+    use sherlock_trace::Time;
+
+    fn workload() -> Arc<dyn Fn() + Send + Sync> {
+        Arc::new(|| {
+            let v = TracedVar::new("Explore", "x", 0u32);
+            let v2 = v.clone();
+            let h = crate::api::spawn("writer", move || v2.set(1));
+            v.set(2);
+            let _ = v.get();
+            h.join();
+        })
+    }
+
+    fn campaign(runs: u64, jobs: usize, strategy: StrategyKind) -> ExploreResult {
+        let mut cfg = ExploreConfig::default();
+        cfg.runs = runs;
+        cfg.base_seed = 100;
+        cfg.jobs = jobs;
+        cfg.strategy = strategy;
+        Explorer::new(cfg).run(workload())
+    }
+
+    #[test]
+    fn explorer_is_deterministic_across_worker_counts() {
+        let serial = campaign(16, 1, StrategyKind::RandomWalk);
+        let parallel = campaign(16, 4, StrategyKind::RandomWalk);
+        assert_eq!(serial.runs(), 16);
+        assert_eq!(serial.distinct_hashes(), parallel.distinct_hashes());
+        let seeds: Vec<u64> = serial.summaries.iter().map(|s| s.seed).collect();
+        assert_eq!(seeds, (100..116).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn explorer_dedups_identical_schedules() {
+        // Same seed every run → one distinct schedule.
+        let mut cfg = ExploreConfig::default();
+        cfg.runs = 8;
+        cfg.jobs = 2;
+        // Strategy that ignores the seed entirely: quantum'd sweep with a
+        // fixed rotation would still vary by seed, so pin the seed instead
+        // by exploring one run repeatedly via base seeds... simplest: a
+        // single-threaded workload, where every interleaving is identical.
+        let one_thread: Arc<dyn Fn() + Send + Sync> = Arc::new(|| {
+            let v = TracedVar::new("Explore", "solo", 0u32);
+            v.set(1);
+            let _ = v.get();
+        });
+        let result = Explorer::new(cfg).run(one_thread);
+        assert_eq!(result.runs(), 8);
+        assert_eq!(result.distinct.len(), 1, "single-threaded runs must dedup");
+    }
+
+    #[test]
+    fn explorer_finds_multiple_schedules_on_racy_workload() {
+        let result = campaign(24, 3, StrategyKind::RandomWalk);
+        assert!(
+            result.distinct.len() >= 2,
+            "24 seeds of a racy two-thread workload must produce ≥ 2 interleavings, got {}",
+            result.distinct.len()
+        );
+        // Summaries cover every run even when traces dedup.
+        assert_eq!(result.summaries.len(), 24);
+    }
+
+    #[test]
+    fn strategies_explore_different_schedule_sets() {
+        let rw = campaign(12, 2, StrategyKind::RandomWalk);
+        let rr = campaign(12, 2, StrategyKind::RoundRobin { quantum: 3 });
+        // Both deterministic, but they need not agree with each other.
+        let rw2 = campaign(12, 2, StrategyKind::RandomWalk);
+        assert_eq!(rw.distinct_hashes(), rw2.distinct_hashes());
+        assert!(!rr.distinct_hashes().is_empty());
+    }
+
+    #[test]
+    fn deadlocked_runs_are_counted() {
+        let mut cfg = ExploreConfig::default();
+        cfg.runs = 2;
+        cfg.jobs = 1;
+        cfg.sim.idle_timeout = Time::from_millis(1);
+        let blocked: Arc<dyn Fn() + Send + Sync> = Arc::new(|| {
+            let ev = crate::prims::EventWaitHandle::new(false);
+            ev.wait_one();
+        });
+        let result = Explorer::new(cfg).run(blocked);
+        assert_eq!(result.deadlocks(), 1, "deadlock dedups to one schedule");
+        assert!(result.summaries.iter().all(|s| s.deadlocked));
+    }
+}

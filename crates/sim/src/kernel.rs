@@ -20,6 +20,7 @@ use sherlock_trace::{AccessClass, OpRef, ThreadId, Time, Trace, TraceBuilder};
 
 use crate::config::SimConfig;
 use crate::rng::SplitMix64;
+use crate::strategy::Strategy;
 
 /// Panic payload used to unwind simulated threads when a run is aborted.
 struct AbortToken;
@@ -50,6 +51,7 @@ pub(crate) struct KState {
     pub(crate) config: SimConfig,
     clock: Time,
     rng: SplitMix64,
+    strategy: Box<dyn Strategy>,
     trace: TraceBuilder,
     threads: Vec<ThreadSlot>,
     next_object: u64,
@@ -133,12 +135,38 @@ pub struct RunReport {
     pub panics: Vec<PanicReport>,
     /// How the run ended.
     pub outcome: Outcome,
+    /// Spawn-time names of all simulated threads, indexed by tid — the
+    /// deadlock report uses these to name the blocked threads.
+    pub thread_names: Vec<String>,
 }
 
 impl RunReport {
     /// Whether the run completed with no panics.
     pub fn is_clean(&self) -> bool {
         self.outcome == Outcome::Completed && self.panics.is_empty()
+    }
+
+    /// A human-readable deadlock report naming every blocked non-daemon
+    /// thread, or `None` when the run did not deadlock.
+    pub fn deadlock_message(&self) -> Option<String> {
+        let Outcome::Deadlock(blocked) = &self.outcome else {
+            return None;
+        };
+        let names: Vec<String> = blocked
+            .iter()
+            .map(|t| {
+                let idx = t.0 as usize;
+                match self.thread_names.get(idx) {
+                    Some(n) => format!("\"{n}\" (tid {})", t.0),
+                    None => format!("tid {}", t.0),
+                }
+            })
+            .collect();
+        Some(format!(
+            "deadlock: {} non-daemon thread(s) blocked with nothing to wake them: {}",
+            blocked.len(),
+            names.join(", ")
+        ))
     }
 }
 
@@ -169,10 +197,14 @@ impl Sim {
     /// exhausts its step budget). Returns the collected trace and outcome.
     pub fn run(self, root: impl FnOnce() + Send + 'static) -> RunReport {
         let (to_sched, sched_rx) = channel::<u32>();
+        // Strategy state is built before the root spawn so `on_spawn`
+        // notifications cover every thread, root included.
+        let strategy = self.config.strategy.build(self.config.seed);
         let kernel = Arc::new(Kernel {
             state: Mutex::new(KState {
                 clock: Time::ZERO,
                 rng: SplitMix64::new(self.config.seed),
+                strategy,
                 trace: TraceBuilder::new(),
                 threads: Vec::new(),
                 next_object: 1,
@@ -252,7 +284,11 @@ impl Sim {
                                 None => Act::Deadlock(blocked_nondaemons()),
                             }
                         } else {
-                            Act::Run(runnable[st.rng.gen_index(runnable.len())])
+                            // Split borrows: the strategy and the kernel RNG
+                            // live side by side in KState.
+                            let st = &mut *st;
+                            let idx = st.strategy.pick(&runnable, st.steps, &mut st.rng);
+                            Act::Run(runnable[idx])
                         }
                     }
                 }
@@ -312,6 +348,7 @@ impl Sim {
             steps: st.steps,
             panics: st.panics,
             outcome,
+            thread_names: st.threads.iter().map(|s| s.name.clone()).collect(),
         }
     }
 }
@@ -354,6 +391,7 @@ pub(crate) fn spawn_on(
         if !daemon {
             st.live_nondaemon += 1;
         }
+        st.strategy.on_spawn(tid);
         tid
     };
     let k = Arc::clone(kernel);

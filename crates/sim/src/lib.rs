@@ -40,11 +40,16 @@
 
 pub mod api;
 mod config;
+pub mod explore;
 mod hook;
 mod kernel;
 pub mod prims;
 pub mod rng;
+pub mod strategy;
+pub mod testutil;
 
 pub use config::{DelayPlan, InstrumentConfig, SimConfig};
+pub use explore::{ExploreConfig, ExploreResult, Explorer, ScheduleSummary};
 pub use hook::install_sim_panic_hook;
 pub use kernel::{Outcome, PanicReport, RunReport, Sim};
+pub use strategy::{Strategy, StrategyKind};

@@ -1,32 +1,69 @@
 //! Property tests for the simulator: determinism, clock monotonicity, and
-//! trace well-formedness over randomized workload shapes.
+//! trace well-formedness over randomized workload shapes. Driven by the
+//! in-tree `testutil` shim (no registry access for `proptest`), so they run
+//! under plain `cargo test`.
 
-use proptest::prelude::*;
 use sherlock_sim::prims::{Monitor, TracedVar};
+use sherlock_sim::testutil::{check, Config, Gen};
 use sherlock_sim::{api, Outcome, Sim, SimConfig};
 use sherlock_trace::{Time, Trace};
 
 /// A randomized workload shape: `threads` workers each perform `ops`
-/// lock-or-plain accesses over `fields` shared fields.
+/// lock-or-plain accesses over `fields` shared fields, at scheduling `seed`.
 #[derive(Clone, Copy, Debug)]
 struct Shape {
     threads: u32,
     ops: u32,
     fields: u32,
     locked: bool,
+    seed: u64,
 }
 
-fn shape() -> impl Strategy<Value = Shape> {
-    (1u32..4, 1u32..8, 1u32..4, any::<bool>()).prop_map(|(threads, ops, fields, locked)| Shape {
-        threads,
-        ops,
-        fields,
-        locked,
-    })
+fn gen_shape(g: &mut Gen) -> Shape {
+    Shape {
+        threads: g.u64_in(1, 4) as u32,
+        ops: g.u64_in(1, 8) as u32,
+        fields: g.u64_in(1, 4) as u32,
+        locked: g.bool(0.5),
+        seed: g.u64_in(0, 1000),
+    }
 }
 
-fn run(shape: Shape, seed: u64) -> (Trace, Outcome) {
-    let report = Sim::new(SimConfig::with_seed(seed)).run(move || {
+/// Shrinks every dimension independently toward its minimum.
+fn shrink_shape(s: &Shape) -> Vec<Shape> {
+    let mut out = Vec::new();
+    if s.threads > 1 {
+        out.push(Shape {
+            threads: s.threads - 1,
+            ..*s
+        });
+    }
+    if s.ops > 1 {
+        out.push(Shape {
+            ops: s.ops - 1,
+            ..*s
+        });
+    }
+    if s.fields > 1 {
+        out.push(Shape {
+            fields: s.fields - 1,
+            ..*s
+        });
+    }
+    if s.locked {
+        out.push(Shape {
+            locked: false,
+            ..*s
+        });
+    }
+    if s.seed > 0 {
+        out.push(Shape { seed: 0, ..*s });
+    }
+    out
+}
+
+fn run(shape: Shape) -> (Trace, Outcome) {
+    let report = Sim::new(SimConfig::with_seed(shape.seed)).run(move || {
         let m = Monitor::new();
         let vars: Vec<_> = (0..shape.fields)
             .map(|i| TracedVar::new("PS", format!("v{i}"), 0u32))
@@ -54,65 +91,173 @@ fn run(shape: Shape, seed: u64) -> (Trace, Outcome) {
     (report.trace, report.outcome)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Identical (workload, seed) pairs produce byte-identical traces.
-    #[test]
-    fn runs_are_deterministic(s in shape(), seed in 0u64..1000) {
-        let (a, oa) = run(s, seed);
-        let (b, ob) = run(s, seed);
-        prop_assert_eq!(oa, Outcome::Completed);
-        prop_assert_eq!(ob, Outcome::Completed);
-        prop_assert_eq!(a.events().len(), b.events().len());
+/// Identical (workload, seed) pairs produce byte-identical traces.
+#[test]
+fn runs_are_deterministic() {
+    check(&Config::default(), gen_shape, shrink_shape, |&s| {
+        let (a, oa) = run(s);
+        let (b, ob) = run(s);
+        if oa != Outcome::Completed || ob != Outcome::Completed {
+            return Err(format!("did not complete: {oa:?} / {ob:?}"));
+        }
+        if a.events().len() != b.events().len() {
+            return Err(format!(
+                "event counts differ: {} vs {}",
+                a.events().len(),
+                b.events().len()
+            ));
+        }
         for (x, y) in a.events().iter().zip(b.events()) {
-            prop_assert_eq!(x, y);
+            if x != y {
+                return Err(format!("events differ: {x:?} vs {y:?}"));
+            }
         }
-    }
+        if a.stable_hash() != b.stable_hash() {
+            return Err("stable hashes differ for identical runs".to_string());
+        }
+        Ok(())
+    });
+}
 
-    /// Event timestamps are strictly increasing and delays are well-formed.
-    #[test]
-    fn traces_are_well_formed(s in shape(), seed in 0u64..1000) {
-        let (trace, outcome) = run(s, seed);
-        prop_assert_eq!(outcome, Outcome::Completed);
+/// Event timestamps are strictly increasing and delays are well-formed.
+#[test]
+fn traces_are_well_formed() {
+    check(&Config::default(), gen_shape, shrink_shape, |&s| {
+        let (trace, outcome) = run(s);
+        if outcome != Outcome::Completed {
+            return Err(format!("did not complete: {outcome:?}"));
+        }
         let times: Vec<Time> = trace.events().iter().map(|e| e.time).collect();
-        prop_assert!(times.windows(2).all(|w| w[0] < w[1]), "timestamps not strict");
-        for d in trace.delays() {
-            prop_assert!(d.start < d.end);
+        if !times.windows(2).all(|w| w[0] < w[1]) {
+            return Err("timestamps not strictly increasing".to_string());
         }
-        // Every event's thread id is within the spawned range (root + workers).
-        prop_assert!(trace
-            .events()
-            .iter()
-            .all(|e| e.thread.0 <= s.threads));
-    }
+        for d in trace.delays() {
+            if d.start >= d.end {
+                return Err(format!("malformed delay: {d:?}"));
+            }
+        }
+        // Every event's thread id is within the spawned range
+        // (root + workers).
+        if !trace.events().iter().all(|e| e.thread.0 <= s.threads) {
+            return Err("event from an unspawned thread".to_string());
+        }
+        Ok(())
+    });
+}
 
-    /// Lock-protected counters never lose updates, for every interleaving
-    /// the seed picks.
-    #[test]
-    fn locked_updates_are_not_lost(threads in 1u32..4, ops in 1u32..6, seed in 0u64..500) {
-        let total = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
-        let t2 = std::sync::Arc::clone(&total);
-        let report = Sim::new(SimConfig::with_seed(seed)).run(move || {
-            let m = Monitor::new();
-            let v = TracedVar::new("PS2", "sum", 0u32);
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                let (m2, v2) = (m.clone(), v.clone());
-                handles.push(api::spawn(&format!("w{t}"), move || {
-                    for _ in 0..ops {
-                        m2.with_lock(|| {
-                            v2.update(|x| x + 1);
-                        });
+/// Lock-protected counters never lose updates, for every interleaving the
+/// seed picks.
+#[test]
+fn locked_updates_are_not_lost() {
+    check(
+        &Config::default(),
+        |g| {
+            (
+                g.u64_in(1, 4) as u32,
+                g.u64_in(1, 6) as u32,
+                g.u64_in(0, 500),
+            )
+        },
+        |&(threads, ops, seed)| {
+            let mut out = Vec::new();
+            if threads > 1 {
+                out.push((threads - 1, ops, seed));
+            }
+            if ops > 1 {
+                out.push((threads, ops - 1, seed));
+            }
+            if seed > 0 {
+                out.push((threads, ops, 0));
+            }
+            out
+        },
+        |&(threads, ops, seed)| {
+            let total = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+            let t2 = std::sync::Arc::clone(&total);
+            let report = Sim::new(SimConfig::with_seed(seed)).run(move || {
+                let m = Monitor::new();
+                let v = TracedVar::new("PS2", "sum", 0u32);
+                let mut handles = Vec::new();
+                for t in 0..threads {
+                    let (m2, v2) = (m.clone(), v.clone());
+                    handles.push(api::spawn(&format!("w{t}"), move || {
+                        for _ in 0..ops {
+                            m2.with_lock(|| {
+                                v2.update(|x| x + 1);
+                            });
+                        }
+                    }));
+                }
+                for h in handles {
+                    h.join();
+                }
+                t2.store(v.get(), std::sync::atomic::Ordering::SeqCst);
+            });
+            if !report.is_clean() {
+                return Err(format!("unclean run: {:?}", report.outcome));
+            }
+            let got = total.load(std::sync::atomic::Ordering::SeqCst);
+            if got != threads * ops {
+                return Err(format!("lost updates: {got} != {}", threads * ops));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Schedules explored under PCT and round-robin stay deterministic and
+/// complete — strategies change the interleaving, never the semantics.
+#[test]
+fn strategies_preserve_workload_semantics() {
+    use sherlock_sim::StrategyKind;
+    check(
+        &Config {
+            cases: 24,
+            ..Config::default()
+        },
+        |g| {
+            let shape = gen_shape(g);
+            let strategy = match g.u64_in(0, 3) {
+                0 => StrategyKind::RandomWalk,
+                1 => StrategyKind::Pct {
+                    depth: g.u64_in(1, 5) as u32,
+                },
+                _ => StrategyKind::RoundRobin {
+                    quantum: g.u64_in(1, 6),
+                },
+            };
+            (shape, strategy)
+        },
+        |&(s, k)| shrink_shape(&s).into_iter().map(|s| (s, k)).collect(),
+        |&(s, k)| {
+            let run_with = || {
+                let mut cfg = SimConfig::with_seed(s.seed);
+                cfg.strategy = k;
+                Sim::new(cfg).run(move || {
+                    let v = TracedVar::new("PS3", "n", 0u32);
+                    let mut handles = Vec::new();
+                    for t in 0..s.threads {
+                        let v2 = v.clone();
+                        handles.push(api::spawn(&format!("w{t}"), move || {
+                            for _ in 0..s.ops {
+                                v2.update(|x| x + 1);
+                            }
+                        }));
                     }
-                }));
+                    for h in handles {
+                        h.join();
+                    }
+                })
+            };
+            let a = run_with();
+            let b = run_with();
+            if a.outcome != Outcome::Completed {
+                return Err(format!("did not complete under {k:?}: {:?}", a.outcome));
             }
-            for h in handles {
-                h.join();
+            if a.trace.stable_hash() != b.trace.stable_hash() {
+                return Err(format!("strategy {k:?} is not deterministic"));
             }
-            t2.store(v.get(), std::sync::atomic::Ordering::SeqCst);
-        });
-        prop_assert!(report.is_clean());
-        prop_assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), threads * ops);
-    }
+            Ok(())
+        },
+    );
 }

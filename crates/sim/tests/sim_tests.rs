@@ -111,6 +111,47 @@ fn deadlock_is_detected() {
         ev.wait_one(); // nobody ever sets it
     });
     assert!(matches!(r.outcome, Outcome::Deadlock(_)));
+    let msg = r.deadlock_message().expect("deadlocked run has a message");
+    assert!(
+        msg.contains("1 non-daemon thread(s)") && msg.contains("\"root\" (tid 0)"),
+        "message should name the blocked root thread: {msg}"
+    );
+}
+
+#[test]
+fn deadlock_report_names_every_blocked_thread() {
+    let r = run_seeded(6, || {
+        let ev = EventWaitHandle::new(false);
+        for name in ["consumer-a", "consumer-b"] {
+            let e2 = ev.clone();
+            api::spawn(name, move || e2.wait_one());
+        }
+        // The root also waits, so all three non-daemon threads deadlock.
+        ev.wait_one();
+    });
+    assert!(matches!(r.outcome, Outcome::Deadlock(_)));
+    let msg = r.deadlock_message().expect("deadlocked run has a message");
+    for needle in [
+        "3 non-daemon thread(s)",
+        "\"root\"",
+        "\"consumer-a\"",
+        "\"consumer-b\"",
+    ] {
+        assert!(msg.contains(needle), "missing {needle:?} in: {msg}");
+    }
+    // Daemons are exempt: they are allowed to be blocked at exit and must
+    // not appear in the report.
+    let r = run_seeded(6, || {
+        let ev = EventWaitHandle::new(false);
+        let e2 = ev.clone();
+        api::spawn_daemon("idle-daemon", move || e2.wait_one());
+        ev.wait_one();
+    });
+    let msg = r.deadlock_message().expect("deadlocked run has a message");
+    assert!(
+        msg.contains("1 non-daemon thread(s)") && !msg.contains("idle-daemon"),
+        "daemons must not be reported: {msg}"
+    );
 }
 
 #[test]

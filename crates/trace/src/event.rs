@@ -133,6 +133,67 @@ impl Trace {
     pub fn distinct_ops(&self) -> std::collections::BTreeSet<OpId> {
         self.events.iter().map(|e| e.op).collect()
     }
+
+    /// A 64-bit FNV-1a fingerprint of the schedule this trace records.
+    ///
+    /// Operations are hashed by their *resolved* static names rather than
+    /// their raw [`OpId`]s: interning order is process-global and depends on
+    /// which workload ran first, so raw ids would make equal schedules hash
+    /// differently across processes and across parallel explorer workers.
+    /// Timestamps are deliberately excluded — per-operation cost jitter is a
+    /// function of the seed, so including the clock would make every seed
+    /// look like a new schedule. Two traces hash equally iff they interleave
+    /// the same operations on the same threads/objects in the same order
+    /// (with the same delay placements) — the identity the schedule Explorer
+    /// deduplicates on.
+    pub fn stable_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        let mut names: std::collections::HashMap<OpId, String> = std::collections::HashMap::new();
+        let mut op_key = |op: OpId| -> String {
+            names
+                .entry(op)
+                .or_insert_with(|| {
+                    let r = op.resolve();
+                    // Display alone cannot distinguish App from Lib method
+                    // events; prefix a kind discriminant.
+                    let kind = match r {
+                        OpRef::FieldRead { .. } => 'r',
+                        OpRef::FieldWrite { .. } => 'w',
+                        OpRef::MethodBegin { kind, .. } | OpRef::MethodEnd { kind, .. } => {
+                            match kind {
+                                crate::op::MethodKind::App => 'a',
+                                crate::op::MethodKind::Lib => 'l',
+                            }
+                        }
+                    };
+                    format!("{kind}{r}")
+                })
+                .clone()
+        };
+        for ev in &self.events {
+            mix(&ev.thread.0.to_le_bytes());
+            mix(&ev.object.0.to_le_bytes());
+            mix(&[ev.access as u8]);
+            let k = op_key(ev.op);
+            mix(k.as_bytes());
+            mix(&[0xff]);
+        }
+        for d in &self.delays {
+            mix(&d.thread.0.to_le_bytes());
+            let k = op_key(d.op);
+            mix(k.as_bytes());
+            mix(&[0xfe]);
+        }
+        h
+    }
 }
 
 /// Incremental builder for a [`Trace`].
@@ -283,6 +344,38 @@ mod tests {
             t.delays()[0].end - t.delays()[0].start,
             Time::from_millis(100)
         );
+    }
+
+    #[test]
+    fn stable_hash_distinguishes_schedules() {
+        let w = OpRef::field_write("Hash", "x").intern();
+        let r = OpRef::field_read("Hash", "x").intern();
+        let build = |order: &[(u64, u32, OpId)]| {
+            let mut tb = TraceBuilder::new();
+            for &(t, thread, op) in order {
+                tb.push(Time::from_nanos(t), thread, op, 1);
+            }
+            tb.finish()
+        };
+        let a = build(&[(1, 0, w), (2, 1, r)]);
+        let b = build(&[(1, 0, w), (2, 1, r)]);
+        let c = build(&[(1, 1, r), (2, 0, w)]);
+        assert_eq!(a.stable_hash(), b.stable_hash());
+        assert_ne!(a.stable_hash(), c.stable_hash());
+        // Clock jitter does not perturb the fingerprint: the hash captures
+        // the interleaving, not the seeded per-op costs.
+        let jittered = build(&[(10, 0, w), (250, 1, r)]);
+        assert_eq!(a.stable_hash(), jittered.stable_hash());
+        // App vs Lib method events with the same printed name stay distinct.
+        let app = build(&[(1, 0, OpRef::app_begin("Hash", "m").intern())]);
+        let lib = build(&[(1, 0, OpRef::lib_begin("Hash", "m").intern())]);
+        assert_ne!(app.stable_hash(), lib.stable_hash());
+        // Delays contribute to the fingerprint.
+        let mut tb = TraceBuilder::new();
+        tb.push(Time::from_nanos(1), 0, w, 1);
+        tb.push(Time::from_nanos(2), 1, r, 1);
+        tb.push_delay(0, w, Time::ZERO, Time::from_nanos(1));
+        assert_ne!(tb.finish().stable_hash(), a.stable_hash());
     }
 
     #[test]
