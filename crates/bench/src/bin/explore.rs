@@ -1,7 +1,7 @@
 //! Schedule-exploration throughput benchmark: fans two representative apps
 //! across seeds under each scheduling strategy, measuring runs/sec and
-//! distinct-schedules/sec per strategy. Writes `BENCH_explore.json` and
-//! prints a summary table.
+//! distinct-schedules/sec per strategy. Writes `results/BENCH_explore.json`
+//! and prints a summary table.
 
 use std::time::Instant;
 
@@ -85,9 +85,9 @@ fn main() {
         ("rows".to_string(), Json::Arr(rows_json)),
         ("telemetry".to_string(), sherlock_obs::snapshot().to_json()),
     ]);
-    let path = "BENCH_explore.json";
-    std::fs::write(path, doc.render_pretty()).expect("write BENCH_explore.json");
+    let path = sherlock_bench::results_path("BENCH_explore.json");
+    std::fs::write(&path, doc.render_pretty()).expect("write BENCH_explore.json");
     println!("{}", t.rule());
     println!("\ntotal {:.1} ms wall", wall_ns as f64 / 1e6);
-    println!("wrote {path}");
+    println!("wrote {}", path.display());
 }

@@ -1,7 +1,7 @@
 //! End-to-end pipeline benchmark: full 3-round inference over every app,
 //! reported from the observability layer's own phase spans and counters
-//! (no ad-hoc timers). Writes `BENCH_pipeline.json` next to the working
-//! directory and prints a summary table.
+//! (no ad-hoc timers). Writes `results/BENCH_pipeline.json` and prints a
+//! summary table.
 
 use std::time::Instant;
 
@@ -80,8 +80,8 @@ fn main() {
         ("telemetry".to_string(), total.to_json()),
         ("apps".to_string(), Json::Arr(apps_json)),
     ]);
-    let path = "BENCH_pipeline.json";
-    std::fs::write(path, doc.render_pretty()).expect("write BENCH_pipeline.json");
+    let path = sherlock_bench::results_path("BENCH_pipeline.json");
+    std::fs::write(&path, doc.render_pretty()).expect("write BENCH_pipeline.json");
 
     let count = |name: &str| total.counters.get(name).copied().unwrap_or(0);
     println!("{}", t.rule());
@@ -94,5 +94,5 @@ fn main() {
         count("simplex.solves"),
         count("perturber.delays_injected"),
     );
-    println!("wrote {path}");
+    println!("wrote {}", path.display());
 }

@@ -1,0 +1,373 @@
+//! `sherlock-serve` load generator: spawns the daemon in-process (or
+//! targets `--addr`), replays the eight bundled apps' traces from N
+//! concurrent clients, and reports per-request p50/p95/p99 latency plus
+//! throughput. Verifies the protocol's delivery guarantees along the way —
+//! every request gets exactly one response and responses arrive in request
+//! order per connection — and exits nonzero on any violation or protocol
+//! error. Writes `results/BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run --release -p sherlock-bench --bin serve -- \
+//!     [--clients N] [--seeds N] [--workers N] [--addr HOST:PORT]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use sherlock_apps::all_apps;
+use sherlock_bench::{cells, results_path, TablePrinter};
+use sherlock_core::SherLockConfig;
+use sherlock_obs::json::Json;
+use sherlock_serve::{spawn, Client, ServeConfig};
+use sherlock_sim::SimConfig;
+use sherlock_trace::{json as trace_json, Trace};
+
+/// How often a client interleaves a `solve` between absorbs.
+const SOLVE_EVERY: usize = 4;
+
+struct Args {
+    clients: usize,
+    seeds: u64,
+    workers: usize,
+    addr: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        clients: 8,
+        seeds: 2,
+        workers: 0,
+        addr: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("{flag} expects a value"));
+        match flag.as_str() {
+            "--clients" => args.clients = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--seeds" => args.seeds = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--workers" => args.workers = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--addr" => args.addr = Some(value()?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.clients == 0 || args.seeds == 0 {
+        return Err("--clients and --seeds must be positive".into());
+    }
+    Ok(args)
+}
+
+/// Exact percentile over client-side samples (nearest-rank).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+struct ClientOutcome {
+    latencies_ns: Vec<u64>,
+    requests: u64,
+    busy: u64,
+    errors: Vec<String>,
+}
+
+/// One client's replay: absorb its app's traces (with interleaved solves),
+/// then a pipelined absorb burst (exercising server-side batching), then a
+/// final solve and race_check. Checks id echo and ordering on every
+/// response.
+fn run_client(
+    addr: std::net::SocketAddr,
+    session: &str,
+    app_id: &str,
+    traces: &[Trace],
+) -> ClientOutcome {
+    let mut out = ClientOutcome {
+        latencies_ns: Vec::new(),
+        requests: 0,
+        busy: 0,
+        errors: Vec::new(),
+    };
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            out.errors.push(format!("connect: {e}"));
+            return out;
+        }
+    };
+    let mut expected_id = 0u64;
+
+    // Phase 1: sequential absorbs with interleaved solves — each call's
+    // round trip is one latency sample.
+    for (i, trace) in traces.iter().enumerate() {
+        let start = Instant::now();
+        let r = client.absorb_trace(session, trace);
+        timed(&mut out, &mut expected_id, "absorb_trace", r, start);
+        if (i + 1) % SOLVE_EVERY == 0 {
+            let start = Instant::now();
+            let r = client.solve(session);
+            timed(&mut out, &mut expected_id, "solve", r, start);
+        }
+    }
+
+    // Phase 2: the same traces as one pipelined burst — the server batches
+    // them under one session lock; ordering is still guaranteed.
+    let burst: Vec<_> = traces
+        .iter()
+        .map(|t| {
+            (
+                "absorb_trace",
+                session,
+                vec![("trace".to_string(), trace_json::to_value(t))],
+            )
+        })
+        .collect();
+    let burst_len = burst.len();
+    let start = Instant::now();
+    match client.pipeline(burst) {
+        Ok(responses) => {
+            let per_request =
+                u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX) / burst_len as u64;
+            for resp in responses {
+                out.requests += 1;
+                if resp.id.as_u64() != Some(expected_id) {
+                    out.errors.push(format!(
+                        "burst: response id {:?} != expected {expected_id} (reordered?)",
+                        resp.id
+                    ));
+                }
+                expected_id += 1;
+                if resp.busy {
+                    out.busy += 1;
+                } else if !resp.ok {
+                    out.errors
+                        .push(format!("burst absorb: {}", resp.error.unwrap_or_default()));
+                } else {
+                    out.latencies_ns.push(per_request);
+                }
+            }
+        }
+        Err(e) => out.errors.push(format!("burst: {e}")),
+    }
+
+    // Phase 3: final solve + differential race_check against ground truth.
+    let start = Instant::now();
+    let r = client.solve(session);
+    timed(&mut out, &mut expected_id, "final solve", r, start);
+    let start = Instant::now();
+    let r = client.race_check(session, &traces[0], Some(app_id));
+    timed(&mut out, &mut expected_id, "race_check", r, start);
+    out
+}
+
+/// Records one timed response: checks the id echo (ordering), classifies
+/// busy/error/ok, and appends the latency sample on success.
+fn timed(
+    out: &mut ClientOutcome,
+    expected_id: &mut u64,
+    what: &str,
+    r: std::io::Result<sherlock_serve::protocol::ParsedResponse>,
+    start: Instant,
+) {
+    out.requests += 1;
+    let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    match r {
+        Ok(resp) => {
+            if resp.id.as_u64() != Some(*expected_id) {
+                out.errors.push(format!(
+                    "{what}: response id {:?} != expected {expected_id} (reordered?)",
+                    resp.id
+                ));
+            }
+            *expected_id += 1;
+            if resp.busy {
+                out.busy += 1;
+            } else if !resp.ok {
+                out.errors
+                    .push(format!("{what}: {}", resp.error.unwrap_or_default()));
+            } else {
+                out.latencies_ns.push(elapsed);
+            }
+        }
+        Err(e) => out.errors.push(format!("{what}: {e}")),
+    }
+}
+
+fn main() -> ExitCode {
+    sherlock_sim::install_sim_panic_hook();
+    sherlock_obs::init_from_env();
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Pre-generate the replay corpus: every app's tests × `seeds` seeds.
+    let apps = all_apps();
+    let cfg = SherLockConfig::default();
+    let mut corpus: Vec<(String, Vec<Trace>)> = Vec::with_capacity(apps.len());
+    for app in &apps {
+        let mut traces = Vec::new();
+        for seed in 0..args.seeds {
+            for (i, test) in app.tests.iter().enumerate() {
+                let mut sim_cfg =
+                    SimConfig::with_seed(seed.wrapping_mul(1031).wrapping_add(i as u64));
+                sim_cfg.instrument = cfg.instrument.clone();
+                traces.push(test.run(sim_cfg).trace);
+            }
+        }
+        corpus.push((app.id.to_string(), traces));
+    }
+    let total_traces: usize = corpus.iter().map(|(_, t)| t.len()).sum();
+
+    // Either target an external daemon or spawn one in-process.
+    let (addr, spawned) = match &args.addr {
+        Some(addr) => {
+            let addr = addr
+                .parse()
+                .unwrap_or_else(|e| panic!("--addr {addr:?}: {e}"));
+            (addr, None)
+        }
+        None => {
+            let mut scfg = ServeConfig::default();
+            scfg.addr = "127.0.0.1:0".to_string();
+            scfg.workers = args.workers;
+            scfg.max_sessions = args.clients.max(64);
+            let server = spawn(scfg).expect("spawn daemon");
+            (server.addr(), Some(server))
+        }
+    };
+    println!(
+        "BENCH_serve: {} clients x {} apps, {total_traces} traces per replay round, daemon at {addr}",
+        args.clients,
+        apps.len()
+    );
+
+    // Fan the clients out; client c replays app c % 8 into its own session.
+    let wall = Instant::now();
+    let outcomes: Vec<(String, ClientOutcome)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..args.clients {
+            let (app_id, traces) = &corpus[c % corpus.len()];
+            let session = format!("{app_id}-client{c}");
+            let label = session.clone();
+            handles.push((
+                label,
+                scope.spawn(move || run_client(addr, &session, app_id, traces)),
+            ));
+        }
+        handles
+            .into_iter()
+            .map(|(s, h)| (s, h.join().expect("client panicked")))
+            .collect()
+    });
+    let wall_ns = u64::try_from(wall.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+    // Server-side view before shutdown.
+    let server_stats = Client::connect(addr)
+        .and_then(|mut c| c.stats())
+        .ok()
+        .map(|r| r.doc);
+    let summary = spawned.map(|server| {
+        server.shutdown();
+        server.join()
+    });
+
+    // Aggregate.
+    let mut latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|(_, o)| o.latencies_ns.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let requests: u64 = outcomes.iter().map(|(_, o)| o.requests).sum();
+    let busy: u64 = outcomes.iter().map(|(_, o)| o.busy).sum();
+    let errors: Vec<String> = outcomes
+        .iter()
+        .flat_map(|(s, o)| o.errors.iter().map(move |e| format!("[{s}] {e}")))
+        .collect();
+    let p50 = percentile(&latencies, 0.50);
+    let p95 = percentile(&latencies, 0.95);
+    let p99 = percentile(&latencies, 0.99);
+    let throughput = requests as f64 / (wall_ns as f64 / 1e9);
+
+    let t = TablePrinter::new(&[24, 10, 12, 12]);
+    println!(
+        "\n{}",
+        t.row(cells!["client session", "requests", "ok", "busy"])
+    );
+    println!("{}", t.rule());
+    for (session, o) in &outcomes {
+        println!(
+            "{}",
+            t.row(cells![session, o.requests, o.latencies_ns.len(), o.busy])
+        );
+    }
+    println!("{}", t.rule());
+    println!(
+        "\n{requests} requests in {:.1} ms ({throughput:.0} req/s), {busy} busy rejections",
+        wall_ns as f64 / 1e6
+    );
+    println!(
+        "latency p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms",
+        p50 as f64 / 1e6,
+        p95 as f64 / 1e6,
+        p99 as f64 / 1e6
+    );
+    for e in &errors {
+        eprintln!("error: {e}");
+    }
+
+    let doc = Json::Obj(vec![
+        ("benchmark".to_string(), Json::from("serve")),
+        ("clients".to_string(), Json::from(args.clients)),
+        ("apps".to_string(), Json::from(apps.len())),
+        ("seeds_per_app".to_string(), Json::from(args.seeds)),
+        ("traces_per_replay".to_string(), Json::from(total_traces)),
+        ("wall_ns".to_string(), Json::from(wall_ns)),
+        ("requests".to_string(), Json::from(requests)),
+        ("busy_rejections".to_string(), Json::from(busy)),
+        ("errors".to_string(), Json::from(errors.len())),
+        ("throughput_rps".to_string(), Json::Num(throughput)),
+        (
+            "latency_ns".to_string(),
+            Json::Obj(vec![
+                ("p50".to_string(), Json::from(p50)),
+                ("p95".to_string(), Json::from(p95)),
+                ("p99".to_string(), Json::from(p99)),
+                ("samples".to_string(), Json::from(latencies.len())),
+            ]),
+        ),
+        (
+            "server_stats".to_string(),
+            server_stats.unwrap_or(Json::Null),
+        ),
+        (
+            "drain_summary".to_string(),
+            summary.as_ref().map_or(Json::Null, |s| s.to_json()),
+        ),
+    ]);
+    let path = results_path("BENCH_serve.json");
+    std::fs::write(&path, doc.render_pretty()).expect("write BENCH_serve.json");
+    println!("wrote {}", path.display());
+
+    if let Some(s) = &summary {
+        if s.protocol_errors > 0 {
+            eprintln!(
+                "error: daemon counted {} protocol errors",
+                s.protocol_errors
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    if errors.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "{} delivery/protocol violation(s) — see above",
+            errors.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -155,6 +155,21 @@ pub fn race_reports(app: &App, spec: &SyncSpec, base_seed: u64) -> Vec<sherlock_
     out
 }
 
+/// The canonical output path for a bench artifact: `results/<name>`,
+/// creating `results/` relative to the working directory if needed. Every
+/// bench binary that writes a file writes there — nothing lands at the
+/// repo root.
+///
+/// # Panics
+///
+/// Panics when `results/` cannot be created (bench bins have no error
+/// channel beyond their exit status).
+pub fn results_path(name: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results/");
+    dir.join(name)
+}
+
 /// Fixed-width table printer.
 pub struct TablePrinter {
     widths: Vec<usize>,

@@ -5,11 +5,11 @@ use std::fs;
 use std::path::Path;
 
 use sherlock_apps::{all_apps, app_by_id, App};
-use sherlock_core::{solver, Observations, SherLock, SherLockConfig};
+use sherlock_core::{Session, SherLock, SherLockConfig};
 use sherlock_obs::json::Json;
 use sherlock_racer::{detect, differential, first_race, SyncSpec};
 use sherlock_sim::{ExploreConfig, Explorer, SimConfig, StrategyKind};
-use sherlock_trace::{durations, windows, Time, Trace};
+use sherlock_trace::{windows, Time, Trace};
 
 type Flags = BTreeMap<String, String>;
 
@@ -179,42 +179,45 @@ pub fn observe(positional: &[String], flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-/// `sherlock solve <trace.json>... [...]`
+/// `sherlock solve <trace.json>... [...]` — the one-shot shape of the same
+/// [`Session`] API the service uses: absorb every trace, solve once.
 pub fn solve(positional: &[String], flags: &Flags) -> Result<(), String> {
     if positional.is_empty() {
         return Err("expected at least one trace file".into());
     }
-    let cfg = config_from(flags)?;
-    let wcfg = windows::WindowConfig {
-        near: cfg.near,
-        cap_per_pair: cfg.cap_per_pair,
-    };
     let profiler = Profiler::new(flags);
-    let mut obs = Observations::new();
+    let mut session = Session::new(config_from(flags)?);
     for path in positional {
         let json = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         let trace: Trace =
             sherlock_trace::json::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
-        let ws = {
-            let _s = sherlock_obs::span("phase.windows");
-            windows::extract(&trace, &wcfg)
-        };
-        for w in ws {
-            if w.is_racy() {
-                obs.mark_racy(w.pair());
-            }
-            obs.add_window(&w);
-        }
-        obs.add_durations(durations::extract(&trace));
-        obs.finish_run();
+        session.absorb_trace(&trace);
     }
-    let report = {
-        let _s = sherlock_obs::span("phase.solve");
-        solver::solve(&obs, &cfg).map_err(|e| format!("solver failed: {e}"))?
-    };
+    session.solve().map_err(|e| format!("solver failed: {e}"))?;
+    session.refresh_telemetry();
     println!("== inference over {} trace file(s)", positional.len());
-    emit_report(&report, flags)?;
+    emit_report(session.report(), flags)?;
     profiler.finish();
+    Ok(())
+}
+
+/// `sherlock serve [...]` — runs the long-lived inference daemon until a
+/// protocol `shutdown` request drains it.
+pub fn serve(flags: &Flags) -> Result<(), String> {
+    let mut cfg = sherlock_serve::ServeConfig::default();
+    cfg.sherlock = config_from(flags)?;
+    if let Some(addr) = flags.get("addr") {
+        cfg.addr = addr.clone();
+    }
+    cfg.workers = flag_u64(flags, "workers", 0)? as usize;
+    cfg.queue_capacity = flag_u64(flags, "queue-capacity", cfg.queue_capacity as u64)? as usize;
+    cfg.max_sessions = flag_u64(flags, "max-sessions", cfg.max_sessions as u64)? as usize;
+    cfg.batch_max = flag_u64(flags, "batch-max", cfg.batch_max as u64)? as usize;
+
+    let server = sherlock_serve::Server::bind(cfg).map_err(|e| format!("bind: {e}"))?;
+    println!("sherlock-serve listening on {}", server.local_addr());
+    let summary = server.serve();
+    println!("drained: {}", summary.to_json().render());
     Ok(())
 }
 

@@ -8,6 +8,7 @@
 //! sherlock solve  <trace.json>...              # inference over saved traces
 //! sherlock races  <app> [--spec manual|inferred|none]
 //! sherlock explore <app> [--runs N] [--strategy random|pct|rr]   # schedule coverage
+//! sherlock serve  [--addr HOST:PORT] [--workers N]   # long-lived inference daemon
 //! ```
 //!
 //! Every subcommand also accepts the global observability flags
@@ -52,6 +53,7 @@ fn main() -> ExitCode {
         "solve" => commands::solve(&positional, &flags),
         "races" => commands::races(&positional, &flags),
         "explore" => commands::explore(&positional, &flags),
+        "serve" => commands::serve(&flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -117,6 +119,17 @@ USAGE:
 
   sherlock solve <trace.json>... [--lambda X] [--near-ms N]
       Run window extraction and the Solver over previously saved traces.
+
+  sherlock serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
+                 [--max-sessions N] [--batch-max N] [--lambda X] [--near-ms N]
+      Run the long-lived inference daemon (default 127.0.0.1:7477; port 0
+      binds an ephemeral port). Clients speak line-delimited JSON: one
+      request object per line (types absorb_trace, solve, race_check,
+      stats, ping, shutdown), one response line per request, in request
+      order per connection. Observations accumulate per session key until
+      the LRU cap (--max-sessions) evicts the coldest session; a full
+      queue (--queue-capacity) yields explicit busy responses. A shutdown
+      request drains admitted work, then the process exits.
 
 GLOBAL FLAGS (any subcommand):
   --log <level>       Leveled stderr logging: error|warn|info|debug|trace|off.

@@ -1,35 +1,22 @@
 //! The multi-round inference driver tying Observer, Solver, and Perturber
 //! together (paper Fig. 1).
+//!
+//! All incremental state (observations, memoized windows, the solved
+//! report) lives in a [`Session`]; the driver adds the parts that require
+//! *running* tests — seed derivation, the Perturber's delay plans, and
+//! per-round statistics.
 
 use sherlock_lp::LpError;
 use sherlock_obs as obs;
 use sherlock_sim::{DelayPlan, SimConfig};
-use sherlock_trace::durations;
-use sherlock_trace::windows::{self, WindowConfig};
 
 use crate::config::SherLockConfig;
 use crate::observations::Observations;
 use crate::perturber;
 use crate::report::InferenceReport;
-use crate::solver;
+pub use crate::session::RoundStats;
+use crate::session::Session;
 use crate::testcase::TestCase;
-
-/// Per-run diagnostics the driver collects.
-#[derive(Clone, Debug, Default)]
-pub struct RoundStats {
-    /// Windows extracted this round (before deduplication).
-    pub windows_extracted: usize,
-    /// Racy windows witnessed this round.
-    pub racy_windows: usize,
-    /// Delay-propagation confirmations this round.
-    pub confirmations: usize,
-    /// New release exclusions this round.
-    pub exclusions: usize,
-    /// Trace events observed this round.
-    pub events: usize,
-    /// Simulated-thread panics (e.g. racy assertion failures) this round.
-    pub panics: usize,
-}
 
 /// A SherLock inference session over one application's test suite.
 ///
@@ -52,42 +39,39 @@ pub struct RoundStats {
 /// assert!(report.contains_op(sherlock_trace::OpRef::field_write("Doc", "ready").intern()));
 /// ```
 pub struct SherLock {
-    config: SherLockConfig,
-    observations: Observations,
-    report: InferenceReport,
+    session: Session,
     round: usize,
     stats: Vec<RoundStats>,
-    /// Metric values at session start; every report's `telemetry` is the
-    /// delta against this, so it covers exactly this session's work.
-    session_start: obs::Snapshot,
 }
 
 impl SherLock {
     /// Creates a fresh session.
     pub fn new(config: SherLockConfig) -> Self {
         SherLock {
-            config,
-            observations: Observations::new(),
-            report: InferenceReport::default(),
+            session: Session::new(config),
             round: 0,
             stats: Vec::new(),
-            session_start: obs::snapshot(),
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &SherLockConfig {
-        &self.config
+        self.session.config()
     }
 
     /// The latest inference report.
     pub fn report(&self) -> &InferenceReport {
-        &self.report
+        self.session.report()
     }
 
     /// The accumulated observations.
     pub fn observations(&self) -> &Observations {
-        &self.observations
+        self.session.observations()
+    }
+
+    /// The underlying incremental session.
+    pub fn session(&self) -> &Session {
+        &self.session
     }
 
     /// Per-round diagnostics.
@@ -109,37 +93,32 @@ impl SherLock {
     pub fn run_round(&mut self, tests: &[TestCase]) -> Result<&InferenceReport, LpError> {
         let _round = obs::span("driver.round");
         obs::counter!("driver.rounds").incr();
-        if !self.config.feedback.accumulate {
-            self.observations = Observations::new();
+        let config = self.session.config().clone();
+        if !config.feedback.accumulate {
+            self.session.clear_observations();
         }
         let plan = {
             let _s = obs::span("phase.perturb");
-            if self.config.feedback.inject_delays && self.round > 0 {
+            if config.feedback.inject_delays && self.round > 0 {
                 perturber::delay_plan_with_probability(
-                    &self.report,
-                    self.config.delay,
-                    self.config.delay_probability,
+                    self.session.report(),
+                    config.delay,
+                    config.delay_probability,
                 )
             } else {
                 DelayPlan::none()
             }
         };
 
-        let wcfg = WindowConfig {
-            near: self.config.near,
-            cap_per_pair: self.config.cap_per_pair,
-        };
         let mut stats = RoundStats::default();
-
         for (i, test) in tests.iter().enumerate() {
-            let seed = self
-                .config
+            let seed = config
                 .base_seed
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add((self.round as u64) << 32)
                 .wrapping_add(i as u64);
             let mut sim_cfg = SimConfig::with_seed(seed);
-            sim_cfg.instrument = self.config.instrument.clone();
+            sim_cfg.instrument = config.instrument.clone();
             sim_cfg.delay_plan = plan.clone();
 
             let run = {
@@ -147,44 +126,18 @@ impl SherLock {
                 obs::counter!("driver.tests_run").incr();
                 test.run(sim_cfg)
             };
-            stats.events += run.trace.len();
+
+            let absorbed = self.session.absorb_trace(&run.trace);
+            stats.events += absorbed.events;
+            stats.windows_extracted += absorbed.windows_extracted;
+            stats.racy_windows += absorbed.racy_windows;
+            stats.confirmations += absorbed.confirmations;
+            stats.exclusions += absorbed.exclusions;
             stats.panics += run.panics.len();
-
-            let mut ws = {
-                let _s = obs::span("phase.windows");
-                windows::extract(&run.trace, &wcfg)
-            };
-            stats.windows_extracted += ws.len();
-
-            let refinement = {
-                let _s = obs::span("phase.perturb");
-                perturber::refine_windows(&run.trace, &mut ws)
-            };
-            obs::counter!("perturber.confirmations").add(refinement.confirmations as u64);
-            obs::counter!("perturber.exclusions").add(refinement.exclusions.len() as u64);
-            stats.confirmations += refinement.confirmations;
-            stats.exclusions += refinement.exclusions.len();
-            for (pair, op) in refinement.exclusions {
-                self.observations.exclude_release(pair, op);
-            }
-
-            for w in &ws {
-                if w.is_racy() {
-                    stats.racy_windows += 1;
-                    self.observations.mark_racy(w.pair());
-                }
-                self.observations.add_window(w);
-            }
-            self.observations
-                .add_durations(durations::extract(&run.trace));
-            self.observations.finish_run();
         }
         obs::counter!("windows.racy").add(stats.racy_windows as u64);
 
-        self.report = {
-            let _s = obs::span("phase.solve");
-            solver::solve(&self.observations, &self.config)?
-        };
+        self.session.solve()?;
         self.round += 1;
         obs::debug!(
             "driver",
@@ -198,59 +151,33 @@ impl SherLock {
         );
         self.stats.push(stats);
         drop(_round);
-        self.report.telemetry = obs::snapshot().delta(&self.session_start);
-        Ok(&self.report)
+        self.session.refresh_telemetry();
+        Ok(self.session.report())
     }
 
     /// Feeds one externally produced trace (e.g. an explored schedule from
-    /// `sherlock-sim`'s Explorer) into the session's observations: windows
-    /// are extracted, refined against any delay records the trace carries,
-    /// racy pairs marked, and durations accumulated — exactly the Observer
-    /// path of [`run_round`](Self::run_round), minus running a test. Call
-    /// [`resolve`](Self::resolve) afterwards to fold the new evidence into
-    /// the report.
+    /// `sherlock-sim`'s Explorer) into the session's observations — exactly
+    /// the Observer path of [`run_round`](Self::run_round), minus running a
+    /// test. Call [`resolve`](Self::resolve) afterwards to fold the new
+    /// evidence into the report.
     pub fn absorb_trace(&mut self, trace: &sherlock_trace::Trace) -> RoundStats {
         let _s = obs::span("driver.absorb_trace");
         obs::counter!("driver.traces_absorbed").incr();
-        let wcfg = WindowConfig {
-            near: self.config.near,
-            cap_per_pair: self.config.cap_per_pair,
-        };
-        let mut stats = RoundStats::default();
-        stats.events = trace.len();
-        let mut ws = windows::extract(trace, &wcfg);
-        stats.windows_extracted = ws.len();
-        let refinement = perturber::refine_windows(trace, &mut ws);
-        stats.confirmations = refinement.confirmations;
-        stats.exclusions = refinement.exclusions.len();
-        for (pair, op) in refinement.exclusions {
-            self.observations.exclude_release(pair, op);
-        }
-        for w in &ws {
-            if w.is_racy() {
-                stats.racy_windows += 1;
-                self.observations.mark_racy(w.pair());
-            }
-            self.observations.add_window(w);
-        }
-        self.observations.add_durations(durations::extract(trace));
-        self.observations.finish_run();
-        stats
+        self.session.absorb_trace(trace)
     }
 
     /// Re-solves over the accumulated observations without running any test
-    /// — the companion of [`absorb_trace`](Self::absorb_trace).
+    /// — the companion of [`absorb_trace`](Self::absorb_trace). Memoized:
+    /// when nothing was absorbed since the last solve the cached report is
+    /// returned.
     ///
     /// # Errors
     ///
     /// Propagates [`LpError`] from the Solver.
     pub fn resolve(&mut self) -> Result<&InferenceReport, LpError> {
-        self.report = {
-            let _s = obs::span("phase.solve");
-            solver::solve(&self.observations, &self.config)?
-        };
-        self.report.telemetry = obs::snapshot().delta(&self.session_start);
-        Ok(&self.report)
+        self.session.solve()?;
+        self.session.refresh_telemetry();
+        Ok(self.session.report())
     }
 
     /// Runs `rounds` full rounds (3 in the paper) and returns the final
@@ -267,7 +194,7 @@ impl SherLock {
         for _ in 0..rounds {
             self.run_round(tests)?;
         }
-        Ok(self.report.clone())
+        Ok(self.session.report().clone())
     }
 }
 

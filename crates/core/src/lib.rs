@@ -63,13 +63,15 @@ mod config;
 mod driver;
 mod observations;
 mod report;
+mod session;
 mod testcase;
 
 pub mod perturber;
 pub mod solver;
 
 pub use config::{Feedback, Hypotheses, SherLockConfig};
-pub use driver::{infer, RoundStats, SherLock};
+pub use driver::{infer, SherLock};
 pub use observations::{Observations, WindowAgg, WindowKey};
 pub use report::{InferenceReport, InferredOp, Role};
+pub use session::{RoundStats, Session, DEFAULT_MEMO_CAPACITY};
 pub use testcase::TestCase;

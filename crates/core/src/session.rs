@@ -1,0 +1,392 @@
+//! A reusable incremental inference session.
+//!
+//! Everything upstream of the Solver is additive: absorbing a trace only
+//! ever *accumulates* windows, exclusions, and durations into
+//! [`Observations`]. [`Session`] packages that incremental state behind a
+//! public API so long-lived clients (the [`SherLock`](crate::SherLock)
+//! driver, `sherlock solve`, the `sherlock-serve` daemon) can stream traces
+//! run-by-run and re-solve only over the delta — instead of rebuilding
+//! windows, constraints, and the LP from zero on every query, which is what
+//! the paper's §4.3 feedback loop explicitly accumulates between runs.
+//!
+//! Two layers of memoization keep repeated queries cheap:
+//!
+//! * **Window extraction** — absorbing a trace whose full content hash was
+//!   seen before reuses the cached (already refined) windows, exclusions,
+//!   and durations rather than re-running extraction
+//!   (`session.window_memo.*` counters; bounded FIFO cache).
+//! * **Solving** — [`Session::solve`] re-runs the LP only when observations
+//!   changed since the last solve; otherwise the cached
+//!   [`InferenceReport`] is returned as-is (`session.solve_memo.hits`).
+//!
+//! Determinism is preserved: a session that absorbed traces `t1..tk` in any
+//! order holds exactly the same observations — and therefore solves to a
+//! byte-identical report — as a fresh session absorbing the same multiset
+//! from scratch (see `tests/serve_parity.rs`).
+
+use std::collections::{HashMap, VecDeque};
+
+use sherlock_lp::LpError;
+use sherlock_obs as obs;
+use sherlock_trace::durations::{self, DurationMap};
+use sherlock_trace::windows::{self, Window, WindowConfig};
+use sherlock_trace::Trace;
+
+use crate::config::SherLockConfig;
+use crate::observations::Observations;
+use crate::perturber;
+use crate::report::InferenceReport;
+use crate::solver;
+
+/// Per-run diagnostics collected when a trace is absorbed (and, in the
+/// driver, per round).
+#[derive(Clone, Debug, Default)]
+pub struct RoundStats {
+    /// Windows extracted this round (before deduplication).
+    pub windows_extracted: usize,
+    /// Racy windows witnessed this round.
+    pub racy_windows: usize,
+    /// Delay-propagation confirmations this round.
+    pub confirmations: usize,
+    /// New release exclusions this round.
+    pub exclusions: usize,
+    /// Trace events observed this round.
+    pub events: usize,
+    /// Simulated-thread panics (e.g. racy assertion failures) this round.
+    pub panics: usize,
+}
+
+/// Everything absorbing one trace contributes, cached by full content hash
+/// so re-absorbing an identical trace skips extraction and refinement.
+#[derive(Clone)]
+struct AbsorbedTrace {
+    /// Refined windows (delay-propagation already applied).
+    windows: Vec<Window>,
+    /// Release candidates disproven by failed delay propagation.
+    exclusions: Vec<(
+        (sherlock_trace::OpId, sherlock_trace::OpId),
+        sherlock_trace::OpId,
+    )>,
+    /// Windows whose injected delay propagated.
+    confirmations: usize,
+    /// Per-op duration samples.
+    durations: DurationMap,
+    /// Events in the trace.
+    events: usize,
+}
+
+/// [`Trace::stable_hash`] deliberately ignores timestamps (it identifies
+/// *schedules*); window extraction depends on them, so the memo key mixes
+/// every event and delay time back in.
+fn content_hash(trace: &Trace) -> u64 {
+    let mut h = trace.stable_hash();
+    let mut mix = |v: u64| {
+        h ^= v
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(h << 6)
+            .wrapping_add(h >> 2);
+    };
+    for e in trace.events() {
+        mix(e.time.as_nanos());
+    }
+    for d in trace.delays() {
+        mix(d.start.as_nanos());
+        mix(d.end.as_nanos());
+    }
+    h
+}
+
+/// Default bound on the window-extraction memo (absorbed-trace cache).
+pub const DEFAULT_MEMO_CAPACITY: usize = 128;
+
+/// An incremental inference session: accumulated [`Observations`], the last
+/// solved [`InferenceReport`], and the memo caches described in the
+/// [module docs](self).
+pub struct Session {
+    config: SherLockConfig,
+    observations: Observations,
+    report: InferenceReport,
+    /// Observations changed since the last solve.
+    dirty: bool,
+    /// At least one solve has completed.
+    solved: bool,
+    traces_absorbed: usize,
+    memo: HashMap<u64, AbsorbedTrace>,
+    memo_order: VecDeque<u64>,
+    memo_capacity: usize,
+    /// Metric values at session start; report telemetry is the delta.
+    session_start: obs::Snapshot,
+}
+
+impl Session {
+    /// Creates an empty session.
+    pub fn new(config: SherLockConfig) -> Self {
+        Session {
+            config,
+            observations: Observations::new(),
+            report: InferenceReport::default(),
+            dirty: false,
+            solved: false,
+            traces_absorbed: 0,
+            memo: HashMap::new(),
+            memo_order: VecDeque::new(),
+            memo_capacity: DEFAULT_MEMO_CAPACITY,
+            session_start: obs::snapshot(),
+        }
+    }
+
+    /// Bounds the window-extraction memo (0 disables it).
+    pub fn set_memo_capacity(&mut self, capacity: usize) {
+        self.memo_capacity = capacity;
+        while self.memo.len() > capacity {
+            if let Some(old) = self.memo_order.pop_front() {
+                self.memo.remove(&old);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SherLockConfig {
+        &self.config
+    }
+
+    /// The accumulated observations.
+    pub fn observations(&self) -> &Observations {
+        &self.observations
+    }
+
+    /// The last solved report (default-empty before the first solve).
+    pub fn report(&self) -> &InferenceReport {
+        &self.report
+    }
+
+    /// Whether observations changed since the last solve.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Traces absorbed over the session's lifetime.
+    pub fn traces_absorbed(&self) -> usize {
+        self.traces_absorbed
+    }
+
+    /// Entries currently held by the window-extraction memo.
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Drops all accumulated observations (used by the driver's
+    /// `accumulate = false` ablation); the memo caches survive.
+    pub fn clear_observations(&mut self) {
+        self.observations = Observations::new();
+        self.dirty = true;
+    }
+
+    /// Re-stamps the current report's telemetry as the metric delta since
+    /// session start (the driver calls this after its round span closes).
+    pub fn refresh_telemetry(&mut self) {
+        self.report.telemetry = obs::snapshot().delta(&self.session_start);
+    }
+
+    fn extract(trace: &Trace, wcfg: &WindowConfig) -> AbsorbedTrace {
+        let mut ws = {
+            let _s = obs::span("phase.windows");
+            windows::extract(trace, wcfg)
+        };
+        let refinement = {
+            let _s = obs::span("phase.perturb");
+            perturber::refine_windows(trace, &mut ws)
+        };
+        AbsorbedTrace {
+            windows: ws,
+            exclusions: refinement.exclusions,
+            confirmations: refinement.confirmations,
+            durations: durations::extract(trace),
+            events: trace.len(),
+        }
+    }
+
+    /// Feeds one trace into the session's observations: windows are
+    /// extracted (or recalled from the memo), refined against any delay
+    /// records the trace carries, racy pairs marked, and durations
+    /// accumulated. Call [`solve`](Self::solve) afterwards to fold the new
+    /// evidence into the report.
+    pub fn absorb_trace(&mut self, trace: &Trace) -> RoundStats {
+        let _s = obs::span("session.absorb");
+        obs::counter!("session.traces_absorbed").incr();
+        let wcfg = WindowConfig {
+            near: self.config.near,
+            cap_per_pair: self.config.cap_per_pair,
+        };
+
+        let key = content_hash(trace);
+        let absorbed = match self.memo.get(&key) {
+            Some(hit) => {
+                obs::counter!("session.window_memo.hits").incr();
+                hit.clone()
+            }
+            None => {
+                obs::counter!("session.window_memo.misses").incr();
+                let a = Self::extract(trace, &wcfg);
+                if self.memo_capacity > 0 {
+                    if self.memo.len() >= self.memo_capacity {
+                        if let Some(old) = self.memo_order.pop_front() {
+                            self.memo.remove(&old);
+                            obs::counter!("session.window_memo.evictions").incr();
+                        }
+                    }
+                    self.memo.insert(key, a.clone());
+                    self.memo_order.push_back(key);
+                }
+                a
+            }
+        };
+
+        let mut stats = RoundStats::default();
+        stats.events = absorbed.events;
+        stats.windows_extracted = absorbed.windows.len();
+        stats.confirmations = absorbed.confirmations;
+        stats.exclusions = absorbed.exclusions.len();
+        obs::counter!("perturber.confirmations").add(absorbed.confirmations as u64);
+        obs::counter!("perturber.exclusions").add(absorbed.exclusions.len() as u64);
+        for (pair, op) in &absorbed.exclusions {
+            self.observations.exclude_release(*pair, *op);
+        }
+        for w in &absorbed.windows {
+            if w.is_racy() {
+                stats.racy_windows += 1;
+                self.observations.mark_racy(w.pair());
+            }
+            self.observations.add_window(w);
+        }
+        self.observations.add_durations(absorbed.durations);
+        self.observations.finish_run();
+        self.traces_absorbed += 1;
+        self.dirty = true;
+        stats
+    }
+
+    /// Solves over the accumulated observations, memoized: when nothing was
+    /// absorbed since the last solve the cached report is returned without
+    /// touching the LP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LpError`] from the Solver.
+    pub fn solve(&mut self) -> Result<&InferenceReport, LpError> {
+        if self.solved && !self.dirty {
+            obs::counter!("session.solve_memo.hits").incr();
+            return Ok(&self.report);
+        }
+        self.report = {
+            let _s = obs::span("phase.solve");
+            solver::solve(&self.observations, &self.config)?
+        };
+        self.report.telemetry = obs::snapshot().delta(&self.session_start);
+        self.dirty = false;
+        self.solved = true;
+        Ok(&self.report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testcase::TestCase;
+    use sherlock_sim::prims::TracedVar;
+    use sherlock_sim::SimConfig;
+
+    fn sample_trace(seed: u64) -> Trace {
+        let t = TestCase::new("session_sample", || {
+            let v = TracedVar::new("Sess", "x", 0u32);
+            let v2 = v.clone();
+            let h = sherlock_sim::api::spawn("w", move || v2.set(1));
+            v.set(2);
+            let _ = v.get();
+            h.join();
+        });
+        t.run(SimConfig::with_seed(seed)).trace
+    }
+
+    #[test]
+    fn incremental_absorb_matches_from_scratch() {
+        let traces: Vec<Trace> = (0..4).map(sample_trace).collect();
+
+        let mut incremental = Session::new(SherLockConfig::default());
+        for t in &traces {
+            incremental.absorb_trace(t);
+            incremental.solve().unwrap();
+        }
+
+        let mut scratch = Session::new(SherLockConfig::default());
+        for t in &traces {
+            scratch.absorb_trace(t);
+        }
+        scratch.solve().unwrap();
+
+        assert_eq!(incremental.report().render(), scratch.report().render());
+        assert_eq!(incremental.traces_absorbed(), scratch.traces_absorbed());
+    }
+
+    #[test]
+    fn solve_is_memoized_until_dirty() {
+        let mut s = Session::new(SherLockConfig::default());
+        s.absorb_trace(&sample_trace(7));
+        assert!(s.is_dirty());
+        let first = s.solve().unwrap().render();
+        assert!(!s.is_dirty());
+        // A second solve with no new evidence must be a cache hit returning
+        // the identical report.
+        let again = s.solve().unwrap().render();
+        assert_eq!(first, again);
+        s.absorb_trace(&sample_trace(8));
+        assert!(s.is_dirty());
+    }
+
+    #[test]
+    fn window_memo_reuses_identical_traces() {
+        let trace = sample_trace(3);
+        let mut memoized = Session::new(SherLockConfig::default());
+        memoized.absorb_trace(&trace);
+        memoized.absorb_trace(&trace);
+        assert_eq!(memoized.memo_len(), 1, "identical traces share one entry");
+
+        let mut unmemoized = Session::new(SherLockConfig::default());
+        unmemoized.set_memo_capacity(0);
+        unmemoized.absorb_trace(&trace);
+        unmemoized.absorb_trace(&trace);
+        assert_eq!(unmemoized.memo_len(), 0);
+
+        // The memo is an optimization only: double absorption accumulates
+        // the same observations either way.
+        memoized.solve().unwrap();
+        unmemoized.solve().unwrap();
+        assert_eq!(memoized.report().render(), unmemoized.report().render());
+        assert_eq!(
+            memoized.observations().runs(),
+            unmemoized.observations().runs()
+        );
+    }
+
+    #[test]
+    fn memo_capacity_is_bounded() {
+        let mut s = Session::new(SherLockConfig::default());
+        s.set_memo_capacity(2);
+        for seed in 0..5 {
+            s.absorb_trace(&sample_trace(seed));
+        }
+        assert!(s.memo_len() <= 2);
+    }
+
+    #[test]
+    fn content_hash_distinguishes_timestamps() {
+        // Two runs of the same schedule-insensitive workload at different
+        // seeds may share a stable hash; the content hash must include
+        // times, so absorbing distinct-timing traces never aliases.
+        let a = sample_trace(1);
+        let b = sample_trace(1);
+        assert_eq!(content_hash(&a), content_hash(&b), "same run, same hash");
+    }
+}

@@ -196,6 +196,38 @@ impl HistSnap {
         }
     }
 
+    /// Approximate `q`-quantile (`q` in `[0, 1]`) from the power-of-two
+    /// buckets: the inclusive upper bound of the bucket holding the
+    /// `ceil(q·count)`-th smallest observation, clamped to [`max`].
+    /// Exact for 0 and 1; within one power of two otherwise — precise
+    /// enough for the latency summaries `sherlock-serve` reports
+    /// (p50/p95/p99 of `serve.request_ns`).
+    ///
+    /// [`max`]: HistSnap::max
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Bucket 0 holds exactly 0; bucket i ≥ 1 holds [2^(i-1), 2^i);
+                // bucket 64 is unbounded above.
+                let upper = if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
     fn to_json(&self) -> Json {
         let mut members = vec![
             ("count".to_string(), Json::from(self.count)),
@@ -574,6 +606,28 @@ mod tests {
         let got = snapshot().counters_with_prefix("test.prefix.");
         let names: Vec<&str> = got.iter().map(|(k, _)| k.as_str()).collect();
         assert_eq!(names, vec!["test.prefix.a", "test.prefix.b"]);
+    }
+
+    #[test]
+    fn quantiles_from_buckets() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 100, 1000, 5000] {
+            h.observe(v);
+        }
+        let snap = snapshot();
+        // Use a fresh named histogram to avoid cross-test registry noise.
+        let q = histogram("test.quantile");
+        for v in 1..=100u64 {
+            q.observe(v);
+        }
+        drop(snap);
+        let hs = snapshot().histograms["test.quantile"].clone();
+        assert_eq!(hs.quantile(0.0), 1, "q0 lands in the first bucket");
+        assert_eq!(hs.quantile(1.0), 100, "q1 is clamped to max");
+        // p50 of 1..=100 is 50; bucket upper bound 63 is within 2x.
+        let p50 = hs.quantile(0.5);
+        assert!((50..=63).contains(&p50), "p50 ~ 50..63, got {p50}");
+        assert_eq!(HistSnap::default().quantile(0.5), 0, "empty histogram");
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! A minimal blocking protocol client.
+//!
+//! One request in, one response out ([`Client::call`]), plus a pipelined
+//! mode ([`Client::pipeline`]) that writes a burst of request lines before
+//! reading any responses — the shape the server's per-session batching is
+//! designed for, and what the load generator uses.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use sherlock_obs::json::Json;
+use sherlock_trace::{json as trace_json, Trace};
+
+use crate::protocol::{parse_response, ParsedResponse};
+
+/// One request in a [`Client::pipeline`] burst:
+/// `(type, session, extra fields)`.
+pub type PipelinedRequest<'a> = (&'a str, &'a str, Vec<(String, Json)>);
+
+/// A blocking connection to a `sherlock-serve` daemon.
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            stream,
+            reader,
+            next_id: 0,
+        })
+    }
+
+    fn request_line(&mut self, typ: &str, session: &str, extra: Vec<(String, Json)>) -> String {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut members = vec![
+            ("id".to_string(), Json::from(id)),
+            ("type".to_string(), Json::from(typ)),
+            ("session".to_string(), Json::from(session)),
+        ];
+        members.extend(extra);
+        Json::Obj(members).render()
+    }
+
+    /// Sends one raw line and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; a closed connection is
+    /// [`io::ErrorKind::UnexpectedEof`]. Protocol-level failures come back
+    /// as `ok: false` responses, not errors.
+    pub fn call_raw(&mut self, line: &str) -> io::Result<ParsedResponse> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// Reads the next response line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and response-parse failures.
+    pub fn read_response(&mut self) -> io::Result<ParsedResponse> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        parse_response(line.trim()).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Builds and sends one typed request, then reads its response.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn call(
+        &mut self,
+        typ: &str,
+        session: &str,
+        extra: Vec<(String, Json)>,
+    ) -> io::Result<ParsedResponse> {
+        let line = self.request_line(typ, session, extra);
+        self.call_raw(&line)
+    }
+
+    /// Writes a burst of typed requests without reading responses, then
+    /// reads all of them. Responses arrive in request order (the server
+    /// guarantees per-connection ordering).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn pipeline(
+        &mut self,
+        requests: Vec<PipelinedRequest<'_>>,
+    ) -> io::Result<Vec<ParsedResponse>> {
+        let mut burst = String::new();
+        let n = requests.len();
+        for (typ, session, extra) in requests {
+            burst.push_str(&self.request_line(typ, session, extra));
+            burst.push('\n');
+        }
+        self.stream.write_all(burst.as_bytes())?;
+        self.stream.flush()?;
+        (0..n).map(|_| self.read_response()).collect()
+    }
+
+    /// `absorb_trace` for `trace` into `session`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn absorb_trace(&mut self, session: &str, trace: &Trace) -> io::Result<ParsedResponse> {
+        self.call(
+            "absorb_trace",
+            session,
+            vec![("trace".to_string(), trace_json::to_value(trace))],
+        )
+    }
+
+    /// `solve` over `session`'s accumulated observations.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn solve(&mut self, session: &str) -> io::Result<ParsedResponse> {
+        self.call("solve", session, vec![])
+    }
+
+    /// `race_check` of `trace` under `session`'s solved spec; `app` turns
+    /// on differential mode against that bundled app's ground truth.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn race_check(
+        &mut self,
+        session: &str,
+        trace: &Trace,
+        app: Option<&str>,
+    ) -> io::Result<ParsedResponse> {
+        let mut extra = vec![("trace".to_string(), trace_json::to_value(trace))];
+        if let Some(app) = app {
+            extra.push(("app".to_string(), Json::from(app)));
+        }
+        self.call("race_check", session, extra)
+    }
+
+    /// Server-wide `stats`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn stats(&mut self) -> io::Result<ParsedResponse> {
+        self.call("stats", crate::protocol::DEFAULT_SESSION, vec![])
+    }
+
+    /// Requests graceful drain.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn shutdown(&mut self) -> io::Result<ParsedResponse> {
+        self.call("shutdown", crate::protocol::DEFAULT_SESSION, vec![])
+    }
+}

@@ -1,0 +1,30 @@
+//! `sherlock-serve` — the long-lived inference service.
+//!
+//! Batch-mode SherLock (`sherlock infer`) rebuilds its whole pipeline per
+//! invocation. This crate keeps the pipeline **resident**: a TCP daemon
+//! holds per-client [`sherlock_core::Session`]s (accumulated observations,
+//! memoized window extraction, memoized solve) so clients stream traces in
+//! as they are produced and ask for refreshed synchronization specs at any
+//! point — the service analogue of the paper's accumulate-across-rounds
+//! design (§5.2: constraints and observations carry forward; re-solving is
+//! incremental, not from scratch).
+//!
+//! The pieces:
+//!
+//! * [`protocol`] — line-delimited JSON requests/responses (zero
+//!   dependencies; built on `sherlock_obs::json`).
+//! * [`store`] — the bounded LRU session store.
+//! * [`server`] — listener, per-connection readers, per-session mailboxes,
+//!   the worker pool with request batching, backpressure, deadlines, and
+//!   graceful drain.
+//! * [`client`] — a minimal blocking client used by the load generator,
+//!   the CLI, and tests.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use client::Client;
+pub use server::{spawn, ServeConfig, ServeSummary, Server, ShutdownHandle, SpawnedServer};
+pub use store::SessionStore;

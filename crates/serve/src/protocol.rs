@@ -1,0 +1,286 @@
+//! The `sherlock-serve` wire protocol: line-delimited JSON over TCP.
+//!
+//! Every request is one JSON object on one line; every request produces
+//! exactly one response line, delivered in request order per connection
+//! (the server reassembles out-of-order worker completions). Shared
+//! request fields:
+//!
+//! ```json
+//! {"id": 7, "type": "absorb_trace", "session": "App-3",
+//!  "deadline_ms": 2000, ...}
+//! ```
+//!
+//! * `id` — echoed verbatim in the response (any JSON value; `null` when
+//!   omitted). Clients use it to correlate.
+//! * `type` — one of `absorb_trace`, `solve`, `race_check`, `stats`,
+//!   `ping`, `shutdown`.
+//! * `session` — the session-store key (accumulated observations live per
+//!   key); defaults to `"default"`. Ignored by `stats`/`shutdown`.
+//! * `deadline_ms` — optional queueing deadline: if the request waits
+//!   longer than this before a worker picks it up, it fails with
+//!   `"deadline exceeded"` instead of running.
+//!
+//! Responses are `{"id": ..., "ok": true, "type": ..., ...}` on success and
+//! `{"id": ..., "ok": false, "error": "..."}` on failure. Backpressure is
+//! explicit: when the server's bounded queue is full the response is
+//! `{"id": ..., "ok": false, "error": "busy", "busy": true}` and the client
+//! should retry. A malformed line yields a structured error response with
+//! `"id": null` — it never kills the connection.
+
+use sherlock_obs::json::Json;
+use sherlock_trace::{json as trace_json, Trace};
+
+/// The per-type payload of a request.
+#[derive(Debug)]
+pub enum RequestBody {
+    /// Feed one trace into the session's observations.
+    AbsorbTrace {
+        /// The trace, in the `sherlock observe` file shape.
+        trace: Trace,
+    },
+    /// Solve over the session's accumulated observations (memoized).
+    Solve,
+    /// FastTrack race detection over `trace` under the session's last
+    /// solved spec; with `app` set, differential against that app's
+    /// ground-truth spec.
+    RaceCheck {
+        /// The trace to check.
+        trace: Trace,
+        /// Optional bundled-app id (`App-1`..`App-8`) for differential mode.
+        app: Option<String>,
+    },
+    /// Server-wide statistics.
+    Stats,
+    /// Liveness check; `delay_ms` occupies a worker for that long (load
+    /// tests use it to saturate the pool deterministically).
+    Ping {
+        /// Worker busy-time in milliseconds.
+        delay_ms: u64,
+    },
+    /// Begin graceful drain: stop accepting work, finish the queue, exit.
+    Shutdown,
+}
+
+impl RequestBody {
+    /// The wire name of this request type.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            RequestBody::AbsorbTrace { .. } => "absorb_trace",
+            RequestBody::Solve => "solve",
+            RequestBody::RaceCheck { .. } => "race_check",
+            RequestBody::Stats => "stats",
+            RequestBody::Ping { .. } => "ping",
+            RequestBody::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Client correlation id, echoed verbatim.
+    pub id: Json,
+    /// Session-store key.
+    pub session: String,
+    /// Optional queueing deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// The typed payload.
+    pub body: RequestBody,
+}
+
+/// Session key used when a request omits `session`.
+pub const DEFAULT_SESSION: &str = "default";
+
+/// Parses one protocol line.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the first syntax or schema
+/// violation; the server turns it into a structured error response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = Json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    if doc.as_object().is_none() {
+        return Err("request must be a JSON object".into());
+    }
+    let id = doc.get("id").cloned().unwrap_or(Json::Null);
+    let session = match doc.get("session") {
+        None => DEFAULT_SESSION.to_string(),
+        Some(Json::Str(s)) if !s.is_empty() => s.clone(),
+        Some(_) => return Err("\"session\" must be a non-empty string".into()),
+    };
+    let deadline_ms = match doc.get("deadline_ms") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or("\"deadline_ms\" must be a nonnegative integer")?,
+        ),
+    };
+    let typ = doc
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or("missing string \"type\"")?;
+    let trace_field = || {
+        let v = doc.get("trace").ok_or("missing \"trace\" object")?;
+        trace_json::from_value(v).map_err(|e| format!("bad trace: {e}"))
+    };
+    let body = match typ {
+        "absorb_trace" => RequestBody::AbsorbTrace {
+            trace: trace_field()?,
+        },
+        "solve" => RequestBody::Solve,
+        "race_check" => RequestBody::RaceCheck {
+            trace: trace_field()?,
+            app: match doc.get("app") {
+                None | Some(Json::Null) => None,
+                Some(Json::Str(s)) => Some(s.clone()),
+                Some(_) => return Err("\"app\" must be a string".into()),
+            },
+        },
+        "stats" => RequestBody::Stats,
+        "ping" => RequestBody::Ping {
+            delay_ms: match doc.get("delay_ms") {
+                None => 0,
+                Some(v) => v.as_u64().ok_or("\"delay_ms\" must be an integer")?,
+            },
+        },
+        "shutdown" => RequestBody::Shutdown,
+        other => return Err(format!("unknown request type {other:?}")),
+    };
+    Ok(Request {
+        id,
+        session,
+        deadline_ms,
+        body,
+    })
+}
+
+/// Builds a success response line (no trailing newline).
+pub fn ok_response(id: &Json, typ: &str, mut fields: Vec<(String, Json)>) -> String {
+    let mut members = vec![
+        ("id".to_string(), id.clone()),
+        ("ok".to_string(), Json::Bool(true)),
+        ("type".to_string(), Json::from(typ)),
+    ];
+    members.append(&mut fields);
+    Json::Obj(members).render()
+}
+
+/// Builds a failure response line (no trailing newline).
+pub fn error_response(id: &Json, error: &str) -> String {
+    Json::Obj(vec![
+        ("id".to_string(), id.clone()),
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::from(error)),
+    ])
+    .render()
+}
+
+/// Builds the explicit-backpressure response line (no trailing newline).
+pub fn busy_response(id: &Json) -> String {
+    Json::Obj(vec![
+        ("id".to_string(), id.clone()),
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::from("busy")),
+        ("busy".to_string(), Json::Bool(true)),
+    ])
+    .render()
+}
+
+/// Client-side view of one response line.
+#[derive(Clone, Debug)]
+pub struct ParsedResponse {
+    /// The echoed correlation id.
+    pub id: Json,
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Explicit-backpressure marker (`error == "busy"`).
+    pub busy: bool,
+    /// Error message when `ok` is false.
+    pub error: Option<String>,
+    /// The full response document.
+    pub doc: Json,
+}
+
+/// Parses one response line (the client half of the protocol; the load
+/// generator and tests use this).
+///
+/// # Errors
+///
+/// Returns a message when the line is not a JSON object with a boolean
+/// `ok`.
+pub fn parse_response(line: &str) -> Result<ParsedResponse, String> {
+    let doc = Json::parse(line).map_err(|e| format!("malformed response: {e}"))?;
+    let ok = match doc.get("ok") {
+        Some(Json::Bool(b)) => *b,
+        _ => return Err("response missing boolean \"ok\"".into()),
+    };
+    Ok(ParsedResponse {
+        id: doc.get("id").cloned().unwrap_or(Json::Null),
+        ok,
+        busy: matches!(doc.get("busy"), Some(Json::Bool(true))),
+        error: doc.get("error").and_then(Json::as_str).map(str::to_string),
+        doc,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_requests() {
+        let r = parse_request(r#"{"type":"solve"}"#).unwrap();
+        assert_eq!(r.session, DEFAULT_SESSION);
+        assert_eq!(r.id, Json::Null);
+        assert!(matches!(r.body, RequestBody::Solve));
+
+        let r = parse_request(r#"{"id":3,"type":"ping","session":"s1","deadline_ms":50}"#).unwrap();
+        assert_eq!(r.id, Json::Num(3.0));
+        assert_eq!(r.session, "s1");
+        assert_eq!(r.deadline_ms, Some(50));
+        assert!(matches!(r.body, RequestBody::Ping { delay_ms: 0 }));
+    }
+
+    #[test]
+    fn parses_absorb_with_embedded_trace() {
+        let line = r#"{"id":"a","type":"absorb_trace","trace":{"events":[],"delays":[]}}"#;
+        let r = parse_request(line).unwrap();
+        match r.body {
+            RequestBody::AbsorbTrace { trace } => assert_eq!(trace.len(), 0),
+            other => panic!("wrong body: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_messages() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("[1,2]").is_err());
+        assert!(parse_request(r#"{"type":"warp"}"#)
+            .unwrap_err()
+            .contains("unknown request type"));
+        assert!(parse_request(r#"{"type":"absorb_trace"}"#)
+            .unwrap_err()
+            .contains("trace"));
+        assert!(parse_request(r#"{"type":"solve","session":""}"#).is_err());
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let ok = ok_response(
+            &Json::Num(9.0),
+            "solve",
+            vec![("windows".to_string(), Json::from(4u64))],
+        );
+        let p = parse_response(&ok).unwrap();
+        assert!(p.ok && !p.busy);
+        assert_eq!(p.id, Json::Num(9.0));
+        assert_eq!(p.doc.get("windows").unwrap().as_u64(), Some(4));
+
+        let busy = parse_response(&busy_response(&Json::Null)).unwrap();
+        assert!(!busy.ok && busy.busy);
+
+        let err = parse_response(&error_response(&Json::Null, "nope")).unwrap();
+        assert!(!err.ok && !err.busy);
+        assert_eq!(err.error.as_deref(), Some("nope"));
+    }
+}

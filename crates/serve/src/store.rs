@@ -1,0 +1,168 @@
+//! The session store: accumulated inference state per client/app key.
+//!
+//! Each entry wraps a [`sherlock_core::Session`] (observations, memoized
+//! window extraction, memoized solve) behind its own mutex, so concurrent
+//! requests against *different* sessions proceed in parallel while requests
+//! against the *same* session serialize on exactly one lock. The store is
+//! bounded: when a new key would exceed `max_sessions`, the
+//! least-recently-touched entry is evicted (`serve.sessions.evicted`
+//! counter) — an evicted client transparently restarts from an empty
+//! session on its next request, mirroring how the paper's accumulated
+//! Perturber constraints are an optimization, not a correctness
+//! requirement.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use sherlock_core::{Session, SherLockConfig};
+use sherlock_obs as obs;
+
+/// One stored session with its LRU touch stamp.
+struct Entry {
+    session: Mutex<Session>,
+    touched: AtomicU64,
+}
+
+/// Bounded map of session key → incremental inference session.
+pub struct SessionStore {
+    config: SherLockConfig,
+    max_sessions: usize,
+    inner: Mutex<HashMap<String, Arc<Entry>>>,
+    clock: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SessionStore {
+    /// Creates a store; `max_sessions` of 0 means unbounded.
+    pub fn new(config: SherLockConfig, max_sessions: usize) -> Self {
+        SessionStore {
+            config,
+            max_sessions,
+            inner: Mutex::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Live sessions.
+    pub fn len(&self) -> usize {
+        self.lock_inner().len()
+    }
+
+    /// Whether the store holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sessions evicted over the store's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Sorted keys of the live sessions.
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.lock_inner().keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    fn lock_inner(&self) -> MutexGuard<'_, HashMap<String, Arc<Entry>>> {
+        // A panic while holding the map lock (never expected: the critical
+        // sections below are allocation-only) must not wedge the daemon.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn get_or_create(&self, key: &str) -> Arc<Entry> {
+        let mut map = self.lock_inner();
+        if let Some(entry) = map.get(key) {
+            entry.touched.store(
+                self.clock.fetch_add(1, Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+            return Arc::clone(entry);
+        }
+        if self.max_sessions > 0 && map.len() >= self.max_sessions {
+            // Evict the least-recently-touched key. O(n) scan; the store is
+            // small (defaults to 64 sessions).
+            if let Some(oldest) = map
+                .iter()
+                .min_by_key(|(_, e)| e.touched.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())
+            {
+                map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                obs::counter!("serve.sessions.evicted").incr();
+            }
+        }
+        obs::counter!("serve.sessions.created").incr();
+        let entry = Arc::new(Entry {
+            session: Mutex::new(Session::new(self.config.clone())),
+            touched: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
+        });
+        map.insert(key.to_string(), Arc::clone(&entry));
+        entry
+    }
+
+    /// Runs `f` with exclusive access to the session stored under `key`,
+    /// creating it if absent. The store's map lock is *not* held while `f`
+    /// runs — only the per-session lock — so long solves on one session
+    /// never block other sessions.
+    ///
+    /// An entry evicted while another thread still works on it finishes
+    /// that work on the orphaned session; the next request under the key
+    /// starts fresh.
+    pub fn with_session<R>(&self, key: &str, f: impl FnOnce(&mut Session) -> R) -> R {
+        let entry = self.get_or_create(key);
+        let mut session = entry
+            .session
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sessions_are_created_on_demand_and_reused() {
+        let store = SessionStore::new(SherLockConfig::default(), 8);
+        assert!(store.is_empty());
+        let n = store.with_session("a", |s| {
+            assert_eq!(s.traces_absorbed(), 0);
+            41
+        });
+        assert_eq!(n, 41);
+        assert_eq!(store.len(), 1);
+        store.with_session("a", |_| ());
+        assert_eq!(store.len(), 1, "same key reuses the entry");
+        store.with_session("b", |_| ());
+        assert_eq!(store.keys(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn lru_eviction_is_bounded_and_counted() {
+        let store = SessionStore::new(SherLockConfig::default(), 2);
+        store.with_session("a", |_| ());
+        store.with_session("b", |_| ());
+        store.with_session("a", |_| ()); // refresh a; b is now oldest
+        store.with_session("c", |_| ());
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.evictions(), 1);
+        assert_eq!(store.keys(), vec!["a".to_string(), "c".to_string()]);
+    }
+
+    #[test]
+    fn unbounded_store_never_evicts() {
+        let store = SessionStore::new(SherLockConfig::default(), 0);
+        for i in 0..32 {
+            store.with_session(&format!("k{i}"), |_| ());
+        }
+        assert_eq!(store.len(), 32);
+        assert_eq!(store.evictions(), 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Shared helpers for the serve integration tests.
+
+use sherlock_apps::app_by_id;
+use sherlock_core::SherLockConfig;
+use sherlock_sim::SimConfig;
+use sherlock_trace::Trace;
+
+/// Runs `app_id`'s tests (cycling) under the default instrumentation and
+/// returns `n` traces, seeded deterministically.
+pub fn app_traces(app_id: &str, n: usize) -> Vec<Trace> {
+    let app = app_by_id(app_id).expect("bundled app");
+    let cfg = SherLockConfig::default();
+    (0..n)
+        .map(|i| {
+            let test = &app.tests[i % app.tests.len()];
+            let mut sim_cfg = SimConfig::with_seed(0xA11C_E000 + i as u64);
+            sim_cfg.instrument = cfg.instrument.clone();
+            test.run(sim_cfg).trace
+        })
+        .collect()
+}

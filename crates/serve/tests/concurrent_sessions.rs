@@ -1,0 +1,123 @@
+//! Concurrency coverage for the session layer: many clients hammering one
+//! shared session (absorbs racing a solver) must end in exactly the state
+//! a sequential replay produces, and the session abstraction itself must
+//! be order-independent — verified with the in-tree property harness,
+//! which shrinks a failing request order to a minimal witness.
+
+mod common;
+
+use sherlock_core::{Session, SherLockConfig};
+use sherlock_serve::{spawn, Client, ServeConfig};
+use sherlock_sim::testutil::{check, shrink_vec, Config as PropConfig};
+use sherlock_trace::Trace;
+
+use common::app_traces;
+
+/// Absorbs `traces` in the given order into a fresh in-process session and
+/// renders the solved report.
+fn replay_render(traces: &[&Trace]) -> String {
+    let mut session = Session::new(SherLockConfig::default());
+    for t in traces {
+        session.absorb_trace(t);
+    }
+    session.solve().expect("solve").render()
+}
+
+/// Four client threads absorb disjoint slices of one app's traces into the
+/// *same* server session while a fifth thread issues interleaved solves.
+/// Nothing may error, intermediate solves must be internally consistent,
+/// and the final solve must equal a sequential in-process replay of all
+/// traces.
+#[test]
+fn concurrent_absorbs_into_one_session_match_sequential_replay() {
+    const WRITERS: usize = 4;
+    const PER_WRITER: usize = 2;
+    let traces = app_traces("App-1", WRITERS * PER_WRITER);
+
+    let mut cfg = ServeConfig::default();
+    cfg.addr = "127.0.0.1:0".to_string();
+    cfg.workers = 4;
+    let server = spawn(cfg).expect("spawn");
+    let addr = server.addr();
+
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let slice: Vec<&Trace> = traces[w * PER_WRITER..(w + 1) * PER_WRITER]
+                .iter()
+                .collect();
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("writer connect");
+                for trace in slice {
+                    let r = client.absorb_trace("shared", trace).expect("absorb");
+                    assert!(r.ok, "absorb failed: {:?}", r.error);
+                }
+            });
+        }
+        // A reader thread racing the writers: every interleaved solve must
+        // succeed and report a trace count no larger than the total.
+        scope.spawn(move || {
+            let mut client = Client::connect(addr).expect("solver connect");
+            for _ in 0..6 {
+                let r = client.solve("shared").expect("solve");
+                assert!(r.ok, "interleaved solve failed: {:?}", r.error);
+                let n = r.doc.get("traces_absorbed").unwrap().as_u64().unwrap();
+                assert!(n as usize <= WRITERS * PER_WRITER);
+            }
+        });
+    });
+
+    let mut client = Client::connect(addr).expect("final connect");
+    let r = client.solve("shared").expect("final solve");
+    assert!(r.ok);
+    assert_eq!(
+        r.doc.get("traces_absorbed").unwrap().as_u64(),
+        Some((WRITERS * PER_WRITER) as u64),
+        "every concurrent absorb must land"
+    );
+    let served_spec = r.doc.get("spec").unwrap().as_str().unwrap().to_string();
+
+    let all: Vec<&Trace> = traces.iter().collect();
+    assert_eq!(
+        served_spec,
+        replay_render(&all),
+        "concurrent absorb interleaving changed the solved spec"
+    );
+
+    server.shutdown();
+    let summary = server.join();
+    assert_eq!(summary.protocol_errors, 0);
+}
+
+/// Property: the solved spec is independent of the order requests arrive
+/// in — any sequence of absorbs drawn from a trace pool renders the same
+/// report as the same multiset absorbed in canonical order. On failure the
+/// harness shrinks the request order to a minimal reordering witness.
+#[test]
+fn absorb_order_never_changes_the_solved_spec() {
+    let pool = app_traces("App-3", 4);
+    check(
+        &PropConfig {
+            cases: 12,
+            ..PropConfig::default()
+        },
+        // A request order: indices into the trace pool, with repeats.
+        |g| g.vec(1, 6, |g| g.usize_in(0, 4)),
+        |order| shrink_vec(order),
+        |order| {
+            let as_given: Vec<&Trace> = order.iter().map(|&i| &pool[i]).collect();
+            let mut canonical = order.clone();
+            canonical.sort_unstable();
+            let sorted: Vec<&Trace> = canonical.iter().map(|&i| &pool[i]).collect();
+            let a = replay_render(&as_given);
+            let b = replay_render(&sorted);
+            if a == b {
+                Ok(())
+            } else {
+                Err(format!(
+                    "order {order:?} rendered a different spec than sorted \
+                     {canonical:?}"
+                ))
+            }
+        },
+    );
+}

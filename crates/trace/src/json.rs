@@ -25,13 +25,18 @@ use crate::time::Time;
 
 /// Serializes a trace as compact JSON.
 pub fn to_json(trace: &Trace) -> String {
+    to_value(trace).render()
+}
+
+/// Serializes a trace as a [`Json`] value tree (for embedding in larger
+/// documents, e.g. the `sherlock-serve` wire protocol).
+pub fn to_value(trace: &Trace) -> Json {
     let events: Vec<Json> = trace.events().iter().map(event_to_json).collect();
     let delays: Vec<Json> = trace.delays().iter().map(delay_to_json).collect();
     Json::Obj(vec![
         ("events".to_string(), Json::Arr(events)),
         ("delays".to_string(), Json::Arr(delays)),
     ])
-    .render()
 }
 
 fn op_to_json(op: OpId) -> Json {
@@ -120,6 +125,17 @@ fn delay_to_json(d: &DelayRecord) -> Json {
 /// including out-of-order event timestamps.
 pub fn from_json(text: &str) -> Result<Trace, String> {
     let doc = Json::parse(text).map_err(|e: JsonError| e.to_string())?;
+    from_value(&doc)
+}
+
+/// Parses a trace from an already-parsed [`Json`] value (the subtree shape
+/// [`to_value`] produces).
+///
+/// # Errors
+///
+/// Returns a message describing the first schema violation, including
+/// out-of-order event timestamps.
+pub fn from_value(doc: &Json) -> Result<Trace, String> {
     let events_json = doc
         .get("events")
         .and_then(Json::as_array)

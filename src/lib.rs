@@ -10,6 +10,7 @@ pub use sherlock_apps as apps;
 pub use sherlock_core as core;
 pub use sherlock_lp as lp;
 pub use sherlock_racer as racer;
+pub use sherlock_serve as serve;
 pub use sherlock_sim as sim;
 pub use sherlock_trace as trace;
 pub use sherlock_tsvd as tsvd;

@@ -1,0 +1,95 @@
+//! Incremental-solve parity: the service's sessioned accumulate-and-solve
+//! path must be indistinguishable from batch inference. For every bundled
+//! app, absorbing runs one at a time with a solve after each run k must
+//! render a spec byte-identical to a fresh session absorbing runs 1..=k+1
+//! in one go — i.e. incremental solving is an optimization, never a
+//! semantic change. A second test proves the same parity over the real TCP
+//! protocol.
+
+use sherlock_apps::all_apps;
+use sherlock_core::{Session, SherLockConfig};
+use sherlock_serve::{spawn, Client, ServeConfig};
+use sherlock_sim::SimConfig;
+use sherlock_trace::Trace;
+
+const SEEDS: [u64; 2] = [11, 12];
+
+/// Each app's tests run once per seed, under the default instrumentation.
+fn runs_for(app: &sherlock_apps::App) -> Vec<Trace> {
+    let cfg = SherLockConfig::default();
+    let mut traces = Vec::new();
+    for seed in SEEDS {
+        for (i, test) in app.tests.iter().enumerate() {
+            let mut sim_cfg =
+                SimConfig::with_seed(seed.wrapping_mul(0x5DEECE66D).wrapping_add(i as u64));
+            sim_cfg.instrument = cfg.instrument.clone();
+            traces.push(test.run(sim_cfg).trace);
+        }
+    }
+    traces
+}
+
+fn from_scratch_render(traces: &[Trace], upto: usize) -> String {
+    let mut session = Session::new(SherLockConfig::default());
+    for t in &traces[..upto] {
+        session.absorb_trace(t);
+    }
+    session.solve().expect("solve").render()
+}
+
+/// In-process parity, every app: after every absorbed run, the incremental
+/// session's solve equals a from-scratch session over the same prefix.
+#[test]
+fn incremental_solve_matches_from_scratch_for_all_apps() {
+    for app in all_apps() {
+        let traces = runs_for(&app);
+        let mut incremental = Session::new(SherLockConfig::default());
+        for (k, trace) in traces.iter().enumerate() {
+            incremental.absorb_trace(trace);
+            let inc = incremental.solve().expect("incremental solve").render();
+            let scratch = from_scratch_render(&traces, k + 1);
+            assert_eq!(
+                inc,
+                scratch,
+                "{}: incremental solve after run {} diverged from from-scratch",
+                app.id,
+                k + 1
+            );
+        }
+    }
+}
+
+/// Over-TCP parity, every app: the daemon's sessioned solve after each
+/// absorbed run returns the same spec the in-process from-scratch session
+/// renders.
+#[test]
+fn served_incremental_solve_matches_from_scratch_over_tcp() {
+    let mut cfg = ServeConfig::default();
+    cfg.addr = "127.0.0.1:0".to_string();
+    cfg.workers = 2;
+    let server = spawn(cfg).expect("spawn");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    for app in all_apps() {
+        let traces = runs_for(&app);
+        for (k, trace) in traces.iter().enumerate() {
+            let r = client.absorb_trace(app.id, trace).expect("absorb");
+            assert!(r.ok, "{}: absorb failed: {:?}", app.id, r.error);
+            let solve = client.solve(app.id).expect("solve");
+            assert!(solve.ok, "{}: solve failed: {:?}", app.id, solve.error);
+            let served = solve.doc.get("spec").unwrap().as_str().unwrap();
+            let scratch = from_scratch_render(&traces, k + 1);
+            assert_eq!(
+                served,
+                scratch,
+                "{}: served solve after run {} diverged from from-scratch",
+                app.id,
+                k + 1
+            );
+        }
+    }
+
+    server.shutdown();
+    let summary = server.join();
+    assert_eq!(summary.protocol_errors, 0);
+}
