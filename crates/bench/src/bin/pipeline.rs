@@ -1,6 +1,7 @@
 //! End-to-end pipeline benchmark: full 3-round inference over every app,
 //! reported from the observability layer's own phase spans and counters
-//! (no ad-hoc timers). Writes `results/BENCH_pipeline.json` and prints a
+//! (no ad-hoc timers). Writes `results/BENCH_pipeline.json` plus a
+//! collapsed-stack profile `results/pipeline.folded`, and prints a
 //! summary table.
 
 use std::time::Instant;
@@ -83,6 +84,11 @@ fn main() {
     let path = sherlock_bench::results_path("BENCH_pipeline.json");
     std::fs::write(&path, doc.render_pretty()).expect("write BENCH_pipeline.json");
 
+    // Collapsed-stack export of the whole run, ready for a flamegraph tool
+    // (speedscope, inferno-flamegraph).
+    let folded_path = sherlock_bench::results_path("pipeline.folded");
+    std::fs::write(&folded_path, total.render_folded()).expect("write pipeline.folded");
+
     let count = |name: &str| total.counters.get(name).copied().unwrap_or(0);
     println!("{}", t.rule());
     println!(
@@ -95,4 +101,5 @@ fn main() {
         count("perturber.delays_injected"),
     );
     println!("wrote {}", path.display());
+    println!("wrote {} (collapsed stacks)", folded_path.display());
 }

@@ -4,7 +4,8 @@
 //! throughput. Verifies the protocol's delivery guarantees along the way —
 //! every request gets exactly one response and responses arrive in request
 //! order per connection — and exits nonzero on any violation or protocol
-//! error. Writes `results/BENCH_serve.json`.
+//! error. Writes `results/BENCH_serve.json` (and, when the daemon runs
+//! in-process, a collapsed-stack profile `results/serve.folded`).
 //!
 //! ```text
 //! cargo run --release -p sherlock-bench --bin serve -- \
@@ -222,7 +223,10 @@ fn main() -> ExitCode {
     }
     let total_traces: usize = corpus.iter().map(|(_, t)| t.len()).sum();
 
-    // Either target an external daemon or spawn one in-process.
+    // Either target an external daemon or spawn one in-process. In the
+    // in-process case the daemon's span stacks land in this process's
+    // registry, so a collapsed-stack profile of the run can be exported.
+    let obs_base = sherlock_obs::snapshot();
     let (addr, spawned) = match &args.addr {
         Some(addr) => {
             let addr = addr
@@ -270,10 +274,20 @@ fn main() -> ExitCode {
         .and_then(|mut c| c.stats())
         .ok()
         .map(|r| r.doc);
+    let in_process = spawned.is_some();
     let summary = spawned.map(|server| {
         server.shutdown();
         server.join()
     });
+
+    // Collapsed-stack export (in-process daemon only — an external daemon's
+    // spans live in its process, not ours).
+    if in_process {
+        let folded = sherlock_obs::snapshot().delta(&obs_base).render_folded();
+        let folded_path = results_path("serve.folded");
+        std::fs::write(&folded_path, folded).expect("write serve.folded");
+        println!("wrote {} (collapsed stacks)", folded_path.display());
+    }
 
     // Aggregate.
     let mut latencies: Vec<u64> = outcomes

@@ -221,6 +221,93 @@ pub fn serve(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Renders one `metrics` response compactly: pool state, latency and
+/// solver-flight-recorder quantiles, per-session tallies.
+fn render_metrics(doc: &Json) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let n = |k: &str| doc.get(k).and_then(Json::as_u64).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "uptime {:>6}ms  workers {}  pending {}/{}  sessions {}  busy {}  evictions {}",
+        n("uptime_ms"),
+        n("workers"),
+        n("pending"),
+        n("queue_capacity"),
+        n("sessions"),
+        n("busy_rejections"),
+        n("evictions"),
+    );
+    if let Some(hists) = doc.get("histograms").and_then(Json::as_object) {
+        let interesting = [
+            "serve.request_ns",
+            "serve.queue_wait_ns",
+            "lp.pivots",
+            "lp.phase1_iters",
+            "lp.phase2_iters",
+            "lp.resolve_rounds",
+        ];
+        for (name, h) in hists {
+            if !interesting.contains(&name.as_str()) {
+                continue;
+            }
+            let q = |k: &str| h.get(k).and_then(Json::as_u64).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  {name:<24} count {:>8}  p50 {:>12}  p99 {:>12}  max {:>12}",
+                q("count"),
+                q("p50"),
+                q("p99"),
+                q("max"),
+            );
+        }
+    }
+    if let Some(sessions) = doc.get("per_session").and_then(Json::as_object) {
+        for (key, s) in sessions {
+            let q = |k: &str| s.get(k).and_then(Json::as_u64).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  session {key:<16} requests {:>8}  errors {:>4}  total {:>10}",
+                q("requests"),
+                q("errors"),
+                sherlock_obs::fmt_ns(q("total_ns")),
+            );
+        }
+    }
+    out
+}
+
+/// `sherlock metrics [--addr HOST:PORT] [--watch] [--interval-ms N]
+/// [--json]` — polls a running daemon's `metrics` verb.
+pub fn metrics(flags: &Flags) -> Result<(), String> {
+    let default_addr = sherlock_serve::ServeConfig::default().addr;
+    let addr = flags.get("addr").cloned().unwrap_or(default_addr);
+    let watch = flags.contains_key("watch");
+    let interval = flag_u64(flags, "interval-ms", 1000)?;
+    let raw = flags.contains_key("json");
+    let mut client =
+        sherlock_serve::Client::connect(&addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    loop {
+        let resp = client.metrics().map_err(|e| format!("metrics: {e}"))?;
+        if !resp.ok {
+            return Err(format!(
+                "metrics failed: {}",
+                resp.error.unwrap_or_default()
+            ));
+        }
+        if raw {
+            println!("{}", resp.doc.render_pretty());
+        } else {
+            print!("{}", render_metrics(&resp.doc));
+        }
+        if !watch {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval.max(50)));
+        println!();
+    }
+}
+
 fn parse_strategy(flags: &Flags) -> Result<StrategyKind, String> {
     let name = flags
         .get("strategy")

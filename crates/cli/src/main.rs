@@ -9,11 +9,12 @@
 //! sherlock races  <app> [--spec manual|inferred|none]
 //! sherlock explore <app> [--runs N] [--strategy random|pct|rr]   # schedule coverage
 //! sherlock serve  [--addr HOST:PORT] [--workers N]   # long-lived inference daemon
+//! sherlock metrics [--addr HOST:PORT] [--watch]      # live daemon introspection
 //! ```
 //!
 //! Every subcommand also accepts the global observability flags
-//! `--log <level>`, `--trace-out <file>`, and `--profile` (see README.md,
-//! "Observability").
+//! `--log <level>`, `--trace-out <file>`, `--folded-out <file>`, and
+//! `--profile` (see README.md, "Observability").
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -54,6 +55,7 @@ fn main() -> ExitCode {
         "races" => commands::races(&positional, &flags),
         "explore" => commands::explore(&positional, &flags),
         "serve" => commands::serve(&flags),
+        "metrics" => commands::metrics(&flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -61,6 +63,16 @@ fn main() -> ExitCode {
         other => Err(format!("unknown command {other:?}")),
     };
 
+    // Write the collapsed-stack (flamegraph) view of everything the command
+    // ran, if requested.
+    if let Some(path) = flags.get("folded-out") {
+        let folded = sherlock_obs::snapshot().render_folded();
+        if let Err(e) = std::fs::write(path, folded) {
+            eprintln!("error: writing {path}: {e}");
+        } else {
+            eprintln!("collapsed stacks written to {path}");
+        }
+    }
     // Append the final metrics snapshot to --trace-out, if enabled.
     sherlock_obs::flush_jsonl();
 
@@ -125,17 +137,27 @@ USAGE:
       Run the long-lived inference daemon (default 127.0.0.1:7477; port 0
       binds an ephemeral port). Clients speak line-delimited JSON: one
       request object per line (types absorb_trace, solve, race_check,
-      stats, ping, shutdown), one response line per request, in request
-      order per connection. Observations accumulate per session key until
-      the LRU cap (--max-sessions) evicts the coldest session; a full
-      queue (--queue-capacity) yields explicit busy responses. A shutdown
-      request drains admitted work, then the process exits.
+      stats, metrics, ping, shutdown), one response line per request, in
+      request order per connection. Observations accumulate per session
+      key until the LRU cap (--max-sessions) evicts the coldest session; a
+      full queue (--queue-capacity) yields explicit busy responses. A
+      shutdown request drains admitted work, then the process exits.
+
+  sherlock metrics [--addr HOST:PORT] [--watch] [--interval-ms N] [--json]
+      Query a running daemon's live metric snapshot (global + per-session
+      counters, histogram quantiles, worker-pool queue depths) via the
+      metrics verb. --watch polls every --interval-ms (default 1000) until
+      interrupted; --json prints the raw response document.
 
 GLOBAL FLAGS (any subcommand):
   --log <level>       Leveled stderr logging: error|warn|info|debug|trace|off.
                       SHERLOCK_LOG sets the same gate; the flag wins.
-  --trace-out <file>  Write a JSON-lines telemetry stream (spans, log
-                      records, final metrics snapshot) to <file>.
+  --trace-out <file>  Write a JSON-lines telemetry stream (spans, events,
+                      log records, final metrics snapshot) to <file>; every
+                      line carries the active trace context.
+  --folded-out <file> After the command, write its span stacks in
+                      collapsed-stack (flamegraph) format, loadable in
+                      speedscope or inferno-flamegraph.
   --profile           After `infer`/`solve`/`races`, print a per-phase
                       time/count breakdown of the pipeline.
 ";

@@ -222,12 +222,14 @@ impl Session {
         };
 
         let key = content_hash(trace);
+        let mut memo_hit = true;
         let absorbed = match self.memo.get(&key) {
             Some(hit) => {
                 obs::counter!("session.window_memo.hits").incr();
                 hit.clone()
             }
             None => {
+                memo_hit = false;
                 obs::counter!("session.window_memo.misses").incr();
                 let a = Self::extract(trace, &wcfg);
                 if self.memo_capacity > 0 {
@@ -265,6 +267,19 @@ impl Session {
         self.observations.finish_run();
         self.traces_absorbed += 1;
         self.dirty = true;
+        if obs::jsonl_enabled() {
+            use obs::json::Json;
+            obs::event(
+                "session.absorb",
+                &[
+                    ("memo_hit", Json::Bool(memo_hit)),
+                    ("events", Json::from(stats.events as u64)),
+                    ("windows", Json::from(stats.windows_extracted as u64)),
+                    ("racy", Json::from(stats.racy_windows as u64)),
+                    ("exclusions", Json::from(stats.exclusions as u64)),
+                ],
+            );
+        }
         stats
     }
 
@@ -278,7 +293,19 @@ impl Session {
     pub fn solve(&mut self) -> Result<&InferenceReport, LpError> {
         if self.solved && !self.dirty {
             obs::counter!("session.solve_memo.hits").incr();
+            if obs::jsonl_enabled() {
+                obs::event(
+                    "session.solve",
+                    &[("memo_hit", obs::json::Json::Bool(true))],
+                );
+            }
             return Ok(&self.report);
+        }
+        if obs::jsonl_enabled() {
+            obs::event(
+                "session.solve",
+                &[("memo_hit", obs::json::Json::Bool(false))],
+            );
         }
         self.report = {
             let _s = obs::span("phase.solve");

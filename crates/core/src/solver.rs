@@ -240,6 +240,7 @@ pub fn solve(obs: &Observations, cfg: &SherLockConfig) -> Result<InferenceReport
     // zeroing its competitors), so the loop terminates with an integral,
     // cost-minimal-up-to-greedy assignment.
     let mut solution = model.solve()?;
+    let mut resolve_rounds: u64 = 0;
     for _ in 0..64 {
         let fractional = vars
             .values()
@@ -248,8 +249,10 @@ pub fn solve(obs: &Observations, cfg: &SherLockConfig) -> Result<InferenceReport
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite probabilities"));
         let Some((v, _)) = fractional else { break };
         model.constrain_eq(LinExpr::from(v), 1.0);
+        resolve_rounds += 1;
         solution = model.solve()?;
     }
+    sherlock_obs::histogram!("lp.resolve_rounds").observe(resolve_rounds);
 
     let mut probabilities = BTreeMap::new();
     let mut inferred = Vec::new();
@@ -268,6 +271,20 @@ pub fn solve(obs: &Observations, cfg: &SherLockConfig) -> Result<InferenceReport
 
     sherlock_obs::histogram!("lp.variables").observe(vars.len() as u64);
     sherlock_obs::histogram!("lp.windows").observe(windows.len() as u64);
+    if sherlock_obs::jsonl_enabled() {
+        use sherlock_obs::json::Json;
+        sherlock_obs::event(
+            "solve.round",
+            &[
+                ("num_vars", Json::from(vars.len() as u64)),
+                ("num_windows", Json::from(windows.len() as u64)),
+                ("racy_pairs", Json::from(racy.len() as u64)),
+                ("resolve_rounds", Json::from(resolve_rounds)),
+                ("inferred", Json::from(inferred.len() as u64)),
+                ("objective", Json::Num(solution.objective)),
+            ],
+        );
+    }
     Ok(InferenceReport {
         inferred,
         probabilities,

@@ -80,7 +80,55 @@ pub fn solve(problem: &Problem) -> Result<(Vec<f64>, f64), SimplexError> {
     sherlock_obs::counter!("simplex.solves").incr();
     sherlock_obs::histogram!("simplex.rows").observe(problem.rows.len() as u64);
     sherlock_obs::histogram!("simplex.vars").observe(problem.num_vars as u64);
-    Tableau::build(problem).solve(problem)
+    let mut rec = SolveRec::default();
+    let result = Tableau::build(problem).solve(problem, &mut rec);
+    // Flight-recorder: per-solve distributions (the counter keeps the
+    // process total, added in one batch instead of per pivot).
+    sherlock_obs::counter!("simplex.pivots").add(rec.pivots());
+    sherlock_obs::histogram!("lp.pivots").observe(rec.pivots());
+    sherlock_obs::histogram!("lp.phase1_iters").observe(rec.phase1_iters);
+    sherlock_obs::histogram!("lp.phase2_iters").observe(rec.phase2_iters);
+    let status = match &result {
+        Ok(_) => "optimal",
+        Err(SimplexError::Infeasible) => {
+            sherlock_obs::counter!("lp.infeasible").incr();
+            "infeasible"
+        }
+        Err(SimplexError::Unbounded) => "unbounded",
+        Err(SimplexError::IterationLimit) => "iteration_limit",
+    };
+    if sherlock_obs::jsonl_enabled() {
+        use sherlock_obs::json::Json;
+        sherlock_obs::event(
+            "lp.solve",
+            &[
+                ("rows", Json::from(problem.rows.len() as u64)),
+                ("vars", Json::from(problem.num_vars as u64)),
+                ("pivots", Json::from(rec.pivots())),
+                ("phase1_iters", Json::from(rec.phase1_iters)),
+                ("phase2_iters", Json::from(rec.phase2_iters)),
+                ("status", Json::Str(status.to_string())),
+            ],
+        );
+    }
+    result
+}
+
+/// Per-solve flight-recorder tallies.
+#[derive(Debug, Default)]
+struct SolveRec {
+    /// Pivots spent minimizing the artificial objective.
+    phase1_iters: u64,
+    /// Pivots spent optimizing the real objective.
+    phase2_iters: u64,
+    /// Pivots spent evicting residual basic artificials between phases.
+    evict_pivots: u64,
+}
+
+impl SolveRec {
+    fn pivots(&self) -> u64 {
+        self.phase1_iters + self.phase2_iters + self.evict_pivots
+    }
 }
 
 struct Tableau {
@@ -180,7 +228,7 @@ impl Tableau {
         }
     }
 
-    fn solve(mut self, p: &Problem) -> Result<(Vec<f64>, f64), SimplexError> {
+    fn solve(mut self, p: &Problem, rec: &mut SolveRec) -> Result<(Vec<f64>, f64), SimplexError> {
         // Phase 1: minimize the sum of artificials.
         if self.art_start < self.cols {
             self.obj = vec![0.0; self.cols + 1];
@@ -188,12 +236,12 @@ impl Tableau {
                 self.obj[j] = 1.0;
             }
             self.price_out_basis();
-            self.iterate(self.cols)?;
+            self.iterate(self.cols, &mut rec.phase1_iters)?;
             let phase1 = -self.obj[self.cols];
             if phase1 > 1e-7 {
                 return Err(SimplexError::Infeasible);
             }
-            self.evict_artificials();
+            rec.evict_pivots += self.evict_artificials();
         }
 
         // Phase 2: the real objective, excluding artificial columns.
@@ -204,7 +252,7 @@ impl Tableau {
             }
         }
         self.price_out_basis();
-        self.iterate(self.art_start)?;
+        self.iterate(self.art_start, &mut rec.phase2_iters)?;
 
         let mut x = vec![0.0; self.n_struct];
         for (i, &b) in self.basis.iter().enumerate() {
@@ -236,8 +284,9 @@ impl Tableau {
 
     /// Pivots until no reduced cost is negative, considering only columns
     /// `< col_limit` as entering candidates (used to exclude artificials in
-    /// phase 2).
-    fn iterate(&mut self, col_limit: usize) -> Result<(), SimplexError> {
+    /// phase 2). Each performed pivot bumps `*pivots` (including on the
+    /// error paths, so the flight recorder sees work spent before failure).
+    fn iterate(&mut self, col_limit: usize, pivots: &mut u64) -> Result<(), SimplexError> {
         for iter in 0..MAX_ITERATIONS {
             let bland = iter >= DANTZIG_BUDGET;
             if iter == DANTZIG_BUDGET {
@@ -288,13 +337,13 @@ impl Tableau {
             let Some(l) = leave else {
                 return Err(SimplexError::Unbounded);
             };
+            *pivots += 1;
             self.pivot(l, e);
         }
         Err(SimplexError::IterationLimit)
     }
 
     fn pivot(&mut self, row: usize, col: usize) {
-        sherlock_obs::counter!("simplex.pivots").incr();
         let p = self.data[row][col];
         debug_assert!(p.abs() > EPS, "pivot on (near-)zero element");
         for v in &mut self.data[row] {
@@ -322,16 +371,20 @@ impl Tableau {
 
     /// After phase 1, pivots basic artificials out of the basis; rows where
     /// that is impossible are redundant and get zeroed (their artificial stays
-    /// basic at value 0 and artificials never re-enter).
-    fn evict_artificials(&mut self) {
+    /// basic at value 0 and artificials never re-enter). Returns the number
+    /// of eviction pivots performed.
+    fn evict_artificials(&mut self) -> u64 {
+        let mut pivots = 0;
         for i in 0..self.data.len() {
             if self.basis[i] >= self.art_start {
                 let col = (0..self.art_start).find(|&j| self.data[i][j].abs() > EPS);
                 if let Some(j) = col {
                     self.pivot(i, j);
+                    pivots += 1;
                 }
             }
         }
+        pivots
     }
 }
 

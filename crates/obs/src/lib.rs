@@ -8,9 +8,13 @@
 //!
 //! * [`span`] — RAII nested spans with wall-clock timing, aggregated by name
 //!   in a thread-safe process-wide registry;
-//! * [`counter!`]/[`histogram!`] — named counters and fixed power-of-two
-//!   bucket histograms (`simplex.pivots`, `windows.extracted`,
+//! * [`counter!`]/[`histogram!`] — named counters and fixed log-linear
+//!   bucket histograms (`lp.pivots`, `windows.extracted`,
 //!   `kernel.context_switches`, `perturber.delays_injected`, …);
+//! * [`TraceCtx`]/[`trace_scope`]/[`event`] — request-scoped trace context
+//!   (trace id + session + seq) carried in a thread-local and stamped onto
+//!   every JSONL span/event line, so one serve request reconstructs into a
+//!   single causal tree across worker threads;
 //! * sinks — a leveled stderr logger (`SHERLOCK_LOG` / `--log`) and a
 //!   JSON-lines file (`--trace-out FILE`), both off by default;
 //! * [`snapshot`]/[`Snapshot`] — point-in-time metric captures with delta
@@ -38,13 +42,15 @@ pub mod json;
 mod metrics;
 mod sink;
 mod span;
+mod trace_ctx;
 
 pub use metrics::{
-    bucket_index, counter, fmt_ns, histogram, snapshot, span_stat, Counter, HistSnap, Histogram,
-    Snapshot, SpanSnap, SpanStat, NUM_BUCKETS,
+    bucket_bounds, bucket_index, counter, fmt_ns, histogram, snapshot, span_stat, Counter,
+    HistSnap, Histogram, Snapshot, SpanSnap, SpanStat, NUM_BUCKETS, SUBBUCKETS_PER_OCTAVE,
 };
 pub use sink::{
     flush_jsonl, init_from_env, jsonl_enabled, jsonl_line, log, log_enabled, set_jsonl_file,
-    set_log_level, Level,
+    set_log_level, sync_jsonl, Level,
 };
 pub use span::{epoch_micros, span, SpanGuard};
+pub use trace_ctx::{current_trace, event, mint_trace_id, trace_scope, TraceCtx, TraceScope};

@@ -1,4 +1,4 @@
-//! Counters and fixed-bucket histograms with a process-wide registry.
+//! Counters and log-linear-bucket histograms with a process-wide registry.
 //!
 //! Everything is lock-free on the hot path: a counter bump is one relaxed
 //! atomic add, a histogram observation is two. The registry itself is only
@@ -6,6 +6,11 @@
 //! Metric handles are interned and leaked, so call sites can cache a
 //! `&'static` handle (the [`counter!`](crate::counter!) and
 //! [`histogram!`](crate::histogram!) macros do this with a `OnceLock`).
+//!
+//! Span *stack paths* (the `;`-joined ancestry of each closed span) are the
+//! one exception: they are dynamically keyed, so closing a span takes one
+//! short registry lock. Spans bracket phases, solves, and requests — never
+//! inner loops — so this stays far off the hot path.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -36,16 +41,51 @@ impl Counter {
     }
 }
 
-/// Number of histogram buckets: bucket 0 holds the value `0`, bucket `i ≥ 1`
-/// holds values in `[2^(i-1), 2^i)`, and bucket 64 holds `[2^63, u64::MAX]`.
-pub const NUM_BUCKETS: usize = 65;
+/// Number of histogram buckets under the log-linear scheme: values `0..=3`
+/// get exact unit buckets `0..=3`; every octave `[2^o, 2^(o+1))` for
+/// `o in 2..=63` is split into 4 equal sub-buckets (`4 + 62*4` total).
+pub const NUM_BUCKETS: usize = 4 + 62 * 4;
 
-/// A histogram over `u64` values with fixed power-of-two buckets.
+/// Sub-buckets per octave. Four subdivisions bound the relative error of a
+/// bucket-midpoint estimate by `1/8` (12.5 %) — comfortably inside the
+/// <15 % target for serve p99 reporting, where plain power-of-two buckets
+/// quantized everything between 128 ms and 256 ms to one value.
+pub const SUBBUCKETS_PER_OCTAVE: usize = 4;
+
+/// The bucket index a value lands in (log-linear: exact below 4, then 4
+/// sub-buckets per power-of-two octave).
+pub fn bucket_index(v: u64) -> usize {
+    if v < 4 {
+        v as usize
+    } else {
+        let o = 63 - v.leading_zeros() as usize; // 2..=63
+        4 + (o - 2) * 4 + ((v >> (o - 2)) & 3) as usize
+    }
+}
+
+/// The inclusive `(low, high)` value range of bucket `i`.
 ///
-/// The bucket index of `v` is the number of significant bits in `v`
-/// (`0 → 0`, `1 → 1`, `2..4 → 2..3`, …), so bucketing is a single
-/// `leading_zeros` — no search, no configuration, and every possible `u64`
-/// (including `0` and `u64::MAX`) lands in exactly one bucket.
+/// # Panics
+///
+/// Panics if `i >= NUM_BUCKETS`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < NUM_BUCKETS, "bucket index out of range");
+    if i < 4 {
+        (i as u64, i as u64)
+    } else {
+        let k = i - 4;
+        let o = 2 + k / 4;
+        let width = 1u64 << (o - 2);
+        let lo = (1u64 << o) + (k % 4) as u64 * width;
+        (lo, lo + (width - 1))
+    }
+}
+
+/// A histogram over `u64` values with fixed log-linear buckets.
+///
+/// Bucketing is a `leading_zeros` plus a shift — no search, no
+/// configuration, and every possible `u64` (including `0` and `u64::MAX`)
+/// lands in exactly one bucket.
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; NUM_BUCKETS],
@@ -63,11 +103,6 @@ impl Default for Histogram {
             max: AtomicU64::new(0),
         }
     }
-}
-
-/// The bucket index a value lands in.
-pub fn bucket_index(v: u64) -> usize {
-    (64 - v.leading_zeros()) as usize
 }
 
 impl Histogram {
@@ -138,6 +173,9 @@ struct Registry {
     counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
     histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
     spans: Mutex<BTreeMap<&'static str, &'static SpanStat>>,
+    /// Aggregates keyed by `;`-joined span ancestry (collapsed stacks):
+    /// `(count, total_ns, max_ns)` per path.
+    stacks: Mutex<BTreeMap<String, (u64, u64, u64)>>,
 }
 
 fn registry() -> &'static Registry {
@@ -146,6 +184,7 @@ fn registry() -> &'static Registry {
         counters: Mutex::new(BTreeMap::new()),
         histograms: Mutex::new(BTreeMap::new()),
         spans: Mutex::new(BTreeMap::new()),
+        stacks: Mutex::new(BTreeMap::new()),
     })
 }
 
@@ -173,6 +212,15 @@ pub fn span_stat(name: &'static str) -> &'static SpanStat {
     map.entry(name).or_insert_with(|| Box::leak(Box::default()))
 }
 
+/// Folds one closed span into its stack-path aggregate (span layer only).
+pub(crate) fn stack_record(path: String, ns: u64) {
+    let mut map = registry().stacks.lock().expect("metric registry poisoned");
+    let cell = map.entry(path).or_insert((0, 0, 0));
+    cell.0 += 1;
+    cell.1 += ns;
+    cell.2 = cell.2.max(ns);
+}
+
 /// Point-in-time copy of one histogram.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct HistSnap {
@@ -196,12 +244,12 @@ impl HistSnap {
         }
     }
 
-    /// Approximate `q`-quantile (`q` in `[0, 1]`) from the power-of-two
-    /// buckets: the inclusive upper bound of the bucket holding the
-    /// `ceil(q·count)`-th smallest observation, clamped to [`max`].
-    /// Exact for 0 and 1; within one power of two otherwise — precise
-    /// enough for the latency summaries `sherlock-serve` reports
-    /// (p50/p95/p99 of `serve.request_ns`).
+    /// Approximate `q`-quantile (`q` in `[0, 1]`) from the log-linear
+    /// buckets: the midpoint of the bucket holding the
+    /// `ceil(q·count)`-th smallest observation, clamped to [`max`]. Exact
+    /// for `q = 1` and for values below 4 (unit buckets); within 12.5 %
+    /// otherwise — four sub-buckets per octave bound the midpoint error by
+    /// half a bucket width, an eighth of the value.
     ///
     /// [`max`]: HistSnap::max
     pub fn quantile(&self, q: f64) -> u64 {
@@ -213,16 +261,8 @@ impl HistSnap {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                // Bucket 0 holds exactly 0; bucket i ≥ 1 holds [2^(i-1), 2^i);
-                // bucket 64 is unbounded above.
-                let upper = if i == 0 {
-                    0
-                } else if i >= 64 {
-                    u64::MAX
-                } else {
-                    (1u64 << i) - 1
-                };
-                return upper.min(self.max);
+                let (lo, hi) = bucket_bounds(i.min(NUM_BUCKETS - 1));
+                return (lo + (hi - lo) / 2).min(self.max);
             }
         }
         self.max
@@ -234,18 +274,19 @@ impl HistSnap {
             ("sum".to_string(), Json::from(self.sum)),
             ("max".to_string(), Json::from(self.max)),
         ];
-        // Only nonzero buckets, as {"lt": upper_bound, "n": count} pairs;
-        // the last bucket has no finite upper bound.
+        // Only nonzero buckets, as {"lt": exclusive_upper_bound, "n": count}
+        // pairs; the top bucket has no finite upper bound.
         let buckets: Vec<Json> = self
             .buckets
             .iter()
             .enumerate()
             .filter(|(_, &n)| n > 0)
             .map(|(i, &n)| {
-                let lt = if i >= 64 {
+                let (_, hi) = bucket_bounds(i.min(NUM_BUCKETS - 1));
+                let lt = if hi == u64::MAX {
                     Json::Null
                 } else {
-                    Json::from(1u64 << i)
+                    Json::from(hi + 1)
                 };
                 vec![("lt".to_string(), lt), ("n".to_string(), Json::from(n))]
                     .into_iter()
@@ -255,9 +296,21 @@ impl HistSnap {
         members.push(("buckets".to_string(), Json::Arr(buckets)));
         Json::Obj(members)
     }
+
+    /// The quantile summary serve's `metrics` verb ships per histogram.
+    pub fn summary_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".to_string(), Json::from(self.count)),
+            ("mean".to_string(), Json::Num(self.mean())),
+            ("p50".to_string(), Json::from(self.quantile(0.50))),
+            ("p90".to_string(), Json::from(self.quantile(0.90))),
+            ("p99".to_string(), Json::from(self.quantile(0.99))),
+            ("max".to_string(), Json::from(self.max)),
+        ])
+    }
 }
 
-/// Point-in-time copy of one span aggregate.
+/// Point-in-time copy of one span (or stack-path) aggregate.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SpanSnap {
     /// Completed spans.
@@ -279,6 +332,8 @@ pub struct Snapshot {
     pub spans: BTreeMap<String, SpanSnap>,
     /// Histograms by name.
     pub histograms: BTreeMap<String, HistSnap>,
+    /// Span aggregates by `;`-joined stack path (collapsed-stack data).
+    pub stacks: BTreeMap<String, SpanSnap>,
 }
 
 /// Captures the current value of every registered metric.
@@ -314,10 +369,27 @@ pub fn snapshot() -> Snapshot {
         .iter()
         .map(|(&k, h)| (k.to_string(), h.snap()))
         .collect();
+    let stacks = reg
+        .stacks
+        .lock()
+        .expect("metric registry poisoned")
+        .iter()
+        .map(|(k, &(count, total_ns, max_ns))| {
+            (
+                k.clone(),
+                SpanSnap {
+                    count,
+                    total_ns,
+                    max_ns,
+                },
+            )
+        })
+        .collect();
     Snapshot {
         counters,
         spans,
         histograms,
+        stacks,
     }
 }
 
@@ -325,30 +397,41 @@ impl Snapshot {
     /// The metrics accumulated since `earlier`: every counter, span, and
     /// histogram value minus its value in the earlier snapshot (metrics
     /// absent earlier are kept whole). All metrics are monotone, so the
-    /// difference is well defined.
+    /// difference is well defined; if a process restart (or an out-of-order
+    /// snapshot pair) makes an "earlier" value larger, the difference
+    /// saturates at zero instead of underflowing.
     pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
         let counters = self
             .counters
             .iter()
-            .map(|(k, &v)| (k.clone(), v - earlier.counters.get(k).copied().unwrap_or(0)))
-            .filter(|(_, v)| *v > 0)
-            .collect();
-        let spans = self
-            .spans
-            .iter()
-            .map(|(k, s)| {
-                let e = earlier.spans.get(k).copied().unwrap_or_default();
+            .map(|(k, &v)| {
                 (
                     k.clone(),
-                    SpanSnap {
-                        count: s.count - e.count,
-                        total_ns: s.total_ns - e.total_ns,
-                        max_ns: s.max_ns, // max is not differentiable; keep current
-                    },
+                    v.saturating_sub(earlier.counters.get(k).copied().unwrap_or(0)),
                 )
             })
-            .filter(|(_, s)| s.count > 0)
+            .filter(|(_, v)| *v > 0)
             .collect();
+        let span_delta = |current: &BTreeMap<String, SpanSnap>,
+                          old: &BTreeMap<String, SpanSnap>| {
+            current
+                .iter()
+                .map(|(k, s)| {
+                    let e = old.get(k).copied().unwrap_or_default();
+                    (
+                        k.clone(),
+                        SpanSnap {
+                            count: s.count.saturating_sub(e.count),
+                            total_ns: s.total_ns.saturating_sub(e.total_ns),
+                            max_ns: s.max_ns, // max is not differentiable; keep current
+                        },
+                    )
+                })
+                .filter(|(_, s): &(String, SpanSnap)| s.count > 0)
+                .collect()
+        };
+        let spans = span_delta(&self.spans, &earlier.spans);
+        let stacks = span_delta(&self.stacks, &earlier.stacks);
         let histograms = self
             .histograms
             .iter()
@@ -358,12 +441,12 @@ impl Snapshot {
                     .buckets
                     .iter()
                     .enumerate()
-                    .map(|(i, &n)| n - e.buckets.get(i).copied().unwrap_or(0))
+                    .map(|(i, &n)| n.saturating_sub(e.buckets.get(i).copied().unwrap_or(0)))
                     .collect();
                 (
                     k.clone(),
                     HistSnap {
-                        count: h.count - e.count,
+                        count: h.count.saturating_sub(e.count),
                         sum: h.sum.wrapping_sub(e.sum),
                         max: h.max,
                         buckets,
@@ -376,6 +459,7 @@ impl Snapshot {
             counters,
             spans,
             histograms,
+            stacks,
         }
     }
 
@@ -391,27 +475,28 @@ impl Snapshot {
     }
 
     /// Serializes the snapshot (the `"telemetry"` JSON schema documented in
-    /// README.md: `counters`, `spans`, and `histograms` objects by name).
+    /// README.md: `counters`, `spans`, `histograms`, and `stacks` objects by
+    /// name).
     pub fn to_json(&self) -> Json {
         let counters: Json = self
             .counters
             .iter()
             .map(|(k, &v)| (k.clone(), Json::from(v)))
             .collect();
-        let spans: Json = self
-            .spans
-            .iter()
-            .map(|(k, s)| {
-                let obj: Json = vec![
-                    ("count", Json::from(s.count)),
-                    ("total_ns", Json::from(s.total_ns)),
-                    ("max_ns", Json::from(s.max_ns)),
-                ]
-                .into_iter()
-                .collect();
-                (k.clone(), obj)
-            })
-            .collect();
+        let span_obj = |map: &BTreeMap<String, SpanSnap>| -> Json {
+            map.iter()
+                .map(|(k, s)| {
+                    let obj: Json = vec![
+                        ("count", Json::from(s.count)),
+                        ("total_ns", Json::from(s.total_ns)),
+                        ("max_ns", Json::from(s.max_ns)),
+                    ]
+                    .into_iter()
+                    .collect();
+                    (k.clone(), obj)
+                })
+                .collect()
+        };
         let histograms: Json = self
             .histograms
             .iter()
@@ -419,11 +504,39 @@ impl Snapshot {
             .collect();
         vec![
             ("counters", counters),
-            ("spans", spans),
+            ("spans", span_obj(&self.spans)),
             ("histograms", histograms),
+            ("stacks", span_obj(&self.stacks)),
         ]
         .into_iter()
         .collect()
+    }
+
+    /// Renders the stack-path aggregates in collapsed-stack ("folded")
+    /// format — one `path;of;frames value` line per stack, where the value
+    /// is the stack's **self** time in microseconds (total minus direct
+    /// children), the input `inferno`/speedscope/`flamegraph.pl` expect.
+    /// Frames that spent all their time in children still get a zero line
+    /// so the hierarchy stays visible to tools that sum leaves only.
+    pub fn render_folded(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (path, s) in &self.stacks {
+            let child_total: u64 = self
+                .stacks
+                .iter()
+                .filter(|(p, _)| {
+                    p.len() > path.len() + 1
+                        && p.starts_with(path.as_str())
+                        && p.as_bytes()[path.len()] == b';'
+                        && !p[path.len() + 1..].contains(';')
+                })
+                .map(|(_, c)| c.total_ns)
+                .sum();
+            let self_us = s.total_ns.saturating_sub(child_total) / 1_000;
+            let _ = writeln!(out, "{path} {self_us}");
+        }
+        out
     }
 
     /// Renders a human-readable per-phase time/count breakdown (the
@@ -525,15 +638,56 @@ mod tests {
 
     #[test]
     fn bucket_edges() {
+        // Exact unit buckets below 4.
         assert_eq!(bucket_index(0), 0);
         assert_eq!(bucket_index(1), 1);
         assert_eq!(bucket_index(2), 2);
-        assert_eq!(bucket_index(3), 2);
-        assert_eq!(bucket_index(4), 3);
-        assert_eq!(bucket_index((1 << 62) - 1), 62);
-        assert_eq!(bucket_index(1 << 63), 64);
-        assert_eq!(bucket_index(u64::MAX), 64);
-        assert!(bucket_index(u64::MAX) < NUM_BUCKETS);
+        assert_eq!(bucket_index(3), 3);
+        // First subdivided octave [4, 8): still unit-wide.
+        assert_eq!(bucket_index(4), 4);
+        assert_eq!(bucket_index(7), 7);
+        // Octave [8, 16): 4 sub-buckets of width 2.
+        assert_eq!(bucket_index(8), 8);
+        assert_eq!(bucket_index(9), 8);
+        assert_eq!(bucket_index(10), 9);
+        assert_eq!(bucket_index(15), 11);
+        assert_eq!(bucket_index(16), 12);
+        // The top of the range stays in bounds.
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert!(bucket_index(1 << 63) < NUM_BUCKETS);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_u64_range() {
+        // Bounds are contiguous, non-overlapping, and cover everything.
+        let mut expected_lo = 0u64;
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expected_lo, "bucket {i} starts where {} ended", i - 1);
+            assert!(hi >= lo);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+            if hi == u64::MAX {
+                assert_eq!(i, NUM_BUCKETS - 1);
+                return;
+            }
+            expected_lo = hi + 1;
+        }
+        panic!("top bucket never reached u64::MAX");
+    }
+
+    #[test]
+    fn bucket_relative_width_is_bounded() {
+        // Log-linear guarantee: bucket width ≤ lo/4 for every bucket with
+        // lo ≥ 4, so a midpoint estimate is within 12.5 % of any member.
+        for i in 8..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            let width = hi - lo + 1;
+            assert!(
+                width <= lo / 4 + 1,
+                "bucket {i} [{lo}, {hi}] too wide ({width})"
+            );
+        }
     }
 
     #[test]
@@ -547,9 +701,9 @@ mod tests {
         let s = h.snap();
         assert_eq!(s.buckets[0], 1); // the 0
         assert_eq!(s.buckets[1], 2); // the 1s
-        assert_eq!(s.buckets[2], 1); // the 3
-        assert_eq!(s.buckets[11], 1); // 1024 ∈ [2^10, 2^11)
-        assert_eq!(s.buckets[64], 1); // u64::MAX
+        assert_eq!(s.buckets[3], 1); // the 3
+        assert_eq!(s.buckets[bucket_index(1024)], 1);
+        assert_eq!(s.buckets[NUM_BUCKETS - 1], 1); // u64::MAX
         assert_eq!(s.buckets.iter().sum::<u64>(), 6);
     }
 
@@ -610,24 +764,45 @@ mod tests {
 
     #[test]
     fn quantiles_from_buckets() {
-        let h = Histogram::default();
-        for v in [0u64, 1, 2, 3, 100, 1000, 5000] {
-            h.observe(v);
-        }
-        let snap = snapshot();
-        // Use a fresh named histogram to avoid cross-test registry noise.
         let q = histogram("test.quantile");
         for v in 1..=100u64 {
             q.observe(v);
         }
-        drop(snap);
         let hs = snapshot().histograms["test.quantile"].clone();
-        assert_eq!(hs.quantile(0.0), 1, "q0 lands in the first bucket");
+        assert_eq!(hs.quantile(0.0), 1, "q0 lands in the first unit bucket");
         assert_eq!(hs.quantile(1.0), 100, "q1 is clamped to max");
-        // p50 of 1..=100 is 50; bucket upper bound 63 is within 2x.
+        // p50 of 1..=100 is 50; the log-linear midpoint must be within
+        // 12.5 % (bucket [48, 55] → midpoint 51).
         let p50 = hs.quantile(0.5);
-        assert!((50..=63).contains(&p50), "p50 ~ 50..63, got {p50}");
+        assert!(
+            (p50 as f64 - 50.0).abs() / 50.0 <= 0.125,
+            "p50 ~ 50 ± 12.5%, got {p50}"
+        );
         assert_eq!(HistSnap::default().quantile(0.5), 0, "empty histogram");
+    }
+
+    #[test]
+    fn quantile_error_stays_under_15_percent() {
+        // The satellite target: a latency-shaped distribution near the old
+        // 128..256 ms dead zone must report p99 within 15 %.
+        let h = histogram("test.quantile.p99");
+        for i in 0..1000u64 {
+            // ~99 % of mass at ~3 ms, the tail spread 150..172 ms, with the
+            // rank-990 (p99) observation being the first tail value.
+            let v = if i < 989 {
+                3_000_000
+            } else {
+                150_000_000 + (i - 989) * 2_000_000
+            };
+            h.observe(v);
+        }
+        let hs = snapshot().histograms["test.quantile.p99"].clone();
+        let p99 = hs.quantile(0.99) as f64;
+        let exact = 150_000_000.0;
+        assert!(
+            (p99 - exact).abs() / exact < 0.15,
+            "p99 {p99} deviates >15% from {exact}"
+        );
     }
 
     #[test]
@@ -644,5 +819,31 @@ mod tests {
         );
         assert!(j.get("spans").is_some());
         assert!(j.get("histograms").is_some());
+        assert!(j.get("stacks").is_some());
+    }
+
+    #[test]
+    fn folded_rendering_subtracts_children() {
+        let mut snap = Snapshot::default();
+        let s = |count, total_ns| SpanSnap {
+            count,
+            total_ns,
+            max_ns: total_ns,
+        };
+        snap.stacks.insert("root".to_string(), s(1, 10_000_000));
+        snap.stacks.insert("root;a".to_string(), s(2, 6_000_000));
+        snap.stacks.insert("root;a;b".to_string(), s(2, 1_000_000));
+        snap.stacks.insert("root;c".to_string(), s(1, 3_000_000));
+        let folded = snap.render_folded();
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "root 1000",     // 10ms − (6ms + 3ms) = 1ms self
+                "root;a 5000",   // 6ms − 1ms = 5ms self
+                "root;a;b 1000", // leaf: all self
+                "root;c 3000",
+            ]
+        );
     }
 }

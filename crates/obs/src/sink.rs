@@ -11,7 +11,7 @@
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, Once, OnceLock};
 
 use crate::json::write_escaped;
 use crate::span::epoch_micros;
@@ -110,6 +110,37 @@ pub fn log(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
     }
 }
 
+/// Installs the crash-safety flushes exactly once: a panic hook (wrapping
+/// whatever hook is already installed — including sim's scoped hook, in
+/// either install order) and a libc `atexit` handler, both of which call
+/// [`sync_jsonl`] so buffered telemetry from a crashing or exiting process
+/// reaches disk. Installed lazily by [`set_jsonl_file`] — processes that
+/// never open a sink never touch the panic hook.
+fn install_crash_flush() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            prev(info);
+            sync_jsonl();
+        }));
+        #[cfg(unix)]
+        {
+            extern "C" {
+                fn atexit(f: extern "C" fn()) -> i32;
+            }
+            extern "C" fn flush_at_exit() {
+                sync_jsonl();
+            }
+            // std already links libc; registration failure only loses the
+            // exit flush, which the panic hook and explicit flushes cover.
+            unsafe {
+                atexit(flush_at_exit);
+            }
+        }
+    });
+}
+
 /// Opens (truncating) `path` as the JSON-lines sink and writes a meta line.
 ///
 /// # Errors
@@ -121,6 +152,7 @@ pub fn set_jsonl_file(path: &str) -> std::io::Result<()> {
     *guard = Some(BufWriter::new(file));
     JSONL_ON.store(true, Ordering::Release);
     drop(guard);
+    install_crash_flush();
     let mut line = String::from(
         "{\"type\":\"meta\",\"producer\":\"sherlock-obs\",\"version\":1,\"epoch_us\":",
     );
@@ -160,9 +192,22 @@ pub fn flush_jsonl() {
     line.push_str(&snap.to_json().render());
     line.push('}');
     jsonl_line(&line);
-    let mut guard = jsonl_file().lock().expect("jsonl sink poisoned");
-    if let Some(w) = guard.as_mut() {
-        let _ = w.flush();
+    sync_jsonl();
+}
+
+/// Flushes the JSON-lines sink's buffer to disk without writing a metrics
+/// record. Safe to call from a panic hook or `atexit` handler: it takes the
+/// sink lock non-blockingly and gives up rather than deadlock if the
+/// panicking thread already holds it (a poisoned or held lock loses at most
+/// the final buffered lines).
+pub fn sync_jsonl() {
+    if !jsonl_enabled() {
+        return;
+    }
+    if let Ok(mut guard) = jsonl_file().try_lock() {
+        if let Some(w) = guard.as_mut() {
+            let _ = w.flush();
+        }
     }
 }
 

@@ -1,19 +1,26 @@
 //! RAII nested spans with wall-clock timing.
 //!
 //! [`span`] returns a guard; dropping it records the elapsed wall time into
-//! the span's process-wide aggregate ([`crate::Snapshot::spans`]) and, when a
-//! JSONL sink is installed, emits one `{"type":"span", ...}` line. Nesting is
-//! tracked per thread: each guard knows its depth, so a trace consumer can
-//! reconstruct the tree from `(thread, depth, start_us, dur_us)`.
+//! the span's process-wide aggregate ([`crate::Snapshot::spans`]) **and**
+//! into the per-stack-path aggregate ([`crate::Snapshot::stacks`], keyed by
+//! the `;`-joined ancestry, e.g. `serve.request;phase.solve;lp.simplex`) —
+//! the collapsed-stack data behind [`crate::Snapshot::render_folded`]. When
+//! a JSONL sink is installed, dropping also emits one
+//! `{"type":"span", ...}` line carrying the thread, depth, timing, and the
+//! active [`crate::TraceCtx`] fields (`trace_id`/`session`/`seq`), so a
+//! consumer can reconstruct the span tree of one request from
+//! `(trace_id, thread, depth, start_us, dur_us)`.
 
-use std::cell::Cell;
+use std::cell::RefCell;
 use std::time::Instant;
 
-use crate::metrics::{span_stat, SpanStat};
+use crate::metrics::{span_stat, stack_record, SpanStat};
 use crate::sink;
+use crate::trace_ctx::current_trace;
 
 thread_local! {
-    static DEPTH: Cell<usize> = const { Cell::new(0) };
+    /// Names of the spans currently open on this thread, outermost first.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Microseconds since the process's telemetry epoch (first use).
@@ -40,10 +47,10 @@ pub struct SpanGuard {
 /// } // recorded here
 /// ```
 pub fn span(name: &'static str) -> SpanGuard {
-    let depth = DEPTH.with(|d| {
-        let v = d.get();
-        d.set(v + 1);
-        v
+    let depth = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.push(name);
+        s.len() - 1
     });
     SpanGuard {
         name,
@@ -59,15 +66,27 @@ impl SpanGuard {
     pub fn name(&self) -> &'static str {
         self.name
     }
+
+    /// Nesting depth at open time (0 = root).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         let ns = self.start.elapsed().as_nanos() as u64;
         self.stat.record(ns);
+        // The `;`-joined ancestry including this span, for the folded view.
+        let path = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let path = s.join(";");
+            s.pop();
+            path
+        });
+        stack_record(path, ns);
         if sink::jsonl_enabled() {
-            let mut line = String::with_capacity(128);
+            let mut line = String::with_capacity(160);
             line.push_str("{\"type\":\"span\",\"name\":");
             crate::json::write_escaped(&mut line, self.name);
             line.push_str(",\"thread\":");
@@ -76,11 +95,15 @@ impl Drop for SpanGuard {
             use std::fmt::Write;
             let _ = write!(
                 line,
-                ",\"depth\":{},\"start_us\":{},\"dur_us\":{}}}",
+                ",\"depth\":{},\"start_us\":{},\"dur_us\":{}",
                 self.depth,
                 self.start_us,
                 ns / 1_000,
             );
+            if let Some(ctx) = current_trace() {
+                ctx.write_fields(&mut line);
+            }
+            line.push('}');
             sink::jsonl_line(&line);
         }
     }
@@ -128,6 +151,30 @@ mod tests {
         }
         let d = span("test.depth.d");
         assert_eq!(d.depth, 0);
+    }
+
+    #[test]
+    fn stacks_aggregate_by_path() {
+        let before = snapshot();
+        {
+            let _a = span("test.stack.root");
+            {
+                let _b = span("test.stack.leaf");
+            }
+            {
+                let _b = span("test.stack.leaf");
+            }
+        }
+        let d = snapshot().delta(&before);
+        let root = d.stacks.get("test.stack.root").copied().unwrap();
+        let leaf = d
+            .stacks
+            .get("test.stack.root;test.stack.leaf")
+            .copied()
+            .unwrap();
+        assert_eq!(root.count, 1);
+        assert_eq!(leaf.count, 2);
+        assert!(root.total_ns >= leaf.total_ns);
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Request-scoped trace context and structured flight-recorder events.
+//!
+//! A [`TraceCtx`] names one causal unit of work — a serve request, a CLI
+//! invocation, a bench iteration: a process-unique `trace_id` plus the
+//! session key and per-connection sequence number when there is one. The
+//! context is carried in a thread-local and installed with RAII scopes
+//! ([`trace_scope`]), so it survives hops across worker threads as long as
+//! each hop re-enters the scope: the serve reader mints the id at
+//! connection accept, stamps it on every admitted job, and the worker that
+//! picks the job up re-enters the scope before touching the session.
+//!
+//! While a scope is active, every JSONL span line and every [`event`]
+//! record carries `trace_id` (+ `session`/`seq` when set), which is what
+//! lets a consumer reconstruct one request end-to-end across the admission
+//! queue, per-session mailboxes, and worker pool — the spans form a tree
+//! (via `thread`/`depth`/`start_us`) and the tree is keyed by `trace_id`.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::{write_escaped, Json};
+use crate::sink;
+use crate::span::epoch_micros;
+
+/// The causal identity of one unit of work.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceCtx {
+    /// Process-unique trace id (see [`mint_trace_id`]); 0 means "unset".
+    pub trace_id: u64,
+    /// Session key the work targets, when there is one.
+    pub session: Option<String>,
+    /// Request sequence number within the trace (per-connection order).
+    pub seq: Option<u64>,
+}
+
+impl TraceCtx {
+    /// A freshly minted root context with no session/seq.
+    pub fn mint() -> TraceCtx {
+        TraceCtx {
+            trace_id: mint_trace_id(),
+            session: None,
+            seq: None,
+        }
+    }
+
+    /// This context with the session key set.
+    #[must_use]
+    pub fn with_session(mut self, session: impl Into<String>) -> TraceCtx {
+        self.session = Some(session.into());
+        self
+    }
+
+    /// This context with the sequence number set.
+    #[must_use]
+    pub fn with_seq(mut self, seq: u64) -> TraceCtx {
+        self.seq = Some(seq);
+        self
+    }
+
+    /// Appends `,"trace_id":N[,"session":S][,"seq":N]` to a JSONL line
+    /// under construction.
+    pub(crate) fn write_fields(&self, line: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(line, ",\"trace_id\":{}", self.trace_id);
+        if let Some(s) = &self.session {
+            line.push_str(",\"session\":");
+            write_escaped(line, s);
+        }
+        if let Some(seq) = self.seq {
+            let _ = write!(line, ",\"seq\":{seq}");
+        }
+    }
+}
+
+/// Mints a process-unique trace id (monotone from 1; never 0).
+pub fn mint_trace_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<TraceCtx>> = const { RefCell::new(None) };
+}
+
+/// The trace context active on this thread, if any.
+pub fn current_trace() -> Option<TraceCtx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Live guard for one installed context; see [`trace_scope`].
+pub struct TraceScope {
+    previous: Option<TraceCtx>,
+}
+
+/// Installs `ctx` as this thread's trace context until the returned guard
+/// drops (the previous context, if any, is restored — scopes nest).
+pub fn trace_scope(ctx: TraceCtx) -> TraceScope {
+    let previous = CURRENT.with(|c| c.borrow_mut().replace(ctx));
+    TraceScope { previous }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        let prev = self.previous.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// Emits one structured flight-recorder record to the JSONL sink:
+/// `{"type":"event","name":...,"t_us":...,"thread":...,<trace ctx>,<fields>}`.
+///
+/// No-op (one atomic load) when the sink is disabled, so callers on warm
+/// paths may build `fields` lazily behind [`crate::jsonl_enabled`] but need
+/// not for per-solve/per-request cadence.
+pub fn event(name: &str, fields: &[(&str, Json)]) {
+    if !sink::jsonl_enabled() {
+        return;
+    }
+    let mut line = String::with_capacity(128);
+    line.push_str("{\"type\":\"event\",\"name\":");
+    write_escaped(&mut line, name);
+    use std::fmt::Write;
+    let _ = write!(line, ",\"t_us\":{}", epoch_micros());
+    line.push_str(",\"thread\":");
+    let t = std::thread::current();
+    write_escaped(&mut line, t.name().unwrap_or("?"));
+    if let Some(ctx) = current_trace() {
+        ctx.write_fields(&mut line);
+    }
+    for (k, v) in fields {
+        line.push(',');
+        write_escaped(&mut line, k);
+        line.push(':');
+        line.push_str(&v.render());
+    }
+    line.push('}');
+    sink::jsonl_line(&line);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minted_ids_are_unique_and_nonzero() {
+        let a = mint_trace_id();
+        let b = mint_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        assert_eq!(current_trace(), None);
+        let outer = TraceCtx::mint().with_session("s1");
+        {
+            let _a = trace_scope(outer.clone());
+            assert_eq!(current_trace(), Some(outer.clone()));
+            {
+                let inner = TraceCtx::mint().with_seq(4);
+                let _b = trace_scope(inner.clone());
+                assert_eq!(current_trace(), Some(inner));
+            }
+            assert_eq!(current_trace(), Some(outer.clone()));
+        }
+        assert_eq!(current_trace(), None);
+    }
+
+    #[test]
+    fn ctx_fields_render_as_json_suffix() {
+        let ctx = TraceCtx {
+            trace_id: 7,
+            session: Some("a\"b".to_string()),
+            seq: Some(2),
+        };
+        let mut line = String::from("{\"x\":1");
+        ctx.write_fields(&mut line);
+        line.push('}');
+        let doc = Json::parse(&line).expect("valid json");
+        assert_eq!(doc.get("trace_id").unwrap().as_u64(), Some(7));
+        assert_eq!(doc.get("session").unwrap().as_str(), Some("a\"b"));
+        assert_eq!(doc.get("seq").unwrap().as_u64(), Some(2));
+    }
+}

@@ -170,6 +170,16 @@ impl Client {
         self.call("stats", crate::protocol::DEFAULT_SESSION, vec![])
     }
 
+    /// Live `metrics` snapshot: global + per-session counters, histogram
+    /// quantiles, worker-pool queue depths.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn metrics(&mut self) -> io::Result<ParsedResponse> {
+        self.call("metrics", crate::protocol::DEFAULT_SESSION, vec![])
+    }
+
     /// Requests graceful drain.
     ///
     /// # Errors

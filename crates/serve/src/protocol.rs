@@ -13,9 +13,10 @@
 //! * `id` — echoed verbatim in the response (any JSON value; `null` when
 //!   omitted). Clients use it to correlate.
 //! * `type` — one of `absorb_trace`, `solve`, `race_check`, `stats`,
-//!   `ping`, `shutdown`.
+//!   `metrics`, `ping`, `shutdown`.
 //! * `session` — the session-store key (accumulated observations live per
-//!   key); defaults to `"default"`. Ignored by `stats`/`shutdown`.
+//!   key); defaults to `"default"`. Ignored by
+//!   `stats`/`metrics`/`shutdown`.
 //! * `deadline_ms` — optional queueing deadline: if the request waits
 //!   longer than this before a worker picks it up, it fails with
 //!   `"deadline exceeded"` instead of running.
@@ -51,6 +52,9 @@ pub enum RequestBody {
     },
     /// Server-wide statistics.
     Stats,
+    /// Live introspection: a full metric snapshot (global + per-session
+    /// counters, histogram quantiles, worker-pool queue depths).
+    Metrics,
     /// Liveness check; `delay_ms` occupies a worker for that long (load
     /// tests use it to saturate the pool deterministically).
     Ping {
@@ -69,6 +73,7 @@ impl RequestBody {
             RequestBody::Solve => "solve",
             RequestBody::RaceCheck { .. } => "race_check",
             RequestBody::Stats => "stats",
+            RequestBody::Metrics => "metrics",
             RequestBody::Ping { .. } => "ping",
             RequestBody::Shutdown => "shutdown",
         }
@@ -137,6 +142,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             },
         },
         "stats" => RequestBody::Stats,
+        "metrics" => RequestBody::Metrics,
         "ping" => RequestBody::Ping {
             delay_ms: match doc.get("delay_ms") {
                 None => 0,

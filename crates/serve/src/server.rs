@@ -139,6 +139,10 @@ struct Job {
     seq: u64,
     request: Request,
     enqueued: Instant,
+    /// Trace context minted by the reader (connection trace id + session +
+    /// seq); the worker re-enters it so the request's spans and events
+    /// reconstruct into one causal tree across the thread hop.
+    ctx: obs::TraceCtx,
 }
 
 /// Per-connection state: the write half plus the response-reordering
@@ -242,6 +246,15 @@ impl TokenQueue {
     }
 }
 
+/// Lifetime request tallies for one session key (kept even if the session
+/// itself is later evicted from the store).
+#[derive(Clone, Copy, Debug, Default)]
+struct SessStats {
+    requests: u64,
+    errors: u64,
+    total_ns: u64,
+}
+
 struct Shared {
     cfg: ServeConfig,
     store: SessionStore,
@@ -251,6 +264,10 @@ struct Shared {
     pending: AtomicUsize,
     draining: AtomicBool,
     start: Instant,
+    /// Resolved worker-pool size (set once by [`Server::serve`]).
+    workers: AtomicUsize,
+    /// Per-session request tallies for the `metrics` verb.
+    session_stats: Mutex<BTreeMap<String, SessStats>>,
     // Lifetime tallies for the summary.
     connections: AtomicU64,
     requests: AtomicU64,
@@ -302,6 +319,8 @@ impl Server {
                 pending: AtomicUsize::new(0),
                 draining: AtomicBool::new(false),
                 start: Instant::now(),
+                workers: AtomicUsize::new(0),
+                session_stats: Mutex::new(BTreeMap::new()),
                 connections: AtomicU64::new(0),
                 requests: AtomicU64::new(0),
                 responses: AtomicU64::new(0),
@@ -341,6 +360,7 @@ impl Server {
             shared.cfg.workers
         }
         .max(1);
+        shared.workers.store(workers, Ordering::Relaxed);
 
         let mut worker_handles = Vec::with_capacity(workers);
         for w in 0..workers {
@@ -472,9 +492,14 @@ fn mailbox(shared: &Shared, key: &str) -> Arc<Mailbox> {
     Arc::clone(map.entry(key.to_string()).or_default())
 }
 
-/// Reader half of one connection: parse lines, answer `stats`/`shutdown`
-/// inline, admit everything else into the target session's mailbox.
+/// Reader half of one connection: parse lines, answer
+/// `stats`/`metrics`/`shutdown` inline, admit everything else into the
+/// target session's mailbox.
 fn reader_loop(shared: &Shared, conn: &Arc<Conn>, stream: TcpStream) {
+    // One trace id per connection: every request on the connection shares
+    // it and is distinguished by `seq`, so a pipelined client burst
+    // reconstructs as one trace of ordered requests.
+    let trace_id = obs::mint_trace_id();
     let mut reader = BufReader::new(stream);
     let mut seq = 0u64;
     let mut line = String::new();
@@ -510,9 +535,17 @@ fn reader_loop(shared: &Shared, conn: &Arc<Conn>, stream: TcpStream) {
         };
         obs::counter!("serve.requests").incr();
 
+        let ctx = obs::TraceCtx {
+            trace_id,
+            session: Some(request.session.clone()),
+            seq: Some(this_seq),
+        };
         match &request.body {
             RequestBody::Stats => {
                 conn.send(this_seq, stats_response(shared, &request.id), shared);
+            }
+            RequestBody::Metrics => {
+                conn.send(this_seq, metrics_response(shared, &request.id), shared);
             }
             RequestBody::Shutdown => {
                 conn.send(
@@ -523,14 +556,25 @@ fn reader_loop(shared: &Shared, conn: &Arc<Conn>, stream: TcpStream) {
                 obs::counter!("serve.shutdowns").incr();
                 shared.draining.store(true, Ordering::SeqCst);
             }
-            _ => enqueue(shared, conn, this_seq, request),
+            _ => {
+                if obs::jsonl_enabled() {
+                    // Causality marker on the reader thread: ties the
+                    // admission to the worker-side spans sharing this ctx.
+                    let _scope = obs::trace_scope(ctx.clone());
+                    obs::event(
+                        "serve.enqueue",
+                        &[("request", Json::from(request.body.type_name()))],
+                    );
+                }
+                enqueue(shared, conn, this_seq, request, ctx);
+            }
         }
     }
     conn.open.store(false, Ordering::Relaxed);
 }
 
 /// Admission control: bounded queue with explicit backpressure.
-fn enqueue(shared: &Shared, conn: &Arc<Conn>, seq: u64, request: Request) {
+fn enqueue(shared: &Shared, conn: &Arc<Conn>, seq: u64, request: Request, ctx: obs::TraceCtx) {
     // Count first, check flags second: the drain loop can then trust that
     // `pending == 0` after `draining` was set means no admitted job is
     // still on its way into a mailbox.
@@ -560,6 +604,7 @@ fn enqueue(shared: &Shared, conn: &Arc<Conn>, seq: u64, request: Request) {
             seq,
             request,
             enqueued: Instant::now(),
+            ctx,
         });
         if inner.1 {
             false
@@ -614,31 +659,51 @@ fn process_job(shared: &Shared, session: &mut Session, job: Job) {
         seq,
         request,
         enqueued,
+        ctx,
     } = job;
     let queued_for = enqueued.elapsed();
+    // Re-enter the trace context minted by the reader: every span and event
+    // below (session absorb, phase.solve, lp.simplex, ...) now carries this
+    // request's trace_id/session/seq.
+    let _scope = obs::trace_scope(ctx);
+    obs::histogram!("serve.queue_wait_ns")
+        .observe(u64::try_from(queued_for.as_nanos()).unwrap_or(u64::MAX));
 
-    let line = if request
+    let (line, ok) = if request
         .deadline_ms
         .is_some_and(|d| queued_for.as_millis() as u64 > d)
     {
         shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
         obs::counter!("serve.deadline_expired").incr();
-        error_response(&request.id, "deadline exceeded")
+        (error_response(&request.id, "deadline exceeded"), false)
     } else {
+        // The request's root span: depth 0 on this worker thread, so the
+        // nested session/solver spans hang off it in the reconstruction.
+        let _req = obs::span("serve.request");
         let typ = request.body.type_name();
         let outcome = catch_unwind(AssertUnwindSafe(|| handle(session, &request)));
         match outcome {
-            Ok(Ok(fields)) => ok_response(&request.id, typ, fields),
-            Ok(Err(msg)) => error_response(&request.id, &msg),
+            Ok(Ok(fields)) => (ok_response(&request.id, typ, fields), true),
+            Ok(Err(msg)) => (error_response(&request.id, &msg), false),
             Err(_) => {
                 obs::counter!("serve.handler_panics").incr();
-                error_response(&request.id, "internal error")
+                (error_response(&request.id, "internal error"), false)
             }
         }
     };
 
     let total_ns = u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
     obs::histogram!("serve.request_ns").observe(total_ns);
+    {
+        let mut stats = shared
+            .session_stats
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let s = stats.entry(request.session.clone()).or_default();
+        s.requests += 1;
+        s.errors += u64::from(!ok);
+        s.total_ns = s.total_ns.saturating_add(total_ns);
+    }
     conn.send(seq, line, shared);
     shared.pending.fetch_sub(1, Ordering::SeqCst);
 }
@@ -743,7 +808,9 @@ fn handle(session: &mut Session, request: &Request) -> Result<Vec<(String, Json)
             Ok(vec![])
         }
         // Handled inline by the reader.
-        RequestBody::Stats | RequestBody::Shutdown => unreachable!("inline request in worker"),
+        RequestBody::Stats | RequestBody::Metrics | RequestBody::Shutdown => {
+            unreachable!("inline request in worker")
+        }
     }
 }
 
@@ -795,6 +862,112 @@ fn stats_response(shared: &Shared, id: &Json) -> String {
                 ]),
             ),
             ("counters".to_string(), Json::Obj(counters)),
+        ],
+    )
+}
+
+/// Builds the `metrics` response: the full live metric registry (every
+/// counter, span aggregate, and histogram quantile summary — including the
+/// solver flight-recorder series `lp.pivots` / `session.solve_memo.*`),
+/// plus worker-pool state (queue depths per mailbox, pending, busy
+/// rejections) and per-session request tallies. Handled inline by the
+/// reader so it stays live under a saturated worker pool.
+fn metrics_response(shared: &Shared, id: &Json) -> String {
+    let snap = obs::snapshot();
+    let counters: Json = snap
+        .counters
+        .iter()
+        .map(|(k, &v)| (k.clone(), Json::from(v)))
+        .collect();
+    let spans: Json = snap
+        .spans
+        .iter()
+        .map(|(k, s)| {
+            let obj: Json = vec![
+                ("count", Json::from(s.count)),
+                ("total_ns", Json::from(s.total_ns)),
+                ("max_ns", Json::from(s.max_ns)),
+            ]
+            .into_iter()
+            .collect();
+            (k.clone(), obj)
+        })
+        .collect();
+    let histograms: Json = snap
+        .histograms
+        .iter()
+        .map(|(k, h)| (k.clone(), h.summary_json()))
+        .collect();
+    let queue_depths: Json = {
+        let map = shared
+            .mailboxes
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        map.iter()
+            .map(|(k, mb)| {
+                let depth = mb
+                    .inner
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .0
+                    .len();
+                (k.clone(), Json::from(depth as u64))
+            })
+            .collect::<std::collections::BTreeMap<_, _>>()
+            .into_iter()
+            .collect()
+    };
+    let per_session: Json = {
+        let stats = shared
+            .session_stats
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        stats
+            .iter()
+            .map(|(k, s)| {
+                let obj: Json = vec![
+                    ("requests", Json::from(s.requests)),
+                    ("errors", Json::from(s.errors)),
+                    ("total_ns", Json::from(s.total_ns)),
+                ]
+                .into_iter()
+                .collect();
+                (k.clone(), obj)
+            })
+            .collect()
+    };
+    let uptime_ms = u64::try_from(shared.start.elapsed().as_millis()).unwrap_or(u64::MAX);
+    ok_response(
+        id,
+        "metrics",
+        vec![
+            ("uptime_ms".to_string(), Json::from(uptime_ms)),
+            (
+                "workers".to_string(),
+                Json::from(shared.workers.load(Ordering::Relaxed) as u64),
+            ),
+            (
+                "pending".to_string(),
+                Json::from(shared.pending.load(Ordering::SeqCst) as u64),
+            ),
+            (
+                "queue_capacity".to_string(),
+                Json::from(shared.cfg.queue_capacity),
+            ),
+            (
+                "busy_rejections".to_string(),
+                Json::from(shared.busy_rejections.load(Ordering::Relaxed)),
+            ),
+            ("sessions".to_string(), Json::from(shared.store.len())),
+            (
+                "evictions".to_string(),
+                Json::from(shared.store.evictions()),
+            ),
+            ("queue_depths".to_string(), queue_depths),
+            ("per_session".to_string(), per_session),
+            ("counters".to_string(), counters),
+            ("spans".to_string(), spans),
+            ("histograms".to_string(), histograms),
         ],
     )
 }

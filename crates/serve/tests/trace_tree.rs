@@ -1,0 +1,158 @@
+//! The tentpole acceptance test: a serve request traced over TCP must
+//! reconstruct into **one** connected span tree keyed by a single
+//! `trace_id`.
+//!
+//! This lives in its own integration-test binary because the JSONL sink is
+//! process-global: installing it here must not race with other tests'
+//! telemetry expectations.
+
+mod common;
+
+use std::collections::BTreeSet;
+
+use sherlock_obs::json::Json;
+use sherlock_serve::{spawn, Client, ServeConfig};
+
+/// One span/event record pulled back out of the JSONL file.
+#[derive(Debug)]
+struct Record {
+    typ: String,
+    name: String,
+    thread: String,
+    depth: Option<u64>,
+    start_us: Option<u64>,
+    dur_us: Option<u64>,
+    trace_id: Option<u64>,
+    session: Option<String>,
+    seq: Option<u64>,
+}
+
+fn parse_records(path: &std::path::Path) -> Vec<Record> {
+    let text = std::fs::read_to_string(path).expect("read jsonl");
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            let d = Json::parse(l).unwrap_or_else(|e| panic!("invalid JSONL line {l:?}: {e}"));
+            let s = |k: &str| d.get(k).and_then(Json::as_str).map(str::to_string);
+            let n = |k: &str| d.get(k).and_then(Json::as_u64);
+            Record {
+                typ: s("type").unwrap_or_default(),
+                name: s("name").unwrap_or_default(),
+                thread: s("thread").unwrap_or_default(),
+                depth: n("depth"),
+                start_us: n("start_us"),
+                dur_us: n("dur_us"),
+                trace_id: n("trace_id"),
+                session: s("session"),
+                seq: n("seq"),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn traced_request_reconstructs_one_span_tree() {
+    let dir = std::env::temp_dir().join(format!("sherlock-trace-tree-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let jsonl = dir.join("trace.jsonl");
+    sherlock_obs::set_jsonl_file(jsonl.to_str().expect("utf8 path")).expect("install sink");
+
+    let server = spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("spawn server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let session = "tree-test";
+    for t in common::app_traces("App-1", 2) {
+        let r = client.absorb_trace(session, &t).expect("absorb");
+        assert!(r.ok, "absorb failed: {:?}", r.error);
+    }
+    let r = client.call("solve", session, vec![]).expect("solve");
+    assert!(r.ok, "solve failed: {:?}", r.error);
+
+    server.shutdown();
+    let _ = server.join();
+    sherlock_obs::flush_jsonl();
+
+    let records = parse_records(&jsonl);
+    let ours: Vec<&Record> = records
+        .iter()
+        .filter(|r| r.session.as_deref() == Some(session))
+        .collect();
+    assert!(
+        !ours.is_empty(),
+        "no traced records for session {session:?}"
+    );
+
+    // One connection → one trace id across every span and event.
+    let ids: BTreeSet<u64> = ours.iter().filter_map(|r| r.trace_id).collect();
+    assert_eq!(ids.len(), 1, "expected one trace_id, got {ids:?}");
+
+    // Requests are distinguished by seq; the two absorbs and the solve each
+    // contribute records.
+    let seqs: BTreeSet<u64> = ours.iter().filter_map(|r| r.seq).collect();
+    assert_eq!(seqs, BTreeSet::from([0, 1, 2]), "one seq per request");
+
+    for &seq in &seqs {
+        let in_req: Vec<&&Record> = ours
+            .iter()
+            .filter(|r| r.seq == Some(seq) && r.typ == "span")
+            .collect();
+        // Exactly one root: the worker's serve.request span at depth 0.
+        let roots: Vec<&&&Record> = in_req.iter().filter(|r| r.depth == Some(0)).collect();
+        assert_eq!(
+            roots.len(),
+            1,
+            "seq {seq}: exactly one depth-0 span, got {roots:?}"
+        );
+        let root = roots[0];
+        assert_eq!(root.name, "serve.request");
+        let root_start = root.start_us.expect("root start");
+        let root_end = root_start + root.dur_us.expect("root dur");
+
+        // Every other span of this request nests inside the root: same
+        // worker thread, positive depth, and timing within the root's
+        // interval — i.e. the records connect into one tree.
+        for r in &in_req {
+            if r.depth == Some(0) {
+                continue;
+            }
+            assert_eq!(
+                r.thread, root.thread,
+                "span {:?} crossed threads within one request",
+                r.name
+            );
+            assert!(r.depth.expect("depth") > 0);
+            let start = r.start_us.expect("start");
+            let end = start + r.dur_us.expect("dur");
+            assert!(
+                start >= root_start && end <= root_end + 1,
+                "span {:?} [{start}, {end}] outside root [{root_start}, {root_end}]",
+                r.name
+            );
+        }
+
+        // The reader thread's admission event carries the same identity,
+        // linking the cross-thread hop into the tree.
+        let enqueue = ours
+            .iter()
+            .find(|r| r.typ == "event" && r.name == "serve.enqueue" && r.seq == Some(seq));
+        let e = enqueue.unwrap_or_else(|| panic!("seq {seq}: no serve.enqueue event"));
+        assert_eq!(e.trace_id, root.trace_id);
+        assert_ne!(e.thread, root.thread, "enqueue happens on the reader");
+    }
+
+    // The solve request produced solver flight-recorder events inside the
+    // same trace (lp.solve from the simplex, session.solve from the memo
+    // layer).
+    assert!(
+        ours.iter()
+            .any(|r| r.typ == "event" && r.name == "session.solve"),
+        "no session.solve flight event in the trace"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
