@@ -217,6 +217,39 @@ mod tests {
     }
 
     #[test]
+    fn matches_requires_both_role_and_membership() {
+        let g = SyncGroup::new("exit", Role::Release, lib_site("M", "Exit"));
+        let exit_begin = OpRef::lib_begin("M", "Exit").intern();
+        let enter_begin = OpRef::lib_begin("M", "Enter").intern();
+        assert!(g.matches(exit_begin, Role::Release));
+        // Same op in the opposite role is NOT this synchronization: a
+        // release site misread as an acquire is a misclassification.
+        assert!(!g.matches(exit_begin, Role::Acquire));
+        // Right role, op outside the group.
+        assert!(!g.matches(enter_begin, Role::Release));
+    }
+
+    #[test]
+    fn lib_site_group_accepts_either_window_boundary() {
+        // Window boundaries fall on either event of a call site: inference
+        // may surface Exit-Begin or Exit-End for the same release (see the
+        // SyncGroup doc comment). Both must count as the one synchronization.
+        let g = SyncGroup::new("monitor release", Role::Release, lib_site("M", "Exit"));
+        assert!(g.matches(OpRef::lib_begin("M", "Exit").intern(), Role::Release));
+        assert!(g.matches(OpRef::lib_end("M", "Exit").intern(), Role::Release));
+    }
+
+    #[test]
+    fn end_only_group_rejects_the_begin_event() {
+        // A group listing only the End event (e.g. a factory completing)
+        // must not credit the Begin: before the method body ran, nothing
+        // has been released yet.
+        let g = SyncGroup::new("factory done", Role::Release, app_end("F", "Make"));
+        assert!(g.matches(OpRef::app_end("F", "Make").intern(), Role::Release));
+        assert!(!g.matches(OpRef::app_begin("F", "Make").intern(), Role::Release));
+    }
+
+    #[test]
     fn true_race_lookup_strips_object() {
         let mut t = GroundTruth::default();
         t.race_locations.insert("GT::counter".to_string());

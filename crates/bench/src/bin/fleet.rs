@@ -1,0 +1,51 @@
+//! Full-sweep fleet benchmark: generate a 200-app deterministic fleet from
+//! the idiom grammar, run 2-round inference over every app, and report
+//! per-idiom precision/recall plus Table-2-style verdict counts. Writes
+//! `results/BENCH_fleet.json` (scores + telemetry) and prints the per-idiom
+//! table.
+
+use std::time::Instant;
+
+use sherlock_fleet::{generate_fleet, score_fleet, GrammarConfig};
+use sherlock_obs::json::Json;
+
+const APPS: usize = 200;
+const ROUNDS: usize = 2;
+const BASE_SEED: u64 = 0xf1ee7;
+
+fn main() {
+    sherlock_sim::install_sim_panic_hook();
+    sherlock_obs::init_from_env();
+
+    println!("Fleet benchmark ({APPS} generated apps, {ROUNDS} rounds each)\n");
+    let base = sherlock_obs::snapshot();
+    let wall_start = Instant::now();
+    let apps = generate_fleet(&GrammarConfig::default(), APPS, BASE_SEED);
+    let score = score_fleet(&apps, ROUNDS).expect("fleet solves");
+    let wall_ns = wall_start.elapsed().as_nanos() as u64;
+    let delta = sherlock_obs::snapshot().delta(&base);
+
+    print!("{}", score.render());
+
+    let doc = Json::Obj(vec![
+        ("benchmark".to_string(), Json::from("fleet")),
+        ("apps".to_string(), Json::from(APPS)),
+        ("rounds".to_string(), Json::from(ROUNDS)),
+        ("base_seed".to_string(), Json::from(BASE_SEED)),
+        ("wall_ns".to_string(), Json::from(wall_ns)),
+        ("scores".to_string(), score.to_json()),
+        ("telemetry".to_string(), delta.to_json()),
+    ]);
+    let path = sherlock_bench::results_path("BENCH_fleet.json");
+    std::fs::write(&path, doc.render_pretty()).expect("write BENCH_fleet.json");
+
+    let count = |name: &str| delta.counters.get(name).copied().unwrap_or(0);
+    println!(
+        "\ntotal {:.1} ms wall; {} windows extracted, {} simplex pivots across {} solves",
+        wall_ns as f64 / 1e6,
+        count("windows.extracted"),
+        count("simplex.pivots"),
+        count("simplex.solves"),
+    );
+    println!("wrote {}", path.display());
+}

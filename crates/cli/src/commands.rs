@@ -6,6 +6,7 @@ use std::path::Path;
 
 use sherlock_apps::{all_apps, app_by_id, App};
 use sherlock_core::{Session, SherLock, SherLockConfig};
+use sherlock_fleet::{generate_fleet, score_fleet, GrammarConfig};
 use sherlock_obs::json::Json;
 use sherlock_racer::{detect, differential, first_race, SyncSpec};
 use sherlock_sim::{ExploreConfig, Explorer, SimConfig, StrategyKind};
@@ -568,5 +569,35 @@ pub fn races(positional: &[String], flags: &Flags) -> Result<(), String> {
     }
     println!("{trues} true, {falses} false first reports");
     profiler.finish();
+    Ok(())
+}
+
+/// `sherlock fleet [--count N] [--seed N] [--rounds N] [--min-precision X]
+/// [--min-recall X] [--out scores.json]`
+pub fn fleet(flags: &Flags) -> Result<(), String> {
+    let count = flag_u64(flags, "count", 32)? as usize;
+    let base_seed = flag_u64(flags, "seed", 0xf1ee7)?;
+    let rounds = flag_u64(flags, "rounds", 2)? as usize;
+    let min_precision = flag_f64(flags, "min-precision", 0.95)?;
+    let min_recall = flag_f64(flags, "min-recall", 0.95)?;
+    let profiler = Profiler::new(flags);
+
+    let apps = generate_fleet(&GrammarConfig::default(), count, base_seed);
+    let score = score_fleet(&apps, rounds)?;
+    print!("{}", score.render());
+    if let Some(path) = flags.get("out") {
+        fs::write(path, score.to_json().render_pretty())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("fleet scores written to {path}");
+    }
+    profiler.finish();
+    if score.precision() < min_precision || score.recall() < min_recall {
+        return Err(format!(
+            "fleet gate failed: precision {:.3} (min {min_precision:.2}), \
+             recall {:.3} (min {min_recall:.2})",
+            score.precision(),
+            score.recall()
+        ));
+    }
     Ok(())
 }

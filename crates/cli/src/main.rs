@@ -8,6 +8,7 @@
 //! sherlock solve  <trace.json>...              # inference over saved traces
 //! sherlock races  <app> [--spec manual|inferred|none]
 //! sherlock explore <app> [--runs N] [--strategy random|pct|rr]   # schedule coverage
+//! sherlock fleet  [--count N] [--seed N] [--min-precision X]     # generated-app gate
 //! sherlock serve  [--addr HOST:PORT] [--workers N]   # long-lived inference daemon
 //! sherlock metrics [--addr HOST:PORT] [--watch]      # live daemon introspection
 //! ```
@@ -54,6 +55,7 @@ fn main() -> ExitCode {
         "solve" => commands::solve(&positional, &flags),
         "races" => commands::races(&positional, &flags),
         "explore" => commands::explore(&positional, &flags),
+        "fleet" => commands::fleet(&flags),
         "serve" => commands::serve(&flags),
         "metrics" => commands::metrics(&flags),
         "help" | "--help" | "-h" => {
@@ -131,6 +133,15 @@ USAGE:
 
   sherlock solve <trace.json>... [--lambda X] [--near-ms N]
       Run window extraction and the Solver over previously saved traces.
+
+  sherlock fleet [--count N] [--seed N] [--rounds N] [--min-precision X]
+                 [--min-recall X] [--out scores.json]
+      Generate a deterministic fleet of synchronization-idiom apps (32 by
+      default) with machine-derived ground truth, run the full pipeline
+      over each, and print per-idiom precision/recall plus Table-2-style
+      verdict counts. Exits nonzero when fleet precision or recall falls
+      below the gate thresholds (0.95 each by default). --out writes the
+      per-idiom and per-app scores as JSON.
 
   sherlock serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
                  [--max-sessions N] [--batch-max N] [--lambda X] [--near-ms N]

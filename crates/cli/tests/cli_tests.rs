@@ -204,3 +204,49 @@ fn lambda_flag_changes_inference() {
     let count = |s: &str| s.lines().filter(|l| l.starts_with("  ")).count();
     assert!(count(&strict) < count(&default), "{strict}\nvs\n{default}");
 }
+
+#[test]
+fn fleet_scores_and_writes_json() {
+    let path = format!("{}/fleet-scores.json", env!("CARGO_TARGET_TMPDIR"));
+    // Loose thresholds: this test checks plumbing, not inference quality
+    // (the committed gate lives in tests/fleet_gate.rs and CI).
+    let (ok, stdout, stderr) = sherlock(&[
+        "fleet",
+        "--count",
+        "2",
+        "--rounds",
+        "1",
+        "--min-precision",
+        "0.0",
+        "--min-recall",
+        "0.0",
+        "--out",
+        &path,
+    ]);
+    assert!(ok, "fleet failed: {stderr}");
+    assert!(
+        stdout.contains("fleet (2 apps)"),
+        "no summary row:\n{stdout}"
+    );
+    assert!(stdout.contains("idiom"), "no table header:\n{stdout}");
+    let json = std::fs::read_to_string(&path).expect("scores written");
+    assert!(json.contains("\"precision\""));
+    assert!(json.contains("\"per_idiom\""));
+    assert!(json.contains("\"per_app\""));
+}
+
+#[test]
+fn fleet_gate_failure_exits_nonzero() {
+    // An unattainable precision floor must fail the command.
+    let (ok, _, stderr) = sherlock(&[
+        "fleet",
+        "--count",
+        "2",
+        "--rounds",
+        "1",
+        "--min-precision",
+        "1.01",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("fleet gate failed"), "{stderr}");
+}

@@ -206,3 +206,23 @@ impl SherLock {
 pub fn infer(tests: &[TestCase], rounds: usize) -> Result<InferenceReport, LpError> {
     SherLock::new(SherLockConfig::default()).run_rounds(tests, rounds)
 }
+
+/// Convenience: a default-configured session whose simulator schedules
+/// derive from `base_seed` — the entry point for generated test cases
+/// (fleet apps), where each app pins its own seed so inference over it is
+/// reproducible independent of which other apps ran first.
+///
+/// # Errors
+///
+/// Propagates [`LpError`] from the Solver.
+pub fn infer_seeded(
+    tests: &[TestCase],
+    rounds: usize,
+    base_seed: u64,
+) -> Result<InferenceReport, LpError> {
+    let cfg = SherLockConfig {
+        base_seed,
+        ..SherLockConfig::default()
+    };
+    SherLock::new(cfg).run_rounds(tests, rounds)
+}

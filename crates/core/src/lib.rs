@@ -70,7 +70,7 @@ pub mod perturber;
 pub mod solver;
 
 pub use config::{Feedback, Hypotheses, SherLockConfig};
-pub use driver::{infer, SherLock};
+pub use driver::{infer, infer_seeded, SherLock};
 pub use observations::{Observations, WindowAgg, WindowKey};
 pub use report::{InferenceReport, InferredOp, Role};
 pub use session::{RoundStats, Session, DEFAULT_MEMO_CAPACITY};

@@ -1,0 +1,686 @@
+//! The app generator: draws a plan from the grammar, then materializes it
+//! into runnable [`TestCase`]s plus machine-derived ground truth.
+//!
+//! Ground truth falls out of construction: each builder *plants* specific
+//! synchronization operations, so it can enumerate exactly which trace-level
+//! operations legitimately evidence each happens-before edge (a
+//! [`SyncGroup`]) and which accesses race. Generation is a pure function of
+//! `(GrammarConfig, seed)` — builders consume randomness only through the
+//! plan, and test bodies construct all simulator state afresh per run, so
+//! the same plan yields byte-identical sources and traces everywhere.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use sherlock_apps::{
+    app_begin, app_end, field_read, field_write, lib_site, GroundTruth, SyncGroup,
+};
+use sherlock_core::{Role, TestCase};
+use sherlock_sim::api;
+use sherlock_sim::prims::{
+    ConcurrentMap, CountdownEvent, ImplicitMonitor, Monitor, Phaser, SimThread, StaticCtor, Task,
+    TracedVar,
+};
+use sherlock_sim::testutil::Gen;
+use sherlock_sim::SimConfig;
+use sherlock_trace::{OpId, OpRef, Time};
+
+use crate::grammar::{GrammarConfig, Idiom};
+
+const MONITOR: &str = "System.Threading.Monitor";
+const THREAD: &str = "System.Threading.Thread";
+const TASK: &str = "System.Threading.Tasks.Task";
+const DICTIONARY: &str = "System.Collections.Concurrent.ConcurrentDictionary";
+const COUNTDOWN: &str = "System.Threading.CountdownEvent";
+const PHASER: &str = "System.Threading.Phaser";
+const IMPLICIT: &str = "Expresso.ImplicitMonitor";
+
+/// One idiom instance inside an app's plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IdiomInstance {
+    /// Which pattern to plant.
+    pub idiom: Idiom,
+    /// Per-app instance number; part of the generated class names, so a
+    /// sub-plan (shrinking) keeps the surviving instances' identities.
+    pub index: usize,
+    /// Worker-thread count (builders clamp to each idiom's needs).
+    pub workers: u32,
+    /// Loop-iteration count (ditto).
+    pub iters: u32,
+}
+
+/// A drawn-but-not-yet-materialized app: the only randomness carrier.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AppPlan {
+    /// The seed the plan was drawn from; also pins the app's simulator and
+    /// solver seeds during scoring.
+    pub seed: u64,
+    /// The idiom instances to compose.
+    pub instances: Vec<IdiomInstance>,
+}
+
+/// A materialized app: runnable tests plus ground truth derived from
+/// construction.
+pub struct GeneratedApp {
+    /// Stable identifier, `fleet-<seed hex>`.
+    pub id: String,
+    /// The plan's seed.
+    pub seed: u64,
+    /// One test per idiom instance.
+    pub tests: Vec<TestCase>,
+    /// Machine-derived ground truth (sync groups, racy ops, annotations).
+    pub truth: GroundTruth,
+    /// The idiom that planted each `truth.sync_groups` entry (parallel).
+    pub group_idioms: Vec<Idiom>,
+    /// Class name → planting idiom, for attributing inferred ops.
+    pub class_idioms: BTreeMap<String, Idiom>,
+    /// The instances that were materialized.
+    pub instances: Vec<IdiomInstance>,
+    /// Deterministic pseudo-source listing (plan + planted groups), the
+    /// subject of the byte-identity determinism property.
+    pub source: String,
+}
+
+impl GeneratedApp {
+    /// The idiom a static operation belongs to, by its class name.
+    pub fn idiom_of(&self, op: OpId) -> Option<Idiom> {
+        self.class_idioms.get(op.resolve().class()).copied()
+    }
+
+    /// Runs every test once under seeds derived from `sim_seed` and folds
+    /// the traces' [stable hashes](sherlock_trace::Trace::stable_hash) into
+    /// one digest — the cross-process determinism witness.
+    pub fn trace_hash(&self, sim_seed: u64) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (i, t) in self.tests.iter().enumerate() {
+            let run = t.run(SimConfig::with_seed(sim_seed.wrapping_add(i as u64)));
+            h ^= run.trace.stable_hash();
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Draws an app's shape from the grammar. Pure in `(cfg, seed)`.
+pub fn plan(cfg: &GrammarConfig, seed: u64) -> AppPlan {
+    // Decouple the plan stream from simulator seeds (which also start at
+    // small integers) so fleet index i and sim seed i never correlate.
+    let mut g = Gen::new(seed ^ 0xf1ee_7000_0000_0001);
+    let n = g.usize_in(cfg.min_idioms, cfg.max_idioms + 1);
+    let total = cfg.total_weight();
+    let mut instances = Vec::with_capacity(n);
+    for index in 0..n {
+        let mut roll = g.u64_in(0, total);
+        let mut idiom = Idiom::MonitorLock;
+        for &(i, w) in &cfg.weights {
+            if roll < u64::from(w) {
+                idiom = i;
+                break;
+            }
+            roll -= u64::from(w);
+        }
+        instances.push(IdiomInstance {
+            idiom,
+            index,
+            workers: g.u64_in(2, u64::from(cfg.max_workers.max(2)) + 1) as u32,
+            iters: g.u64_in(2, u64::from(cfg.max_iters.max(2)) + 1) as u32,
+        });
+    }
+    AppPlan { seed, instances }
+}
+
+/// Materializes a plan. Pure in the plan: sub-plans (shrinking) and
+/// re-materializations yield identical apps.
+pub fn materialize(p: &AppPlan) -> GeneratedApp {
+    let tag = format!("Fleet{:016X}", p.seed);
+    let mut parts = Parts::default();
+    writeln!(parts.source, "app fleet-{:016x}", p.seed).unwrap();
+    for inst in &p.instances {
+        build(inst, &tag, &mut parts);
+    }
+    for (g, idiom) in parts.truth.sync_groups.iter().zip(&parts.group_idioms) {
+        let mut names: Vec<String> = g.ops.iter().map(|op| op.resolve().to_string()).collect();
+        names.sort();
+        writeln!(
+            parts.source,
+            "group [{idiom}] {} {}: {}",
+            g.role,
+            g.description,
+            names.join(" | ")
+        )
+        .unwrap();
+    }
+    GeneratedApp {
+        id: format!("fleet-{:016x}", p.seed),
+        seed: p.seed,
+        tests: parts.tests,
+        truth: parts.truth,
+        group_idioms: parts.group_idioms,
+        class_idioms: parts.class_idioms,
+        instances: p.instances.clone(),
+        source: parts.source,
+    }
+}
+
+/// Draws and materializes one app.
+pub fn generate(cfg: &GrammarConfig, seed: u64) -> GeneratedApp {
+    materialize(&plan(cfg, seed))
+}
+
+/// Generates `count` apps whose seeds derive from `base_seed` via one
+/// SplitMix64 stream — app `i` depends only on `(cfg, base_seed, i)`.
+pub fn generate_fleet(cfg: &GrammarConfig, count: usize, base_seed: u64) -> Vec<GeneratedApp> {
+    let mut g = Gen::new(base_seed);
+    (0..count).map(|_| generate(cfg, g.u64())).collect()
+}
+
+#[derive(Default)]
+struct Parts {
+    tests: Vec<TestCase>,
+    truth: GroundTruth,
+    group_idioms: Vec<Idiom>,
+    class_idioms: BTreeMap<String, Idiom>,
+    source: String,
+}
+
+impl Parts {
+    /// Registers a sync group, deduplicating exact (role, ops) repeats —
+    /// instances of the same idiom share their library-site groups.
+    fn group(&mut self, idiom: Idiom, description: &str, role: Role, ops: Vec<OpId>) {
+        let mut key = ops.clone();
+        key.sort_unstable();
+        let dup = self.truth.sync_groups.iter().any(|g| {
+            let mut existing = g.ops.clone();
+            existing.sort_unstable();
+            g.role == role && existing == key
+        });
+        if dup {
+            return;
+        }
+        self.truth
+            .sync_groups
+            .push(SyncGroup::new(description, role, ops));
+        self.group_idioms.push(idiom);
+    }
+
+    fn class(&mut self, name: &str, idiom: Idiom) {
+        self.class_idioms.entry(name.to_string()).or_insert(idiom);
+    }
+}
+
+fn build(inst: &IdiomInstance, tag: &str, parts: &mut Parts) {
+    writeln!(
+        parts.source,
+        "  [{}] {} workers={} iters={}",
+        inst.index, inst.idiom, inst.workers, inst.iters
+    )
+    .unwrap();
+    match inst.idiom {
+        Idiom::MonitorLock => monitor_lock(inst, tag, parts),
+        Idiom::FlagSpin => flag_spin(inst, tag, parts),
+        Idiom::ForkJoin => fork_join(inst, tag, parts),
+        Idiom::GetOrAdd => get_or_add(inst, tag, parts),
+        Idiom::LazyInit => lazy_init(inst, tag, parts),
+        Idiom::Continuation => continuation(inst, tag, parts),
+        Idiom::PhaserPingPong => phaser_ping_pong(inst, tag, parts),
+        Idiom::ImplicitHandoff => implicit_handoff(inst, tag, parts),
+        Idiom::CountdownFanIn => countdown_fan_in(inst, tag, parts),
+        Idiom::SeededRace => seeded_race(inst, tag, parts),
+    }
+}
+
+/// Workers increment a counter and stamp a journal under one monitor; the
+/// main thread reads the total under the same lock. Two guarded fields (one
+/// of them write-write) make `Enter`/`Exit` the uniquely cheapest cover.
+fn monitor_lock(inst: &IdiomInstance, tag: &str, parts: &mut Parts) {
+    let class = format!("{tag}.Lock{}", inst.index);
+    let (workers, iters) = (inst.workers.max(2), inst.iters.max(2));
+    parts.class(&class, Idiom::MonitorLock);
+    parts.class(MONITOR, Idiom::MonitorLock);
+    parts.group(
+        Idiom::MonitorLock,
+        "Monitor.Exit publishes the guarded region",
+        Role::Release,
+        lib_site(MONITOR, "Exit"),
+    );
+    parts.group(
+        Idiom::MonitorLock,
+        "Monitor.Enter orders entry to the guarded region",
+        Role::Acquire,
+        lib_site(MONITOR, "Enter"),
+    );
+    let name = format!("{class}::locked_counters");
+    parts.tests.push(TestCase::new(&name, move || {
+        let mon = Monitor::new();
+        let counter = TracedVar::new(&class, "counter", 0u64);
+        let journal = TracedVar::new(&class, "journal", 0u64);
+        let mut hs = Vec::new();
+        for w in 0..workers {
+            let (m2, c2, j2) = (mon.clone(), counter.clone(), journal.clone());
+            hs.push(api::spawn(&format!("lock-w{w}"), move || {
+                for i in 0..u64::from(iters) {
+                    m2.with_lock(|| {
+                        c2.update(|v| v + 1);
+                        j2.set((u64::from(w) << 32) | i);
+                    });
+                }
+            }));
+        }
+        for h in hs {
+            h.join();
+        }
+        let (total, _stamp) = mon.with_lock(|| (counter.get(), journal.get()));
+        assert_eq!(total, u64::from(workers) * u64::from(iters));
+    }));
+}
+
+/// A producer publishes a payload then raises a volatile flag; the main
+/// thread spins on the flag and reads the payload (paper Fig. 3.A).
+fn flag_spin(inst: &IdiomInstance, tag: &str, parts: &mut Parts) {
+    let class = format!("{tag}.Flag{}", inst.index);
+    parts.class(&class, Idiom::FlagSpin);
+    parts.group(
+        Idiom::FlagSpin,
+        "volatile ready-flag write publishes the payload",
+        Role::Release,
+        field_write(&class, "ready"),
+    );
+    parts.group(
+        Idiom::FlagSpin,
+        "ready-flag spin read acquires the payload",
+        Role::Acquire,
+        field_read(&class, "ready"),
+    );
+    parts
+        .truth
+        .volatile_fields
+        .push((class.clone(), "ready".to_string()));
+    // Tracing stamps a read *before* yielding to the scheduler, so on some
+    // schedules the consumer's successful flag read is timestamped before
+    // the producer's flag write — the (write → read) flag window never
+    // forms, and coverage of the payload window then forces the payload
+    // pair itself into the solution. Ops of this class outside the flag
+    // groups are therefore instrumentation artifacts, not plain false
+    // positives (the paper's Table-2 "Instr. Errors" column).
+    parts.truth.hidden_classes.insert(class.clone());
+    let name = format!("{class}::flag_handoff");
+    parts.tests.push(TestCase::new(&name, move || {
+        let payload = TracedVar::new(&class, "payload", 0u64);
+        let ready = TracedVar::new(&class, "ready", 0u32);
+        let (p2, r2) = (payload.clone(), ready.clone());
+        let h = api::spawn("flag-producer", move || {
+            api::sleep(Time::from_micros(250));
+            p2.set(42);
+            r2.set(1);
+        });
+        ready.spin_until(Time::from_micros(40), |v| v == 1);
+        assert_eq!(payload.get(), 42);
+        h.join();
+    }));
+}
+
+/// `Thread.Start` hands an input to the delegate; `Thread.Join` collects
+/// its output. Single-shot edges, so the payload endpoints themselves are
+/// acceptable evidence (the window boundary *is* the conflicting access).
+fn fork_join(inst: &IdiomInstance, tag: &str, parts: &mut Parts) {
+    let class = format!("{tag}.Fj{}", inst.index);
+    parts.class(&class, Idiom::ForkJoin);
+    parts.class(THREAD, Idiom::ForkJoin);
+    parts.group(
+        Idiom::ForkJoin,
+        "Thread.Start forks the delegate (input handoff)",
+        Role::Release,
+        [lib_site(THREAD, "Start"), field_write(&class, "input")].concat(),
+    );
+    parts.group(
+        Idiom::ForkJoin,
+        "delegate entry acquires the input",
+        Role::Acquire,
+        [app_begin(&class, "Run"), field_read(&class, "input")].concat(),
+    );
+    parts.group(
+        Idiom::ForkJoin,
+        "delegate exit publishes the output",
+        Role::Release,
+        [app_end(&class, "Run"), field_write(&class, "output")].concat(),
+    );
+    parts.group(
+        Idiom::ForkJoin,
+        "Thread.Join acquires the output",
+        Role::Acquire,
+        [lib_site(THREAD, "Join"), field_read(&class, "output")].concat(),
+    );
+    parts
+        .truth
+        .delegates
+        .push((class.clone(), "Run".to_string()));
+    let name = format!("{class}::fork_join");
+    parts.tests.push(TestCase::new(&name, move || {
+        let input = TracedVar::new(&class, "input", 0u64);
+        let output = TracedVar::new(&class, "output", 0u64);
+        input.set(41);
+        let (i2, o2) = (input.clone(), output.clone());
+        let t = SimThread::start(&class, "Run", move || {
+            o2.set(i2.get() + 1);
+        });
+        t.join();
+        assert_eq!(output.get(), 42);
+    }));
+}
+
+/// Racing workers memoize through `GetOrAdd`; exactly one factory runs and
+/// fills two cache fields every worker then reads.
+fn get_or_add(inst: &IdiomInstance, tag: &str, parts: &mut Parts) {
+    let class = format!("{tag}.Memo{}", inst.index);
+    let factory = "<GetValue>b__0";
+    let workers = inst.workers.max(2);
+    parts.class(&class, Idiom::GetOrAdd);
+    parts.class(DICTIONARY, Idiom::GetOrAdd);
+    parts.group(
+        Idiom::GetOrAdd,
+        "factory-delegate completion (or the GetOrAdd return wrapping it) publishes the caches",
+        Role::Release,
+        [
+            app_end(&class, factory),
+            vec![OpRef::lib_end(DICTIONARY, "GetOrAdd").intern()],
+            field_write(&class, "cachedA"),
+            field_write(&class, "cachedB"),
+        ]
+        .concat(),
+    );
+    parts.group(
+        Idiom::GetOrAdd,
+        "GetOrAdd (or the first cached read behind it) acquires the winner's caches",
+        Role::Acquire,
+        [
+            lib_site(DICTIONARY, "GetOrAdd"),
+            field_read(&class, "cachedA"),
+            field_read(&class, "cachedB"),
+        ]
+        .concat(),
+    );
+    let name = format!("{class}::memoize");
+    parts.tests.push(TestCase::new(&name, move || {
+        let map: ConcurrentMap<u64, u64> = ConcurrentMap::new();
+        let cache_a = TracedVar::new(&class, "cachedA", 0u64);
+        let cache_b = TracedVar::new(&class, "cachedB", 0u64);
+        let mut hs = Vec::new();
+        for w in 0..workers {
+            let (m2, a2, b2) = (map.clone(), cache_a.clone(), cache_b.clone());
+            let c2 = class.clone();
+            hs.push(api::spawn(&format!("memo-w{w}"), move || {
+                api::sleep(Time::from_micros(80 * u64::from(w)));
+                let v = m2.get_or_add(7, &c2, "<GetValue>b__0", || {
+                    a2.set(10);
+                    b2.set(32);
+                    42
+                });
+                assert_eq!(v, 42);
+                assert_eq!(a2.get() + b2.get(), 42);
+            }));
+        }
+        for h in hs {
+            h.join();
+        }
+    }));
+}
+
+/// A static constructor initializes two settings exactly once; racing
+/// readers call a traced `Get` accessor after `ensure`.
+fn lazy_init(inst: &IdiomInstance, tag: &str, parts: &mut Parts) {
+    let class = format!("{tag}.Config{}", inst.index);
+    let workers = inst.workers.max(2);
+    parts.class(&class, Idiom::LazyInit);
+    parts.group(
+        Idiom::LazyInit,
+        ".cctor completion publishes the initialized statics",
+        Role::Release,
+        app_end(&class, ".cctor"),
+    );
+    parts.group(
+        Idiom::LazyInit,
+        "accessor entry after initialization acquires the statics",
+        Role::Acquire,
+        app_begin(&class, "Get"),
+    );
+    let name = format!("{class}::lazy_init");
+    parts.tests.push(TestCase::new(&name, move || {
+        let ctor = StaticCtor::new(&class);
+        let a = TracedVar::new(&class, "settingA", 0u64);
+        let b = TracedVar::new(&class, "settingB", 0u64);
+        let mut hs = Vec::new();
+        for w in 0..workers {
+            let (ct2, a2, b2) = (ctor.clone(), a.clone(), b.clone());
+            let c2 = class.clone();
+            hs.push(api::spawn(&format!("cfg-w{w}"), move || {
+                api::sleep(Time::from_micros(60 * u64::from(w)));
+                ct2.ensure(|| {
+                    a2.set(6);
+                    b2.set(36);
+                });
+                let sum = api::app_method(&c2, "Get", ct2.object(), || a2.get() + b2.get());
+                assert_eq!(sum, 42);
+            }));
+        }
+        for h in hs {
+            h.join();
+        }
+    }));
+}
+
+/// A two-stage `ContinueWith` pipeline; stage boundaries are single-shot
+/// edges, so payload endpoints are acceptable evidence alongside the
+/// delegate entry/exit ops.
+fn continuation(inst: &IdiomInstance, tag: &str, parts: &mut Parts) {
+    let class = format!("{tag}.Pipe{}", inst.index);
+    let (stage1, stage2) = ("<Stage1>b__0", "<Stage2>b__1");
+    parts.class(&class, Idiom::Continuation);
+    parts.class(TASK, Idiom::Continuation);
+    parts.group(
+        Idiom::Continuation,
+        "stage-1 delegate exit publishes stageA",
+        Role::Release,
+        [app_end(&class, stage1), field_write(&class, "stageA")].concat(),
+    );
+    parts.group(
+        Idiom::Continuation,
+        "continuation entry acquires stageA",
+        Role::Acquire,
+        [app_begin(&class, stage2), field_read(&class, "stageA")].concat(),
+    );
+    parts.group(
+        Idiom::Continuation,
+        "stage-2 delegate exit publishes stageB",
+        Role::Release,
+        [app_end(&class, stage2), field_write(&class, "stageB")].concat(),
+    );
+    parts.group(
+        Idiom::Continuation,
+        "Task.Wait acquires the pipeline result",
+        Role::Acquire,
+        [lib_site(TASK, "Wait"), field_read(&class, "stageB")].concat(),
+    );
+    let name = format!("{class}::pipeline");
+    parts.tests.push(TestCase::new(&name, move || {
+        let a = TracedVar::new(&class, "stageA", 0u64);
+        let b = TracedVar::new(&class, "stageB", 0u64);
+        let a2 = a.clone();
+        let t1 = Task::run(&class, "<Stage1>b__0", move || a2.set(20));
+        let (a3, b2) = (a.clone(), b.clone());
+        let t2 = t1.continue_with(&class, "<Stage2>b__1", move || b2.set(a3.get() + 22));
+        t2.wait();
+        assert_eq!(b.get(), 42);
+    }));
+}
+
+/// Ping-pong phaser: producers write their slot then `Arrive` on the
+/// forward phaser; the main thread `AwaitAdvance`s, reads every slot, and
+/// `Arrive`s on the back phaser to release the next phase.
+fn phaser_ping_pong(inst: &IdiomInstance, tag: &str, parts: &mut Parts) {
+    let class = format!("{tag}.Phase{}", inst.index);
+    let (producers, phases) = (inst.workers.max(2), inst.iters.max(2));
+    parts.class(&class, Idiom::PhaserPingPong);
+    parts.class(PHASER, Idiom::PhaserPingPong);
+    parts.group(
+        Idiom::PhaserPingPong,
+        "Phaser.Arrive publishes this phase's writes",
+        Role::Release,
+        lib_site(PHASER, "Arrive"),
+    );
+    parts.group(
+        Idiom::PhaserPingPong,
+        "Phaser.AwaitAdvance acquires the completed phase",
+        Role::Acquire,
+        lib_site(PHASER, "AwaitAdvance"),
+    );
+    let name = format!("{class}::phased_slots");
+    parts.tests.push(TestCase::new(&name, move || {
+        let fwd = Phaser::new(producers);
+        let back = Phaser::new(1);
+        let slots: Vec<TracedVar<u64>> = (0..producers)
+            .map(|p| TracedVar::new(&class, format!("slot{p}"), 0u64))
+            .collect();
+        let mut hs = Vec::new();
+        for p in 0..producers {
+            let (f2, b2, s2) = (fwd.clone(), back.clone(), slots[p as usize].clone());
+            hs.push(api::spawn(&format!("phase-p{p}"), move || {
+                for phase in 0..u64::from(phases) {
+                    s2.set(phase * 100 + u64::from(p) + 1);
+                    f2.arrive();
+                    b2.await_advance(phase);
+                }
+            }));
+        }
+        for phase in 0..u64::from(phases) {
+            fwd.await_advance(phase);
+            let sum: u64 = slots.iter().map(TracedVar::get).sum();
+            let expect: u64 = (0..u64::from(producers)).map(|p| phase * 100 + p + 1).sum();
+            assert_eq!(sum, expect);
+            back.arrive();
+        }
+        for h in hs {
+            h.join();
+        }
+    }));
+}
+
+/// Implicit-signal monitor handoff: the producer fills a traced cell when
+/// the guard says "empty", the consumer drains it when "full"; every exit
+/// implicitly re-signals all predicates.
+fn implicit_handoff(inst: &IdiomInstance, tag: &str, parts: &mut Parts) {
+    let class = format!("{tag}.Chan{}", inst.index);
+    let iters = inst.iters.max(2);
+    parts.class(&class, Idiom::ImplicitHandoff);
+    parts.class(IMPLICIT, Idiom::ImplicitHandoff);
+    parts.group(
+        Idiom::ImplicitHandoff,
+        "ImplicitMonitor.Exit implicitly signals waiting predicates",
+        Role::Release,
+        lib_site(IMPLICIT, "Exit"),
+    );
+    parts.group(
+        Idiom::ImplicitHandoff,
+        "ImplicitMonitor.EnterWhen admits once its predicate holds",
+        Role::Acquire,
+        lib_site(IMPLICIT, "EnterWhen"),
+    );
+    let name = format!("{class}::implicit_handoff");
+    parts.tests.push(TestCase::new(&name, move || {
+        let mon = ImplicitMonitor::new(0);
+        let cell = TracedVar::new(&class, "cell", 0u64);
+        let (m2, c2) = (mon.clone(), cell.clone());
+        let h = api::spawn("chan-producer", move || {
+            for i in 1..=u64::from(iters) {
+                m2.with_when(
+                    |v| v == 0,
+                    |m| {
+                        c2.set(i * 3);
+                        m.set_value(1);
+                    },
+                );
+            }
+        });
+        for i in 1..=u64::from(iters) {
+            mon.with_when(
+                |v| v == 1,
+                |m| {
+                    assert_eq!(cell.get(), i * 3);
+                    m.set_value(0);
+                },
+            );
+        }
+        h.join();
+    }));
+}
+
+/// Fan-in: each worker publishes its part then `Signal`s; the main thread
+/// `Wait`s for all of them before summing.
+fn countdown_fan_in(inst: &IdiomInstance, tag: &str, parts: &mut Parts) {
+    let class = format!("{tag}.Gather{}", inst.index);
+    let workers = inst.workers.max(2);
+    parts.class(&class, Idiom::CountdownFanIn);
+    parts.class(COUNTDOWN, Idiom::CountdownFanIn);
+    parts.group(
+        Idiom::CountdownFanIn,
+        "CountdownEvent.Signal publishes each worker's part",
+        Role::Release,
+        lib_site(COUNTDOWN, "Signal"),
+    );
+    parts.group(
+        Idiom::CountdownFanIn,
+        "CountdownEvent.Wait acquires all parts",
+        Role::Acquire,
+        lib_site(COUNTDOWN, "Wait"),
+    );
+    let name = format!("{class}::fan_in");
+    parts.tests.push(TestCase::new(&name, move || {
+        let cd = CountdownEvent::new(workers);
+        let slots: Vec<TracedVar<u64>> = (0..workers)
+            .map(|w| TracedVar::new(&class, format!("part{w}"), 0u64))
+            .collect();
+        let mut hs = Vec::new();
+        for w in 0..workers {
+            let (cd2, s2) = (cd.clone(), slots[w as usize].clone());
+            hs.push(api::spawn(&format!("gather-w{w}"), move || {
+                api::sleep(Time::from_micros(50 * (u64::from(w) + 1)));
+                s2.set(u64::from(w) + 1);
+                cd2.signal();
+            }));
+        }
+        cd.wait();
+        let sum: u64 = slots.iter().map(TracedVar::get).sum();
+        assert_eq!(sum, u64::from(workers) * (u64::from(workers) + 1) / 2);
+        for h in hs {
+            h.join();
+        }
+    }));
+}
+
+/// A seeded true race: two threads touch `hits` with no ordering at all.
+/// No sync groups; the touched ops land in `racy_ops` so an inference that
+/// "protects" them classifies DataRacy (paper Table 2), not NotSync.
+fn seeded_race(inst: &IdiomInstance, tag: &str, parts: &mut Parts) {
+    let class = format!("{tag}.Racy{}", inst.index);
+    parts.class(&class, Idiom::SeededRace);
+    for op in field_write(&class, "hits") {
+        parts.truth.racy_ops.insert(op);
+    }
+    for op in field_read(&class, "hits") {
+        parts.truth.racy_ops.insert(op);
+    }
+    parts.truth.race_locations.insert(format!("{class}::hits"));
+    let name = format!("{class}::seeded_race");
+    parts.tests.push(TestCase::new(&name, move || {
+        let hits = TracedVar::new(&class, "hits", 0u64);
+        let (h2, h3) = (hits.clone(), hits.clone());
+        let w = api::spawn("race-writer", move || {
+            h2.set(1);
+        });
+        let r = api::spawn("race-reader", move || {
+            let v = h3.get();
+            h3.set(v + 1);
+        });
+        w.join();
+        r.join();
+    }));
+}

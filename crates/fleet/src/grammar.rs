@@ -1,0 +1,113 @@
+//! The idiom grammar: which synchronization patterns a generated app may
+//! compose, and how an app's shape (instance count, worker counts,
+//! iteration counts) is drawn from a seed.
+
+use std::fmt;
+
+/// One synchronization idiom class the generator knows how to plant.
+///
+/// Every class mirrors either a pattern from the paper's benchmark suite
+/// (Tables 8–9) or one of the new classes named in ROADMAP item 5:
+/// phaser/barrier phase ordering and implicit-monitor signalling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Idiom {
+    /// `Monitor.Enter`/`Exit` guarding shared counters (mutual exclusion).
+    MonitorLock,
+    /// A volatile ready-flag spin loop publishing a payload (Fig. 3.A).
+    FlagSpin,
+    /// `Thread.Start`/`Join` with input/output handoff through fields.
+    ForkJoin,
+    /// `ConcurrentDictionary.GetOrAdd` with a once-only factory delegate.
+    GetOrAdd,
+    /// A static-constructor lazy initializer raced by several readers.
+    LazyInit,
+    /// `Task.ContinueWith` staging data through a two-stage pipeline.
+    Continuation,
+    /// Split `Phaser.Arrive` / `Phaser.AwaitAdvance` ping-pong phases.
+    PhaserPingPong,
+    /// Implicit-signal monitor handoff (Ferles et al.): `EnterWhen`/`Exit`.
+    ImplicitHandoff,
+    /// `CountdownEvent.Signal`/`Wait` fan-in of per-worker parts.
+    CountdownFanIn,
+    /// A deliberately unsynchronized access pair (seeded true race).
+    SeededRace,
+}
+
+impl Idiom {
+    /// Every idiom class, in a stable order.
+    pub const ALL: [Idiom; 10] = [
+        Idiom::MonitorLock,
+        Idiom::FlagSpin,
+        Idiom::ForkJoin,
+        Idiom::GetOrAdd,
+        Idiom::LazyInit,
+        Idiom::Continuation,
+        Idiom::PhaserPingPong,
+        Idiom::ImplicitHandoff,
+        Idiom::CountdownFanIn,
+        Idiom::SeededRace,
+    ];
+
+    /// Stable kebab-case name (used in reports, JSON, and app sources).
+    pub fn name(self) -> &'static str {
+        match self {
+            Idiom::MonitorLock => "monitor-lock",
+            Idiom::FlagSpin => "flag-spin",
+            Idiom::ForkJoin => "fork-join",
+            Idiom::GetOrAdd => "get-or-add",
+            Idiom::LazyInit => "lazy-init",
+            Idiom::Continuation => "continuation",
+            Idiom::PhaserPingPong => "phaser-ping-pong",
+            Idiom::ImplicitHandoff => "implicit-handoff",
+            Idiom::CountdownFanIn => "countdown-fan-in",
+            Idiom::SeededRace => "seeded-race",
+        }
+    }
+}
+
+impl fmt::Display for Idiom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Shape parameters for drawing an app from the grammar.
+#[derive(Clone, Debug)]
+pub struct GrammarConfig {
+    /// Minimum idiom instances per app (inclusive).
+    pub min_idioms: usize,
+    /// Maximum idiom instances per app (inclusive).
+    pub max_idioms: usize,
+    /// Relative draw weight per idiom; zero-weight idioms never appear.
+    pub weights: Vec<(Idiom, u32)>,
+    /// Maximum worker threads per instance (inclusive; minimum is 2).
+    pub max_workers: u32,
+    /// Maximum loop iterations per instance (inclusive; minimum is 2).
+    pub max_iters: u32,
+}
+
+impl Default for GrammarConfig {
+    fn default() -> Self {
+        GrammarConfig {
+            min_idioms: 3,
+            max_idioms: 6,
+            // Synchronization idioms dominate; seeded races ride along at
+            // half weight so most — not all — apps stay race-free.
+            weights: Idiom::ALL
+                .iter()
+                .map(|&i| (i, if i == Idiom::SeededRace { 1 } else { 2 }))
+                .collect(),
+            max_workers: 3,
+            max_iters: 3,
+        }
+    }
+}
+
+impl GrammarConfig {
+    /// Total draw weight; panics if every weight is zero.
+    pub(crate) fn total_weight(&self) -> u64 {
+        let total = self.weights.iter().map(|&(_, w)| u64::from(w)).sum();
+        assert!(total > 0, "grammar has no drawable idioms");
+        total
+    }
+}

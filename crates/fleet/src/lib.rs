@@ -1,0 +1,28 @@
+//! `sherlock-fleet` — a seeded generator of synchronization-idiom
+//! applications with machine-derived ground truth, and a precision/recall
+//! scoring harness over the generated fleet.
+//!
+//! The paper validates SherLock against hand-audited sync inventories for
+//! a handful of apps (Tables 8–9); hand audits don't scale to the hundreds
+//! of scenarios a solver rewrite needs as a safety net. This crate flips
+//! the direction: instead of auditing existing programs, it *constructs*
+//! programs from a grammar of idioms ([`grammar::Idiom`]) — so the
+//! generator knows exactly which operations it planted as synchronization
+//! ([`sherlock_apps::SyncGroup`]s fall out of construction) and which
+//! accesses race. [`score::score_fleet`] then runs the full
+//! infer→perturb pipeline over each app and grades every inferred
+//! operation Table-2 style.
+//!
+//! Everything is deterministic in `(GrammarConfig, seed)`: plans are drawn
+//! from a SplitMix64 stream, builders consume no randomness of their own,
+//! and test bodies rebuild all simulator state per run.
+
+pub mod gen;
+pub mod grammar;
+pub mod score;
+
+pub use gen::{generate, generate_fleet, materialize, plan, AppPlan, GeneratedApp, IdiomInstance};
+pub use grammar::{GrammarConfig, Idiom};
+pub use score::{
+    evaluate, score_app, score_fleet, AppScore, FleetScore, IdiomScore, VerdictCounts,
+};

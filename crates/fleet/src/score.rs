@@ -1,0 +1,328 @@
+//! Scoring: run the full infer→perturb pipeline over generated apps and
+//! grade every inferred operation against the machine-derived ground
+//! truth, Table-2 style, with per-idiom precision/recall.
+
+use std::collections::BTreeMap;
+
+use sherlock_apps::Verdict;
+use sherlock_core::{infer_seeded, InferenceReport};
+use sherlock_obs::json::Json;
+
+use crate::gen::GeneratedApp;
+use crate::grammar::Idiom;
+
+/// Table-2-style verdict counts over inferred operations.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VerdictCounts {
+    /// Real synchronizations ("Syncs").
+    pub true_sync: usize,
+    /// Seeded-race participants misread as sync ("Data Racy").
+    pub data_racy: usize,
+    /// Misses attributable to instrumentation hiding ("Instr. Errors").
+    pub instr_error: usize,
+    /// Plain false positives ("Not Sync").
+    pub not_sync: usize,
+}
+
+impl VerdictCounts {
+    fn add(&mut self, v: Verdict) {
+        match v {
+            Verdict::TrueSync => self.true_sync += 1,
+            Verdict::DataRacy => self.data_racy += 1,
+            Verdict::InstrError => self.instr_error += 1,
+            Verdict::NotSync => self.not_sync += 1,
+        }
+    }
+
+    fn merge(&mut self, o: &VerdictCounts) {
+        self.true_sync += o.true_sync;
+        self.data_racy += o.data_racy;
+        self.instr_error += o.instr_error;
+        self.not_sync += o.not_sync;
+    }
+
+    /// All inferred ops graded.
+    pub fn total(&self) -> usize {
+        self.true_sync + self.data_racy + self.instr_error + self.not_sync
+    }
+
+    /// TrueSync / (TrueSync + NotSync) — the paper's headline precision,
+    /// which excludes data-racy and instrumentation-error columns from the
+    /// denominator. `1.0` when nothing falls in either bucket.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_sync + self.not_sync;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_sync as f64 / denom as f64
+        }
+    }
+}
+
+/// Aggregated grade for one idiom class.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdiomScore {
+    /// Verdicts of inferred ops attributed to this idiom.
+    pub counts: VerdictCounts,
+    /// Planted sync groups the report covered.
+    pub groups_covered: usize,
+    /// Planted sync groups in total.
+    pub groups_total: usize,
+}
+
+impl IdiomScore {
+    fn merge(&mut self, o: &IdiomScore) {
+        self.counts.merge(&o.counts);
+        self.groups_covered += o.groups_covered;
+        self.groups_total += o.groups_total;
+    }
+
+    /// Fraction of planted groups evidenced by at least one inferred op.
+    pub fn recall(&self) -> f64 {
+        if self.groups_total == 0 {
+            1.0
+        } else {
+            self.groups_covered as f64 / self.groups_total as f64
+        }
+    }
+}
+
+/// Grade for one generated app.
+#[derive(Clone, Debug)]
+pub struct AppScore {
+    /// The app's id (`fleet-<seed hex>`).
+    pub id: String,
+    /// The app's seed.
+    pub seed: u64,
+    /// Aggregate verdicts.
+    pub counts: VerdictCounts,
+    /// Covered planted groups.
+    pub groups_covered: usize,
+    /// Total planted groups.
+    pub groups_total: usize,
+    /// Per-idiom breakdown.
+    pub per_idiom: BTreeMap<Idiom, IdiomScore>,
+    /// Inferred ops from classes no idiom claims (should stay 0).
+    pub unattributed: usize,
+}
+
+/// Grade for a whole fleet.
+#[derive(Clone, Debug, Default)]
+pub struct FleetScore {
+    /// Per-app grades, in scoring order.
+    pub apps: Vec<AppScore>,
+    /// Per-idiom aggregate.
+    pub per_idiom: BTreeMap<Idiom, IdiomScore>,
+    /// Fleet-wide verdict counts.
+    pub counts: VerdictCounts,
+    /// Fleet-wide covered groups.
+    pub groups_covered: usize,
+    /// Fleet-wide total groups.
+    pub groups_total: usize,
+    /// Fleet-wide unattributed inferred ops.
+    pub unattributed: usize,
+}
+
+impl FleetScore {
+    /// Fleet-wide precision (see [`VerdictCounts::precision`]).
+    pub fn precision(&self) -> f64 {
+        self.counts.precision()
+    }
+
+    /// Fleet-wide recall: covered groups over planted groups.
+    pub fn recall(&self) -> f64 {
+        if self.groups_total == 0 {
+            1.0
+        } else {
+            self.groups_covered as f64 / self.groups_total as f64
+        }
+    }
+
+    fn absorb(&mut self, app: AppScore) {
+        self.counts.merge(&app.counts);
+        self.groups_covered += app.groups_covered;
+        self.groups_total += app.groups_total;
+        self.unattributed += app.unattributed;
+        for (idiom, s) in &app.per_idiom {
+            self.per_idiom.entry(*idiom).or_default().merge(s);
+        }
+        self.apps.push(app);
+    }
+
+    /// A fixed-width per-idiom table plus the fleet-wide summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:>6} {:>5} {:>5} {:>5} {:>5} {:>7} {:>9} {:>7}\n",
+            "idiom", "infer", "TS", "DR", "IE", "NS", "prec", "cov/tot", "recall"
+        ));
+        out.push_str(&"-".repeat(74));
+        out.push('\n');
+        for (idiom, s) in &self.per_idiom {
+            out.push_str(&format!(
+                "{:<18} {:>6} {:>5} {:>5} {:>5} {:>5} {:>7.3} {:>4}/{:<4} {:>7.3}\n",
+                idiom.name(),
+                s.counts.total(),
+                s.counts.true_sync,
+                s.counts.data_racy,
+                s.counts.instr_error,
+                s.counts.not_sync,
+                s.counts.precision(),
+                s.groups_covered,
+                s.groups_total,
+                s.recall(),
+            ));
+        }
+        out.push_str(&"-".repeat(74));
+        out.push('\n');
+        out.push_str(&format!(
+            "{:<18} {:>6} {:>5} {:>5} {:>5} {:>5} {:>7.3} {:>4}/{:<4} {:>7.3}\n",
+            format!("fleet ({} apps)", self.apps.len()),
+            self.counts.total(),
+            self.counts.true_sync,
+            self.counts.data_racy,
+            self.counts.instr_error,
+            self.counts.not_sync,
+            self.precision(),
+            self.groups_covered,
+            self.groups_total,
+            self.recall(),
+        ));
+        if self.unattributed > 0 {
+            out.push_str(&format!(
+                "warning: {} inferred ops from classes no idiom claims\n",
+                self.unattributed
+            ));
+        }
+        out
+    }
+
+    /// The machine-readable score document (CI artifact / bench output).
+    pub fn to_json(&self) -> Json {
+        let idiom_json = |s: &IdiomScore| {
+            Json::Obj(vec![
+                ("inferred".to_string(), Json::from(s.counts.total())),
+                ("true_sync".to_string(), Json::from(s.counts.true_sync)),
+                ("data_racy".to_string(), Json::from(s.counts.data_racy)),
+                ("instr_error".to_string(), Json::from(s.counts.instr_error)),
+                ("not_sync".to_string(), Json::from(s.counts.not_sync)),
+                ("precision".to_string(), Json::from(s.counts.precision())),
+                ("groups_covered".to_string(), Json::from(s.groups_covered)),
+                ("groups_total".to_string(), Json::from(s.groups_total)),
+                ("recall".to_string(), Json::from(s.recall())),
+            ])
+        };
+        Json::Obj(vec![
+            ("apps".to_string(), Json::from(self.apps.len())),
+            ("precision".to_string(), Json::from(self.precision())),
+            ("recall".to_string(), Json::from(self.recall())),
+            ("true_sync".to_string(), Json::from(self.counts.true_sync)),
+            ("data_racy".to_string(), Json::from(self.counts.data_racy)),
+            (
+                "instr_error".to_string(),
+                Json::from(self.counts.instr_error),
+            ),
+            ("not_sync".to_string(), Json::from(self.counts.not_sync)),
+            (
+                "groups_covered".to_string(),
+                Json::from(self.groups_covered),
+            ),
+            ("groups_total".to_string(), Json::from(self.groups_total)),
+            ("unattributed".to_string(), Json::from(self.unattributed)),
+            (
+                "per_idiom".to_string(),
+                Json::Obj(
+                    self.per_idiom
+                        .iter()
+                        .map(|(i, s)| (i.name().to_string(), idiom_json(s)))
+                        .collect(),
+                ),
+            ),
+            (
+                "per_app".to_string(),
+                Json::Arr(
+                    self.apps
+                        .iter()
+                        .map(|a| {
+                            Json::Obj(vec![
+                                ("id".to_string(), Json::from(a.id.as_str())),
+                                ("true_sync".to_string(), Json::from(a.counts.true_sync)),
+                                ("not_sync".to_string(), Json::from(a.counts.not_sync)),
+                                ("data_racy".to_string(), Json::from(a.counts.data_racy)),
+                                ("groups_covered".to_string(), Json::from(a.groups_covered)),
+                                ("groups_total".to_string(), Json::from(a.groups_total)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Grades a finished inference report against one app's ground truth.
+pub fn evaluate(app: &GeneratedApp, report: &InferenceReport) -> AppScore {
+    let mut score = AppScore {
+        id: app.id.clone(),
+        seed: app.seed,
+        counts: VerdictCounts::default(),
+        groups_covered: 0,
+        groups_total: 0,
+        per_idiom: BTreeMap::new(),
+        unattributed: 0,
+    };
+    for io in &report.inferred {
+        let v = app.truth.classify(io.op, io.role);
+        score.counts.add(v);
+        // Attribute: a TrueSync op belongs to the group that claims it;
+        // anything else belongs to whatever idiom owns the op's class.
+        let idiom = if matches!(v, Verdict::TrueSync) {
+            app.truth
+                .sync_groups
+                .iter()
+                .position(|g| g.matches(io.op, io.role))
+                .map(|i| app.group_idioms[i])
+        } else {
+            app.idiom_of(io.op)
+        };
+        match idiom {
+            Some(i) => score.per_idiom.entry(i).or_default().counts.add(v),
+            None => score.unattributed += 1,
+        }
+    }
+    for (g, &idiom) in app.truth.sync_groups.iter().zip(&app.group_idioms) {
+        let covered = report.inferred.iter().any(|io| g.matches(io.op, io.role));
+        let s = score.per_idiom.entry(idiom).or_default();
+        s.groups_total += 1;
+        score.groups_total += 1;
+        if covered {
+            s.groups_covered += 1;
+            score.groups_covered += 1;
+        }
+    }
+    score
+}
+
+/// Runs inference over one app (seeded by the app itself) and grades it.
+///
+/// # Errors
+///
+/// Returns the solver's error message, prefixed with the app id.
+pub fn score_app(app: &GeneratedApp, rounds: usize) -> Result<AppScore, String> {
+    let report =
+        infer_seeded(&app.tests, rounds, app.seed).map_err(|e| format!("{}: {e:?}", app.id))?;
+    Ok(evaluate(app, &report))
+}
+
+/// Runs inference over every app and aggregates the grades.
+///
+/// # Errors
+///
+/// Fails on the first app whose LP does not solve.
+pub fn score_fleet(apps: &[GeneratedApp], rounds: usize) -> Result<FleetScore, String> {
+    let mut fleet = FleetScore::default();
+    for app in apps {
+        fleet.absorb(score_app(app, rounds)?);
+    }
+    Ok(fleet)
+}

@@ -1,0 +1,88 @@
+//! Property: generation is a pure function of `(GrammarConfig, seed)`.
+//!
+//! The same plan must materialize to a byte-identical source listing and an
+//! identical trace hash every time, from any OS thread — the fleet's CI
+//! gate, golden corpus, and bench sweep all assume app `i` of seed `s` is
+//! the same program everywhere. Failures shrink to the smallest instance
+//! subset that still diverges.
+
+use sherlock_fleet::{materialize, plan, AppPlan, GrammarConfig};
+use sherlock_sim::testutil::{check, shrink_vec, Config};
+
+#[test]
+fn generation_is_deterministic_per_seed() {
+    sherlock_sim::install_sim_panic_hook();
+    let cfg = GrammarConfig::default();
+    check(
+        &Config {
+            // Each case runs every test of the app several times (including
+            // once per probe thread); a dozen random shapes keeps the suite
+            // fast while still sweeping the idiom mix.
+            cases: 12,
+            ..Config::default()
+        },
+        |g| plan(&cfg, g.u64()),
+        |p| {
+            shrink_vec(&p.instances)
+                .into_iter()
+                .map(|instances| AppPlan {
+                    seed: p.seed,
+                    instances,
+                })
+                .collect()
+        },
+        |p| {
+            let a = materialize(p);
+            let b = materialize(p);
+            if a.source != b.source {
+                return Err("re-materializing the same plan changed the source".into());
+            }
+            if !p.instances.is_empty() && a.tests.is_empty() {
+                return Err("non-empty plan materialized no tests".into());
+            }
+            let sim_seed = p.seed ^ 0x51;
+            let expected = a.trace_hash(sim_seed);
+            if b.trace_hash(sim_seed) != expected {
+                return Err("same-thread re-run changed the trace hash".into());
+            }
+            // Fresh materializations on other OS threads — host-thread
+            // identity and scheduling must not leak into the traces.
+            let divergent = std::thread::scope(|s| {
+                let probes: Vec<_> = (0..3)
+                    .map(|_| {
+                        let p = p.clone();
+                        s.spawn(move || materialize(&p).trace_hash(sim_seed))
+                    })
+                    .collect();
+                probes
+                    .into_iter()
+                    .map(|h| h.join().expect("probe thread"))
+                    .filter(|&h| h != expected)
+                    .count()
+            });
+            if divergent > 0 {
+                return Err(format!(
+                    "{divergent} cross-thread run(s) produced a different trace hash"
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The fleet-level stream is deterministic too: same `(config, count,
+/// base_seed)` draws the same app seeds in the same order, and a prefix of a
+/// larger fleet is itself the smaller fleet.
+#[test]
+fn fleet_streams_are_prefix_stable() {
+    let cfg = GrammarConfig::default();
+    let small: Vec<u64> = sherlock_fleet::generate_fleet(&cfg, 8, 0xf1ee7)
+        .iter()
+        .map(|a| a.seed)
+        .collect();
+    let large: Vec<u64> = sherlock_fleet::generate_fleet(&cfg, 16, 0xf1ee7)
+        .iter()
+        .map(|a| a.seed)
+        .collect();
+    assert_eq!(small[..], large[..8]);
+}

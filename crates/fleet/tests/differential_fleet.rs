@@ -1,0 +1,91 @@
+//! Differential FastTrack oracle over a sampled generated fleet.
+//!
+//! For every sampled app, FastTrack runs under the app's complete
+//! ground-truth spec and under the spec inferred by the full pipeline; the
+//! two must agree on every seeded-race location (inference may *abstain* by
+//! declaring the racy accesses as sync — the Table-2 "Data Racy" column —
+//! but it must never invent a happens-before edge that masks a race the
+//! ground spec detects). A failing sample shrinks to the minimal app still
+//! disagreeing.
+
+use sherlock_core::infer_seeded;
+use sherlock_fleet::{generate_fleet, materialize, plan, AppPlan, GeneratedApp, GrammarConfig};
+use sherlock_racer::{differential, DifferentialReport, SyncSpec};
+use sherlock_sim::testutil::{check, shrink_vec, Config};
+use sherlock_sim::SimConfig;
+
+const ROUNDS: usize = 2;
+
+/// Runs the oracle for one app: observe every test once, infer, compare.
+fn oracle(app: &GeneratedApp) -> Result<DifferentialReport, String> {
+    let runs: Vec<_> = app
+        .tests
+        .iter()
+        .enumerate()
+        .map(|(i, t)| t.run(SimConfig::with_seed(app.seed.wrapping_add(i as u64))))
+        .collect();
+    let traces: Vec<_> = runs.iter().map(|r| &r.trace).collect();
+    let report =
+        infer_seeded(&app.tests, ROUNDS, app.seed).map_err(|e| format!("{}: {e:?}", app.id))?;
+    Ok(differential(
+        &traces,
+        &app.truth.full_spec(),
+        &SyncSpec::from_report(&report),
+        &app.truth.race_locations,
+    ))
+}
+
+#[test]
+fn sampled_fleet_has_zero_disagreements() {
+    sherlock_sim::install_sim_panic_hook();
+    let cfg = GrammarConfig::default();
+    check(
+        &Config {
+            // Each case is a full infer→perturb pipeline; a handful of
+            // random apps samples the grammar without dominating the suite.
+            cases: 6,
+            ..Config::default()
+        },
+        |g| plan(&cfg, g.u64()),
+        |p| {
+            shrink_vec(&p.instances)
+                .into_iter()
+                .map(|instances| AppPlan {
+                    seed: p.seed,
+                    instances,
+                })
+                .collect()
+        },
+        |p| {
+            let rep = oracle(&materialize(p))?;
+            if rep.agrees() {
+                Ok(())
+            } else {
+                Err(format!("oracle disagrees:\n{}", rep.render()))
+            }
+        },
+    );
+}
+
+#[test]
+fn merged_fleet_report_stays_clean() {
+    sherlock_sim::install_sim_panic_hook();
+    let apps = generate_fleet(&GrammarConfig::default(), 4, 0xd1ff);
+    let mut merged = DifferentialReport::default();
+    let mut expected_traces = 0;
+    for app in &apps {
+        let rep = oracle(app).expect("app solves");
+        expected_traces += rep.traces;
+        merged.merge(rep);
+    }
+    assert_eq!(merged.traces, expected_traces);
+    assert!(
+        merged.agrees(),
+        "merged fleet oracle disagrees:\n{}",
+        merged.render()
+    );
+    // Witness indices stay within the merged trace range.
+    for d in &merged.disagreements {
+        assert!(d.first_trace < merged.traces);
+    }
+}

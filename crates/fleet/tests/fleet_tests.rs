@@ -1,0 +1,177 @@
+//! Integration tests of the fleet generator and its scoring harness.
+
+use std::collections::BTreeSet;
+
+use sherlock_apps::Verdict;
+use sherlock_core::Role;
+use sherlock_fleet::{
+    generate, generate_fleet, materialize, plan, score_app, AppPlan, GeneratedApp, GrammarConfig,
+    Idiom, IdiomInstance,
+};
+use sherlock_sim::SimConfig;
+use sherlock_trace::OpRef;
+
+/// An app holding exactly one instance of `idiom`.
+fn single(idiom: Idiom, seed: u64) -> GeneratedApp {
+    materialize(&AppPlan {
+        seed,
+        instances: vec![IdiomInstance {
+            idiom,
+            index: 0,
+            workers: 2,
+            iters: 2,
+        }],
+    })
+}
+
+#[test]
+fn plans_are_pure_in_config_and_seed() {
+    let cfg = GrammarConfig::default();
+    assert_eq!(plan(&cfg, 42), plan(&cfg, 42));
+    // Shapes are within the configured bounds.
+    let p = plan(&cfg, 42);
+    assert!(p.instances.len() >= cfg.min_idioms && p.instances.len() <= cfg.max_idioms);
+    for inst in &p.instances {
+        assert!((2..=cfg.max_workers).contains(&inst.workers));
+        assert!((2..=cfg.max_iters).contains(&inst.iters));
+    }
+    // Different seeds draw different shapes somewhere in a small sample.
+    assert!((0..16u64).any(|s| plan(&cfg, s) != p));
+}
+
+#[test]
+fn source_listing_names_every_instance_and_group() {
+    let app = generate(&GrammarConfig::default(), 0xabcd);
+    assert!(app.source.starts_with("app fleet-000000000000abcd"));
+    for inst in &app.instances {
+        assert!(
+            app.source
+                .contains(&format!("[{}] {}", inst.index, inst.idiom)),
+            "instance {inst:?} missing from:\n{}",
+            app.source
+        );
+    }
+    assert_eq!(
+        app.source.matches("group [").count(),
+        app.truth.sync_groups.len()
+    );
+    assert_eq!(app.group_idioms.len(), app.truth.sync_groups.len());
+}
+
+#[test]
+fn fleet_covers_every_idiom_class() {
+    let cfg = GrammarConfig::default();
+    let apps = generate_fleet(&cfg, 200, 0xf1ee7);
+    assert_eq!(apps.len(), 200);
+    let seen: BTreeSet<Idiom> = apps
+        .iter()
+        .flat_map(|a| a.instances.iter().map(|i| i.idiom))
+        .collect();
+    for idiom in Idiom::ALL {
+        assert!(seen.contains(&idiom), "fleet never draws {idiom}");
+    }
+    // Seeds never repeat within a fleet (ids are unique).
+    let ids: BTreeSet<&str> = apps.iter().map(|a| a.id.as_str()).collect();
+    assert_eq!(ids.len(), apps.len());
+}
+
+#[test]
+fn every_idiom_materializes_runnable_tests() {
+    sherlock_sim::install_sim_panic_hook();
+    for idiom in Idiom::ALL {
+        let app = single(idiom, 0x1dea);
+        assert!(!app.tests.is_empty(), "{idiom} produced no tests");
+        for t in &app.tests {
+            let run = t.run(SimConfig::with_seed(11));
+            // Synchronized idioms assert their invariants in-test; only the
+            // seeded race is allowed to misbehave (it deliberately never
+            // asserts, so it runs clean too).
+            assert!(
+                run.panics.is_empty(),
+                "{idiom} test {} panicked: {:?}",
+                t.name(),
+                run.panics
+            );
+            assert!(!run.trace.events().is_empty());
+        }
+    }
+}
+
+#[test]
+fn shared_library_groups_deduplicate_across_instances() {
+    let app = materialize(&AppPlan {
+        seed: 5,
+        instances: vec![
+            IdiomInstance {
+                idiom: Idiom::MonitorLock,
+                index: 0,
+                workers: 2,
+                iters: 2,
+            },
+            IdiomInstance {
+                idiom: Idiom::MonitorLock,
+                index: 1,
+                workers: 3,
+                iters: 2,
+            },
+        ],
+    });
+    // Both instances synchronize through the same static Monitor.Enter/Exit
+    // sites, so the app plants exactly one release and one acquire group.
+    assert_eq!(app.truth.sync_groups.len(), 2);
+    assert_eq!(app.tests.len(), 2);
+}
+
+#[test]
+fn seeded_race_ops_score_data_racy_never_not_sync() {
+    sherlock_sim::install_sim_panic_hook();
+    let app = single(Idiom::SeededRace, 7);
+    assert_eq!(app.truth.sync_groups.len(), 0);
+    assert!(!app.truth.racy_ops.is_empty());
+    assert!(!app.truth.race_locations.is_empty());
+    let score = score_app(&app, 2).expect("seeded-race app solves");
+    // Whatever the solver reads into the racy accesses lands in the paper's
+    // "Data Racy" column, not in the precision denominator.
+    assert!(score.counts.data_racy >= 1, "race pair never inferred");
+    assert_eq!(score.counts.not_sync, 0);
+    assert_eq!(score.groups_total, 0);
+    assert!((score.counts.precision() - 1.0).abs() < f64::EPSILON);
+}
+
+#[test]
+fn flag_spin_payload_classifies_instr_error() {
+    let app = single(Idiom::FlagSpin, 3);
+    let class = "Fleet0000000000000003.Flag0";
+    let ready_w = OpRef::field_write(class, "ready").intern();
+    let ready_r = OpRef::field_read(class, "ready").intern();
+    let payload_w = OpRef::field_write(class, "payload").intern();
+    let payload_r = OpRef::field_read(class, "payload").intern();
+    // The ready pair is the planted synchronization…
+    assert_eq!(
+        app.truth.classify(ready_w, Role::Release),
+        Verdict::TrueSync
+    );
+    assert_eq!(
+        app.truth.classify(ready_r, Role::Acquire),
+        Verdict::TrueSync
+    );
+    // …while payload ops — forced into the solution when tracing hides the
+    // flag ordering — are instrumentation errors, not plain false positives.
+    assert_eq!(
+        app.truth.classify(payload_w, Role::Release),
+        Verdict::InstrError
+    );
+    assert_eq!(
+        app.truth.classify(payload_r, Role::Acquire),
+        Verdict::InstrError
+    );
+}
+
+#[test]
+fn ops_attribute_to_their_planting_idiom() {
+    let app = single(Idiom::PhaserPingPong, 9);
+    let arrive = OpRef::lib_begin("System.Threading.Phaser", "Arrive").intern();
+    assert_eq!(app.idiom_of(arrive), Some(Idiom::PhaserPingPong));
+    let stranger = OpRef::lib_begin("Some.Other.Class", "M").intern();
+    assert_eq!(app.idiom_of(stranger), None);
+}

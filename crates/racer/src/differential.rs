@@ -86,6 +86,31 @@ impl DifferentialReport {
         self.disagreements.is_empty()
     }
 
+    /// Folds another report into this one, as if its traces had been
+    /// appended to this report's input slice: counts add, location sets
+    /// union, and the absorbed disagreements' witness indices shift past
+    /// this report's traces. Lets a fleet of per-app oracle runs aggregate
+    /// into one verdict without re-running detection.
+    pub fn merge(&mut self, other: DifferentialReport) {
+        let offset = self.traces;
+        self.traces += other.traces;
+        self.ground_reports += other.ground_reports;
+        self.inferred_reports += other.inferred_reports;
+        self.ground_true_locations
+            .extend(other.ground_true_locations);
+        self.inferred_true_locations
+            .extend(other.inferred_true_locations);
+        self.ground_only_spurious.extend(other.ground_only_spurious);
+        self.inferred_only_spurious
+            .extend(other.inferred_only_spurious);
+        self.declared_sync.extend(other.declared_sync);
+        self.disagreements
+            .extend(other.disagreements.into_iter().map(|mut d| {
+                d.first_trace += offset;
+                d
+            }));
+    }
+
     /// Human-readable summary block for CLI output.
     pub fn render(&self) -> String {
         use std::fmt::Write;
@@ -340,6 +365,26 @@ mod tests {
             rep.inferred_only_spurious,
             ["C::x".to_string()].into_iter().collect()
         );
+    }
+
+    #[test]
+    fn merge_offsets_witness_indices_and_unions_sets() {
+        let t = handoff_trace();
+        let truth: BTreeSet<String> = ["C::x".to_string()].into();
+        // Two independent runs: the first agrees, the second disagrees with
+        // its witness at local index 0.
+        let mut merged = differential(&[&t, &t], &chan_spec(), &chan_spec(), &truth);
+        let failing = differential(&[&t], &SyncSpec::empty(), &chan_spec(), &truth);
+        assert!(merged.agrees());
+        assert!(!failing.agrees());
+        merged.merge(failing);
+        assert_eq!(merged.traces, 3);
+        assert!(!merged.agrees());
+        // Local witness 0 of the absorbed report lands after the two traces
+        // already in `merged`.
+        assert_eq!(merged.disagreements[0].first_trace, 2);
+        assert!(merged.ground_true_locations.contains("C::x"));
+        assert_eq!(merged.ground_reports, 1);
     }
 
     #[test]

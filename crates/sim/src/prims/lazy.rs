@@ -95,4 +95,11 @@ impl StaticCtor {
     pub fn is_initialized(&self) -> bool {
         self.inner.state.lock().expect("static ctor poisoned").phase == Phase::Done
     }
+
+    /// The object identity `.cctor` is traced against — callers that trace
+    /// their own accessor methods (e.g. a `Get` wrapping the initialized
+    /// read) can reuse it so acquire and release share one object channel.
+    pub fn object(&self) -> u64 {
+        self.inner.object
+    }
 }

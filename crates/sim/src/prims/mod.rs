@@ -12,8 +12,10 @@
 mod collections;
 mod dataflow;
 mod gc;
+mod implicit;
 mod lazy;
 mod monitor;
+mod phaser;
 mod queue;
 mod sync;
 mod task;
@@ -25,8 +27,10 @@ pub mod testfx;
 pub use collections::{ConcurrentMap, UnsafeList};
 pub use dataflow::DataflowBlock;
 pub use gc::GcHeap;
+pub use implicit::ImplicitMonitor;
 pub use lazy::StaticCtor;
 pub use monitor::Monitor;
+pub use phaser::Phaser;
 pub use queue::{BlockingCollection, Interlocked};
 pub use sync::{Barrier, CountdownEvent, EventWaitHandle, RwLock, Semaphore};
 pub use task::{Task, ThreadPool};

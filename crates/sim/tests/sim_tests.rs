@@ -5,8 +5,8 @@ use std::sync::Arc;
 
 use sherlock_sim::prims::{
     testfx, Barrier, BlockingCollection, ConcurrentMap, CountdownEvent, DataflowBlock,
-    EventWaitHandle, GcHeap, Interlocked, Monitor, RwLock, Semaphore, SimThread, StaticCtor, Task,
-    ThreadPool, TracedVar, UnsafeList,
+    EventWaitHandle, GcHeap, ImplicitMonitor, Interlocked, Monitor, Phaser, RwLock, Semaphore,
+    SimThread, StaticCtor, Task, ThreadPool, TracedVar, UnsafeList,
 };
 use sherlock_sim::{api, DelayPlan, Outcome, Sim, SimConfig};
 use sherlock_trace::{OpRef, Time, Trace};
@@ -788,6 +788,139 @@ fn barrier_synchronizes_phases() {
         for h in hs {
             h.join();
         }
+    });
+    assert!(r.is_clean(), "panics: {:?}", r.panics);
+}
+
+#[test]
+fn phaser_split_arrive_await_orders_phases() {
+    let r = run_seeded(45, || {
+        let phaser = Phaser::new(2);
+        let produced = Arc::new(AtomicU32::new(0));
+        let mut hs = Vec::new();
+        for i in 0..2u64 {
+            let (p2, d2) = (phaser.clone(), Arc::clone(&produced));
+            hs.push(api::spawn(&format!("p{i}"), move || {
+                for phase in 0..3u64 {
+                    api::sleep(Time::from_micros(100 * (i + 1)));
+                    d2.fetch_add(1, Ordering::SeqCst);
+                    let arrived_in = p2.arrive();
+                    assert_eq!(arrived_in, phase);
+                    // An arrival is per-call, not per-party: wait for the
+                    // phase to complete before arriving again.
+                    p2.await_advance(arrived_in);
+                }
+            }));
+        }
+        for phase in 0..3u64 {
+            phaser.await_advance(phase);
+            // Both parties arrived in this phase before the await returned.
+            assert!(produced.load(Ordering::SeqCst) >= 2 * (phase as u32 + 1));
+        }
+        for h in hs {
+            h.join();
+        }
+        assert_eq!(phaser.phase_untraced(), 3);
+    });
+    assert!(r.is_clean(), "panics: {:?}", r.panics);
+}
+
+#[test]
+fn phaser_arrive_and_await_is_a_barrier() {
+    let r = run_seeded(46, || {
+        let phaser = Phaser::new(3);
+        let arrived = Arc::new(AtomicU32::new(0));
+        let mut hs = Vec::new();
+        for i in 0..3u64 {
+            let (p2, a2) = (phaser.clone(), Arc::clone(&arrived));
+            hs.push(api::spawn(&format!("b{i}"), move || {
+                api::sleep(Time::from_micros(150 * (i + 1)));
+                a2.fetch_add(1, Ordering::SeqCst);
+                let phase = p2.arrive_and_await_advance();
+                assert_eq!(phase, 0);
+                assert_eq!(a2.load(Ordering::SeqCst), 3);
+            }));
+        }
+        for h in hs {
+            h.join();
+        }
+    });
+    assert!(r.is_clean(), "panics: {:?}", r.panics);
+}
+
+#[test]
+fn phaser_register_adds_a_party() {
+    let r = run_seeded(47, || {
+        let phaser = Phaser::new(1);
+        assert_eq!(phaser.register(), 0);
+        let p2 = phaser.clone();
+        let h = api::spawn("late", move || {
+            api::sleep(Time::from_micros(300));
+            p2.arrive();
+        });
+        phaser.arrive();
+        phaser.await_advance(0); // needs BOTH parties, not just the original
+        assert_eq!(phaser.phase_untraced(), 1);
+        h.join();
+    });
+    assert!(r.is_clean(), "panics: {:?}", r.panics);
+}
+
+#[test]
+fn implicit_monitor_handoff_alternates() {
+    let r = run_seeded(48, || {
+        let m = ImplicitMonitor::new(0);
+        let seen = Arc::new(AtomicU32::new(0));
+        let m2 = m.clone();
+        let producer = api::spawn("producer", move || {
+            for i in 1..=4u64 {
+                // Wait for the cell to be empty, then fill it.
+                m2.with_when(|v| v == 0, |mon| mon.set_value(i));
+            }
+        });
+        let (m3, s3) = (m.clone(), Arc::clone(&seen));
+        let consumer = api::spawn("consumer", move || {
+            for i in 1..=4u64 {
+                m3.with_when(
+                    |v| v != 0,
+                    |mon| {
+                        assert_eq!(mon.value(), i); // strict alternation
+                        s3.fetch_add(1, Ordering::SeqCst);
+                        mon.set_value(0);
+                    },
+                );
+            }
+        });
+        producer.join();
+        consumer.join();
+        assert_eq!(seen.load(Ordering::SeqCst), 4);
+    });
+    assert!(r.is_clean(), "panics: {:?}", r.panics);
+}
+
+#[test]
+fn implicit_monitor_exit_broadcasts_to_all_predicates() {
+    let r = run_seeded(49, || {
+        let m = ImplicitMonitor::new(0);
+        let mut hs = Vec::new();
+        // Two waiters with different predicates; one Exit wakes both and
+        // each re-evaluates its own.
+        for want in [7u64, 9u64] {
+            let m2 = m.clone();
+            hs.push(api::spawn(&format!("w{want}"), move || {
+                m2.with_when(move |v| v == want, |mon| mon.set_value(want + 1));
+                // Chain: 7 -> 8 is nobody's predicate; set 9 below.
+            }));
+        }
+        api::sleep(Time::from_micros(500));
+        m.with_when(|_| true, |mon| mon.set_value(7));
+        // w7 runs, leaves 8; bump to 9 so w9 can proceed.
+        m.with_when(|v| v == 8, |mon| mon.set_value(9));
+        for h in hs {
+            h.join();
+        }
+        m.enter_when(|v| v == 10);
+        m.exit();
     });
     assert!(r.is_clean(), "panics: {:?}", r.panics);
 }

@@ -1,0 +1,56 @@
+//! CI fleet gate: a fixed, deterministic 16-app sample of the generated
+//! fleet must keep inference above the committed precision/recall floor.
+//!
+//! The full 200-app sweep lives in `cargo run --release --bin fleet`
+//! (writing `results/BENCH_fleet.json`); this sampled gate is the cheap
+//! always-on guard — any solver, observer, or perturber change that starts
+//! misreading a planted idiom fails here with the per-idiom table in the
+//! output.
+
+use std::collections::BTreeSet;
+
+use sherlock_fleet::{generate_fleet, score_fleet, GrammarConfig, Idiom};
+
+const SAMPLE: usize = 16;
+const BASE_SEED: u64 = 0xf1ee7;
+const ROUNDS: usize = 2;
+// Committed baseline: the sampled fleet currently scores 1.000/1.000; the
+// floor leaves headroom for schedule jitter from intentional config
+// changes, not for regressions.
+const MIN_PRECISION: f64 = 0.95;
+const MIN_RECALL: f64 = 0.95;
+
+#[test]
+fn sampled_fleet_meets_committed_baseline() {
+    sherlock_sim::install_sim_panic_hook();
+    let apps = generate_fleet(&GrammarConfig::default(), SAMPLE, BASE_SEED);
+    // The sample itself must exercise a healthy slice of the grammar.
+    let idioms: BTreeSet<Idiom> = apps
+        .iter()
+        .flat_map(|a| a.instances.iter().map(|i| i.idiom))
+        .collect();
+    assert!(
+        idioms.len() >= 6,
+        "the fixed sample covers only {} idiom classes: {idioms:?}",
+        idioms.len()
+    );
+
+    let score = score_fleet(&apps, ROUNDS).expect("sampled fleet solves");
+    println!("{}", score.render());
+    assert!(
+        score.precision() >= MIN_PRECISION,
+        "fleet precision {:.3} fell below the committed baseline {MIN_PRECISION:.2}\n{}",
+        score.precision(),
+        score.render()
+    );
+    assert!(
+        score.recall() >= MIN_RECALL,
+        "fleet recall {:.3} fell below the committed baseline {MIN_RECALL:.2}\n{}",
+        score.recall(),
+        score.render()
+    );
+    // Every inferred op must trace back to a planted idiom — an
+    // unattributed op means the generator and scorer disagree about what
+    // exists, which would silently corrupt the per-idiom table.
+    assert_eq!(score.unattributed, 0, "unattributed inferred ops");
+}

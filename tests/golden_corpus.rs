@@ -1,19 +1,44 @@
 //! Golden seed-corpus regression: inference over every bundled application
 //! must be byte-stable — the same (app, base seed) pair rendered twice in
-//! the same process yields identical reports, and the corpus of rendered
-//! reports is identical across seeds only when the schedule genuinely does
-//! not change what is observed. Any nondeterminism in the Observer, the LP
-//! solve, or report rendering shows up here as a diff, with the app id and
-//! seed in the failure message.
+//! the same process yields identical reports — and, after normalization, the
+//! reports must match the golden files committed under `tests/golden/`.
+//!
+//! The golden comparison extends the in-process stability checks across
+//! process and machine boundaries: any drift in the Observer, window
+//! extraction, the LP solve, or report rendering shows up as a diff against
+//! a committed file, with the offending corpus entry named in the failure.
+//!
+//! Blessing: after an *intentional* inference change, regenerate the corpus
+//! with
+//!
+//! ```text
+//! SHERLOCK_BLESS=1 cargo test -q --test golden_corpus
+//! ```
+//!
+//! and commit the rewritten files. (libtest rejects unknown CLI flags, so
+//! the bless switch rides in an environment variable rather than a
+//! `--bless` argument.)
+//!
+//! Normalization: rendered reports order sites by `OpId`, which is intern
+//! order — a per-process accident. Golden files store the *sorted lines* of
+//! the render, which is stable across processes while still pinning every
+//! byte of every line.
+
+use std::fs;
+use std::path::{Path, PathBuf};
 
 use sherlock_apps::all_apps;
-use sherlock_core::{SherLock, SherLockConfig};
+use sherlock_core::{infer_seeded, SherLock, SherLockConfig};
+use sherlock_fleet::{generate, GrammarConfig};
 
 const SEEDS: [u64; 5] = [0, 1, 2, 3, 4];
-// Two rounds keep the full 8-app x 5-seed sweep inside a few seconds while
-// still exercising the Perturber's delay-injection path (round 2 runs with
+// Two rounds keep the full sweep inside a few seconds while still
+// exercising the Perturber's delay-injection path (round 2 runs with
 // refined windows from round 1).
 const ROUNDS: usize = 2;
+// Generated fleet members pinned into the corpus alongside the bundled
+// apps, so the generator's output is regression-locked too.
+const FLEET_SEEDS: [u64; 2] = [0x901d_0001, 0xf1ee7];
 
 fn render_inference(app: &sherlock_apps::App, seed: u64) -> String {
     let mut cfg = SherLockConfig::default();
@@ -22,6 +47,77 @@ fn render_inference(app: &sherlock_apps::App, seed: u64) -> String {
         .run_rounds(&app.tests, ROUNDS)
         .unwrap_or_else(|e| panic!("{} seed {seed}: solver failed: {e:?}", app.id));
     report.render()
+}
+
+/// Sorts the report's lines: byte-stable across processes regardless of
+/// intern order.
+fn normalized(render: &str) -> String {
+    let mut lines: Vec<&str> = render.lines().collect();
+    lines.sort_unstable();
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn blessing() -> bool {
+    std::env::var("SHERLOCK_BLESS").is_ok_and(|v| v == "1")
+}
+
+/// One corpus entry: a name and its normalized render at base seed 0.
+fn corpus() -> Vec<(String, String)> {
+    let mut entries: Vec<(String, String)> = all_apps()
+        .into_iter()
+        .map(|app| (app.id.to_string(), normalized(&render_inference(&app, 0))))
+        .collect();
+    for seed in FLEET_SEEDS {
+        let app = generate(&GrammarConfig::default(), seed);
+        let report = infer_seeded(&app.tests, ROUNDS, app.seed)
+            .unwrap_or_else(|e| panic!("{}: solver failed: {e:?}", app.id));
+        entries.push((app.id.clone(), normalized(&report.render())));
+    }
+    entries
+}
+
+/// Every corpus entry matches its committed golden file byte-for-byte
+/// (after normalization). `SHERLOCK_BLESS=1` rewrites the files instead.
+#[test]
+fn corpus_matches_golden_files() {
+    let dir = golden_dir();
+    let bless = blessing();
+    if bless {
+        fs::create_dir_all(&dir).expect("create tests/golden");
+    }
+    let mut blessed = 0;
+    for (name, content) in corpus() {
+        let path = dir.join(format!("{name}.txt"));
+        if bless {
+            fs::write(&path, &content).unwrap_or_else(|e| panic!("bless {name}: {e}"));
+            blessed += 1;
+            continue;
+        }
+        let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{name}: no golden file at {} ({e}); run \
+                 `SHERLOCK_BLESS=1 cargo test -q --test golden_corpus` and \
+                 commit the result",
+                path.display()
+            )
+        });
+        assert_eq!(
+            golden,
+            content,
+            "{name}: inference drifted from {} — if intentional, re-bless \
+             with SHERLOCK_BLESS=1",
+            path.display()
+        );
+    }
+    if bless {
+        println!("blessed {blessed} golden file(s) in {}", dir.display());
+    }
 }
 
 /// Running inference twice over the same app and seed renders byte-identical
