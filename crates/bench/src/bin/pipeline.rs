@@ -17,6 +17,27 @@ fn main() {
     sherlock_sim::install_sim_panic_hook();
     sherlock_obs::init_from_env();
 
+    // `--gate-lp-ms <ceiling>`: exit nonzero if the run's total `lp.simplex`
+    // span time exceeds the ceiling — CI's cheap guard against solver
+    // performance regressions.
+    let gate_lp_ms: Option<f64> = {
+        let mut args = std::env::args().skip(1);
+        let mut v = None;
+        while let Some(a) = args.next() {
+            if a == "--gate-lp-ms" {
+                let raw = args.next().unwrap_or_else(|| {
+                    eprintln!("--gate-lp-ms needs a millisecond ceiling");
+                    std::process::exit(2);
+                });
+                v = Some(raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--gate-lp-ms: not a number: {raw}");
+                    std::process::exit(2);
+                }));
+            }
+        }
+        v
+    };
+
     let cfg = SherLockConfig::default();
     let t = TablePrinter::new(&[10, 12, 12, 12, 12, 12]);
     println!("Pipeline benchmark ({ROUNDS} rounds per app)\n");
@@ -102,4 +123,19 @@ fn main() {
     );
     println!("wrote {}", path.display());
     println!("wrote {} (collapsed stacks)", folded_path.display());
+
+    if let Some(ceiling) = gate_lp_ms {
+        let lp_ms = total
+            .spans
+            .get("lp.simplex")
+            .map_or(0.0, |s| s.total_ns as f64 / 1e6);
+        if lp_ms > ceiling {
+            eprintln!(
+                "lp-bench gate FAILED: lp.simplex spent {lp_ms:.1} ms, \
+                 ceiling is {ceiling} ms"
+            );
+            std::process::exit(1);
+        }
+        println!("lp-bench gate ok: lp.simplex {lp_ms:.1} ms <= {ceiling} ms");
+    }
 }

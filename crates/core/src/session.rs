@@ -114,6 +114,9 @@ pub struct Session {
     memo: HashMap<u64, AbsorbedTrace>,
     memo_order: VecDeque<u64>,
     memo_capacity: usize,
+    /// Optimal basis of the last LP round, warm-starting the next solve
+    /// (active when [`SherLockConfig::warm_start`] is set).
+    basis: sherlock_lp::Basis,
     /// Metric values at session start; report telemetry is the delta.
     session_start: obs::Snapshot,
 }
@@ -131,6 +134,7 @@ impl Session {
             memo: HashMap::new(),
             memo_order: VecDeque::new(),
             memo_capacity: DEFAULT_MEMO_CAPACITY,
+            basis: sherlock_lp::Basis::new(),
             session_start: obs::snapshot(),
         }
     }
@@ -181,6 +185,8 @@ impl Session {
     /// `accumulate = false` ablation); the memo caches survive.
     pub fn clear_observations(&mut self) {
         self.observations = Observations::new();
+        // The old optimum says nothing about the next (unrelated) model.
+        self.basis.clear();
         self.dirty = true;
     }
 
@@ -309,7 +315,11 @@ impl Session {
         }
         self.report = {
             let _s = obs::span("phase.solve");
-            solver::solve(&self.observations, &self.config)?
+            if self.config.warm_start {
+                solver::solve_warm(&self.observations, &self.config, &mut self.basis)?
+            } else {
+                solver::solve(&self.observations, &self.config)?
+            }
         };
         self.report.telemetry = obs::snapshot().delta(&self.session_start);
         self.dirty = false;

@@ -14,7 +14,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use sherlock_lp::{LinExpr, LpError, Model, VarId};
+use sherlock_lp::{Basis, LinExpr, LpError, Model, VarId};
 use sherlock_trace::durations::DurationStats;
 use sherlock_trace::{MethodKind, OpId, OpRef};
 
@@ -33,7 +33,17 @@ fn allowed_roles(op: &OpRef, enforce: bool) -> (bool, bool) {
     }
 }
 
-/// Runs the Solver over all accumulated observations.
+/// Probabilities are snapped to a 1e-9 grid before any threshold or
+/// tie-break comparison. The warm and cold solve paths may walk different
+/// pivot sequences to the same optimum, differing only in float noise far
+/// below the solver's 1e-7 tolerances; snapping keeps the resolve loop's
+/// `max_by` choice and the report's threshold cut identical either way
+/// (the warm-start parity suite relies on this).
+fn snap(p: f64) -> f64 {
+    (p * 1e9).round() * 1e-9
+}
+
+/// Runs the Solver over all accumulated observations (cold start).
 ///
 /// # Errors
 ///
@@ -41,6 +51,29 @@ fn allowed_roles(op: &OpRef, enforce: bool) -> (bool, bool) {
 /// with this encoding — all constraints admit the all-zero point except the
 /// variable bounds — but iteration limits can).
 pub fn solve(obs: &Observations, cfg: &SherLockConfig) -> Result<InferenceReport, LpError> {
+    solve_impl(obs, cfg, None)
+}
+
+/// Runs the Solver warm-starting every LP (the initial solve *and* each
+/// resolve round) from `basis`, leaving the final round's optimal basis in
+/// the handle for the next call. See [`sherlock_lp::Model::solve_warm`].
+///
+/// # Errors
+///
+/// Same as [`solve`].
+pub fn solve_warm(
+    obs: &Observations,
+    cfg: &SherLockConfig,
+    basis: &mut Basis,
+) -> Result<InferenceReport, LpError> {
+    solve_impl(obs, cfg, Some(basis))
+}
+
+fn solve_impl(
+    obs: &Observations,
+    cfg: &SherLockConfig,
+    mut basis: Option<&mut Basis>,
+) -> Result<InferenceReport, LpError> {
     let filter_racy = cfg.feedback.race_removal;
     let racy = obs.racy_pairs();
 
@@ -151,8 +184,19 @@ pub fn solve(obs: &Observations, cfg: &SherLockConfig) -> Result<InferenceReport
     // exit and the library call inside it). A deterministic, vanishingly
     // small per-variable perturbation steers the optimizer to one integral
     // corner of that face without affecting any non-degenerate comparison.
-    for (i, (_, &v)) in vars.iter().enumerate() {
-        let eps = 1e-7 * (1.0 + (i % 97) as f64);
+    // Derived from the variable *name* (FNV-1a mod a prime) rather than its
+    // index: indices shift as candidates appear across rounds, and a
+    // perturbation that moves between rounds would both re-break ties
+    // differently round to round and fight the warm-start path. The 1e-8
+    // granularity stays above the solvers' 1e-9 dual tolerance so every
+    // solver honors it.
+    for (_, &v) in vars.iter() {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in model.var_name(v).bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let eps = 1e-8 * (1.0 + (h % 997) as f64);
         model.minimize(LinExpr::term(v, eps));
     }
 
@@ -239,25 +283,29 @@ pub fn solve(obs: &Observations, cfg: &SherLockConfig) -> Result<InferenceReport
     // never makes the system infeasible (every constraint admits it by
     // zeroing its competitors), so the loop terminates with an integral,
     // cost-minimal-up-to-greedy assignment.
-    let mut solution = model.solve()?;
+    let run_solve = |model: &Model, basis: &mut Option<&mut Basis>| match basis {
+        Some(b) => model.solve_warm(b),
+        None => model.solve(),
+    };
+    let mut solution = run_solve(&model, &mut basis)?;
     let mut resolve_rounds: u64 = 0;
     for _ in 0..64 {
         let fractional = vars
             .values()
-            .map(|&v| (v, solution.value(v)))
+            .map(|&v| (v, snap(solution.value(v))))
             .filter(|&(_, p)| p > 0.05 && p < cfg.threshold)
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite probabilities"));
         let Some((v, _)) = fractional else { break };
         model.constrain_eq(LinExpr::from(v), 1.0);
         resolve_rounds += 1;
-        solution = model.solve()?;
+        solution = run_solve(&model, &mut basis)?;
     }
     sherlock_obs::histogram!("lp.resolve_rounds").observe(resolve_rounds);
 
     let mut probabilities = BTreeMap::new();
     let mut inferred = Vec::new();
     for (&(op, role), &v) in &vars {
-        let p = solution.value(v).clamp(0.0, 1.0);
+        let p = snap(solution.value(v)).clamp(0.0, 1.0);
         probabilities.insert((op, role), p);
         if p >= cfg.threshold {
             inferred.push(InferredOp {

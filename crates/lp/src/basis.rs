@@ -1,0 +1,115 @@
+//! Warm-start basis handles.
+//!
+//! SherLock's Solver rebuilds its LP from scratch every round, but the
+//! constraints only *accumulate*: the model solved in round `k+1` is the
+//! round-`k` model plus new windows, new candidate variables, and the
+//! resolve loop's `x = 1` fixings. Variable *indices* shift between rebuilds
+//! as candidates appear, so a [`Basis`] records the optimal basis by
+//! variable **name** — the one identity that is stable across rebuilds
+//! (`read(f)^acq`-style names are deterministic per operation).
+//!
+//! [`crate::Model::solve_warm`] maps a stored basis onto the new model
+//! (unknown names are ignored, missing columns fall back to a bound), starts
+//! the revised simplex from that vertex instead of the all-slack basis, and
+//! writes the new optimum's basis back into the handle. Correctness never
+//! depends on the mapping: a mismatched basis only costs extra phase-1
+//! pivots.
+
+use std::collections::HashMap;
+
+/// Where one variable sat in an optimal basis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VarStatus {
+    /// In the basis (value determined by the constraint system).
+    Basic,
+    /// Nonbasic at its lower bound (or at zero, for a free variable).
+    AtLower,
+    /// Nonbasic at its upper bound.
+    AtUpper,
+}
+
+/// A by-name snapshot of an optimal simplex basis, reusable across model
+/// rebuilds. An empty (default) basis makes [`crate::Model::solve_warm`]
+/// behave exactly like a cold [`crate::Model::solve`].
+#[derive(Clone, Debug, Default)]
+pub struct Basis {
+    statuses: HashMap<String, VarStatus>,
+    /// Slack statuses keyed by a content signature of their row (rows have
+    /// no names; the signature hashes the row's named coefficients, relation,
+    /// and rhs). Carrying these preserves the optimal active set — which
+    /// rows were tight — not just which variables were basic.
+    rows: HashMap<u64, VarStatus>,
+}
+
+impl Basis {
+    /// An empty basis (cold start).
+    pub fn new() -> Self {
+        Basis::default()
+    }
+
+    /// Whether no statuses are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.statuses.is_empty() && self.rows.is_empty()
+    }
+
+    /// Number of recorded variable statuses.
+    pub fn len(&self) -> usize {
+        self.statuses.len()
+    }
+
+    /// Recorded status of a variable, by name.
+    pub fn status(&self, name: &str) -> Option<VarStatus> {
+        self.statuses.get(name).copied()
+    }
+
+    /// Number of recorded *basic* variables.
+    pub fn basic_count(&self) -> usize {
+        self.statuses
+            .values()
+            .filter(|s| **s == VarStatus::Basic)
+            .count()
+    }
+
+    /// Forgets everything (next solve is cold).
+    pub fn clear(&mut self) {
+        self.statuses.clear();
+        self.rows.clear();
+    }
+
+    pub(crate) fn record(&mut self, name: &str, status: VarStatus) {
+        self.statuses.insert(name.to_string(), status);
+    }
+
+    /// Recorded status of a row's slack, by row signature.
+    pub(crate) fn row_status(&self, tag: u64) -> Option<VarStatus> {
+        self.rows.get(&tag).copied()
+    }
+
+    pub(crate) fn record_row(&mut self, tag: u64, status: VarStatus) {
+        self.rows.insert(tag, status);
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.statuses.clear();
+        self.rows.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut b = Basis::new();
+        assert!(b.is_empty());
+        b.record("x^acq", VarStatus::Basic);
+        b.record("y^rel", VarStatus::AtUpper);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.basic_count(), 1);
+        assert_eq!(b.status("x^acq"), Some(VarStatus::Basic));
+        assert_eq!(b.status("missing"), None);
+        b.clear();
+        assert!(b.is_empty());
+    }
+}

@@ -5,8 +5,18 @@
 //! off-the-shelf LP solver (Flipy/CBC). This crate is the from-scratch
 //! replacement: a [`Model`] builder with the two nonlinear-looking helpers the
 //! encoding needs — [`Model::add_hinge`] for `max(0, e)` terms (Eq. 2) and
-//! [`Model::add_abs`] for `|e|` terms (Eqs. 6–7) — on top of a dense
-//! two-phase primal [`simplex`] solver.
+//! [`Model::add_abs`] for `|e|` terms (Eqs. 6–7) — solved by a sparse
+//! bounded-variable revised simplex (presolve, CSC columns, product-form
+//! basis updates, periodic refactorization, Bland's-rule anti-cycling
+//! fallback).
+//!
+//! Because SherLock's inference rounds only *add* constraints, the solver
+//! supports warm starts: [`Model::solve_warm`] resumes from a [`Basis`]
+//! recorded by the previous round's optimum, typically cutting the pivot
+//! count by an order of magnitude. The original dense two-phase tableau
+//! survives as [`simplex::dense`], a slow reference oracle reachable via
+//! [`Model::solve_dense`] that the differential test harness checks every
+//! change against.
 //!
 //! # Example
 //!
@@ -24,10 +34,32 @@
 //! assert!(sol.value(y).abs() < 1e-7);
 //! assert!((sol.objective - 1.0).abs() < 1e-7);
 //! ```
+//!
+//! # Warm starts
+//!
+//! ```
+//! use sherlock_lp::{Basis, Model, LinExpr};
+//!
+//! let mut basis = Basis::new();
+//! let mut m = Model::new();
+//! let x = m.add_var("x", 0.0, 1.0);
+//! m.minimize(LinExpr::from(x));
+//! m.solve_warm(&mut basis).unwrap();
+//! // Later rounds rebuild the model (indices may shift — names persist)
+//! // and resume from `basis`.
+//! m.constrain_ge(LinExpr::from(x), 0.5);
+//! let sol = m.solve_warm(&mut basis).unwrap();
+//! assert!((sol.value(x) - 0.5).abs() < 1e-7);
+//! ```
 
+mod basis;
 mod expr;
 mod model;
+mod presolve;
+mod revised;
 pub mod simplex;
+pub mod sparse;
 
+pub use basis::{Basis, VarStatus};
 pub use expr::LinExpr;
 pub use model::{LpError, Model, Solution, VarId};

@@ -1,66 +1,18 @@
-//! Dense two-phase primal simplex.
+//! Dense two-phase primal simplex — the **test-only reference oracle**.
 //!
 //! Solves `minimize c·x subject to Σ aᵢⱼ·xⱼ {≤,≥,=} bᵢ, x ≥ 0`. Phase 1
 //! minimizes the sum of artificial variables to find a basic feasible
 //! solution; phase 2 optimizes the real objective. Entering columns are
 //! chosen by Dantzig's rule, switching to Bland's rule after a fixed number
 //! of iterations to guarantee termination under degeneracy.
+//!
+//! This was the production solver until the sparse revised simplex
+//! ([`crate::revised`]) replaced it; it is kept in-tree, uninstrumented and
+//! unchanged, so every sparse-solver change stays differentially checkable
+//! against an independent implementation (`tests/differential.rs`,
+//! `tests/proptest_lp.rs`). Do not optimize it — its value is simplicity.
 
-/// Relation of one constraint row.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Relation {
-    /// `Σ aⱼxⱼ ≤ b`
-    Le,
-    /// `Σ aⱼxⱼ ≥ b`
-    Ge,
-    /// `Σ aⱼxⱼ = b`
-    Eq,
-}
-
-/// One constraint: sparse coefficients over the structural variables.
-#[derive(Clone, Debug)]
-pub struct Row {
-    /// `(column, coefficient)` pairs; columns may repeat (they are summed).
-    pub coeffs: Vec<(usize, f64)>,
-    /// Relation to the right-hand side.
-    pub relation: Relation,
-    /// Right-hand side.
-    pub rhs: f64,
-}
-
-/// A standard-form problem over `num_vars` nonnegative variables.
-#[derive(Clone, Debug, Default)]
-pub struct Problem {
-    /// Number of structural variables (all constrained `x ≥ 0`).
-    pub num_vars: usize,
-    /// Constraint rows.
-    pub rows: Vec<Row>,
-    /// Objective coefficients (minimized); missing entries are zero.
-    pub objective: Vec<f64>,
-}
-
-/// Why the solver could not return an optimum.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SimplexError {
-    /// No point satisfies all constraints.
-    Infeasible,
-    /// The objective decreases without bound over the feasible region.
-    Unbounded,
-    /// The pivot loop exceeded its iteration budget (numerical trouble).
-    IterationLimit,
-}
-
-impl std::fmt::Display for SimplexError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SimplexError::Infeasible => write!(f, "problem is infeasible"),
-            SimplexError::Unbounded => write!(f, "problem is unbounded"),
-            SimplexError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
-        }
-    }
-}
-
-impl std::error::Error for SimplexError {}
+use super::{Problem, Relation, SimplexError};
 
 const EPS: f64 = 1e-9;
 /// Iterations of Dantzig pivoting before switching to Bland's rule.
@@ -76,42 +28,8 @@ const MAX_ITERATIONS: usize = 200_000;
 /// Returns [`SimplexError::Infeasible`], [`SimplexError::Unbounded`], or
 /// [`SimplexError::IterationLimit`].
 pub fn solve(problem: &Problem) -> Result<(Vec<f64>, f64), SimplexError> {
-    let _s = sherlock_obs::span("lp.simplex");
-    sherlock_obs::counter!("simplex.solves").incr();
-    sherlock_obs::histogram!("simplex.rows").observe(problem.rows.len() as u64);
-    sherlock_obs::histogram!("simplex.vars").observe(problem.num_vars as u64);
     let mut rec = SolveRec::default();
-    let result = Tableau::build(problem).solve(problem, &mut rec);
-    // Flight-recorder: per-solve distributions (the counter keeps the
-    // process total, added in one batch instead of per pivot).
-    sherlock_obs::counter!("simplex.pivots").add(rec.pivots());
-    sherlock_obs::histogram!("lp.pivots").observe(rec.pivots());
-    sherlock_obs::histogram!("lp.phase1_iters").observe(rec.phase1_iters);
-    sherlock_obs::histogram!("lp.phase2_iters").observe(rec.phase2_iters);
-    let status = match &result {
-        Ok(_) => "optimal",
-        Err(SimplexError::Infeasible) => {
-            sherlock_obs::counter!("lp.infeasible").incr();
-            "infeasible"
-        }
-        Err(SimplexError::Unbounded) => "unbounded",
-        Err(SimplexError::IterationLimit) => "iteration_limit",
-    };
-    if sherlock_obs::jsonl_enabled() {
-        use sherlock_obs::json::Json;
-        sherlock_obs::event(
-            "lp.solve",
-            &[
-                ("rows", Json::from(problem.rows.len() as u64)),
-                ("vars", Json::from(problem.num_vars as u64)),
-                ("pivots", Json::from(rec.pivots())),
-                ("phase1_iters", Json::from(rec.phase1_iters)),
-                ("phase2_iters", Json::from(rec.phase2_iters)),
-                ("status", Json::Str(status.to_string())),
-            ],
-        );
-    }
-    result
+    Tableau::build(problem).solve(problem, &mut rec)
 }
 
 /// Per-solve flight-recorder tallies.
@@ -123,12 +41,6 @@ struct SolveRec {
     phase2_iters: u64,
     /// Pivots spent evicting residual basic artificials between phases.
     evict_pivots: u64,
-}
-
-impl SolveRec {
-    fn pivots(&self) -> u64 {
-        self.phase1_iters + self.phase2_iters + self.evict_pivots
-    }
 }
 
 struct Tableau {
@@ -289,9 +201,6 @@ impl Tableau {
     fn iterate(&mut self, col_limit: usize, pivots: &mut u64) -> Result<(), SimplexError> {
         for iter in 0..MAX_ITERATIONS {
             let bland = iter >= DANTZIG_BUDGET;
-            if iter == DANTZIG_BUDGET {
-                sherlock_obs::counter!("simplex.bland_switches").incr();
-            }
             let entering = if bland {
                 (0..col_limit).find(|&j| self.obj[j] < -EPS)
             } else {
@@ -391,6 +300,7 @@ impl Tableau {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::simplex::{Problem, Relation, Row};
 
     fn row(coeffs: &[(usize, f64)], relation: Relation, rhs: f64) -> Row {
         Row {

@@ -1,0 +1,103 @@
+//! Compressed-sparse-column storage for the revised simplex.
+//!
+//! The revised simplex only ever consumes the constraint matrix column-wise
+//! (FTRAN of an entering column, pricing a nonbasic column against the dual
+//! vector), so columns are the storage unit: one contiguous `(row, value)`
+//! run per column, classic CSC.
+
+/// A sparse matrix in compressed-sparse-column form.
+#[derive(Clone, Debug, Default)]
+pub struct Csc {
+    n_rows: usize,
+    /// `col_ptr[j]..col_ptr[j+1]` indexes column `j`'s run.
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Csc {
+    /// Builds from per-column entry lists. Duplicate row indices within one
+    /// column must already be merged and zeros dropped by the caller.
+    pub fn from_columns(n_rows: usize, columns: &[Vec<(usize, f64)>]) -> Csc {
+        let nnz = columns.iter().map(Vec::len).sum();
+        let mut col_ptr = Vec::with_capacity(columns.len() + 1);
+        let mut row_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        col_ptr.push(0);
+        for col in columns {
+            for &(i, v) in col {
+                debug_assert!(i < n_rows, "row index out of range");
+                row_idx.push(i);
+                values.push(v);
+            }
+            col_ptr.push(row_idx.len());
+        }
+        Csc {
+            n_rows,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.col_ptr.len().saturating_sub(1)
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Iterates column `j`'s `(row, value)` entries.
+    pub fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (lo, hi) = (self.col_ptr[j], self.col_ptr[j + 1]);
+        self.row_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Dot product of column `j` with a dense vector.
+    pub fn col_dot(&self, j: usize, dense: &[f64]) -> f64 {
+        self.col(j).map(|(i, v)| v * dense[i]).sum()
+    }
+
+    /// Scatters column `j` into a dense vector (which must be zeroed).
+    pub fn scatter(&self, j: usize, dense: &mut [f64]) {
+        for (i, v) in self.col(j) {
+            dense[i] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_columns() {
+        let m = Csc::from_columns(3, &[vec![(0, 1.0), (2, -2.0)], vec![], vec![(1, 4.0)]]);
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.n_cols(), 3);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.col(0).collect::<Vec<_>>(), vec![(0, 1.0), (2, -2.0)]);
+        assert_eq!(m.col(1).count(), 0);
+        assert_eq!(m.col(2).collect::<Vec<_>>(), vec![(1, 4.0)]);
+    }
+
+    #[test]
+    fn dot_and_scatter() {
+        let m = Csc::from_columns(3, &[vec![(0, 2.0), (1, 3.0)]]);
+        assert_eq!(m.col_dot(0, &[1.0, 10.0, 100.0]), 32.0);
+        let mut dense = vec![0.0; 3];
+        m.scatter(0, &mut dense);
+        assert_eq!(dense, vec![2.0, 3.0, 0.0]);
+    }
+}

@@ -1,130 +1,402 @@
-//! Property tests for the simplex solver: solutions are feasible, never
-//! worse than a known feasible point, and stable under redundant rows.
+//! Property tests for the LP model layer, driven by the in-tree
+//! `sherlock_sim::testutil` harness (no external property-testing crate):
+//! solutions are feasible, never worse than a known feasible point, stable
+//! under redundant rows, and the hinge/abs encodings and the presolve pass
+//! behave algebraically.
 
-use proptest::prelude::*;
-use sherlock_lp::simplex::{solve, Problem, Relation, Row};
+use sherlock_lp::{LinExpr, Model};
+use sherlock_sim::testutil::{check, Config, Gen};
 
 const EPS: f64 = 1e-6;
 
-#[derive(Debug, Clone)]
-struct RandomLp {
-    problem: Problem,
-    /// A point known to satisfy every row (constraints are generated around
-    /// it), used as an optimality witness.
+/// A plain-data LP built around a feasibility witness: every generated row
+/// passes through (or brackets) the witness point, so the model is always
+/// feasible, and nonnegative costs on `[0, hi]` variables keep it bounded.
+#[derive(Clone, Debug)]
+struct WitnessLp {
+    /// Upper bound per variable (lower bound is 0).
+    upper: Vec<f64>,
+    /// Known-feasible point, one coordinate per variable.
     witness: Vec<f64>,
+    /// `(coeffs, is_le, rhs)` rows; `is_le == false` means `>=`.
+    rows: Vec<(Vec<f64>, bool, f64)>,
+    /// Nonnegative objective coefficient per variable.
+    objective: Vec<f64>,
 }
 
-fn coeff() -> impl Strategy<Value = f64> {
-    (-50i32..=50).prop_map(|c| c as f64 / 10.0)
-}
-
-fn random_lp(num_vars: usize, num_rows: usize) -> impl Strategy<Value = RandomLp> {
-    let witness = proptest::collection::vec((0u32..=40).prop_map(|v| v as f64 / 10.0), num_vars);
-    let rows = proptest::collection::vec(
-        (
-            proptest::collection::vec(coeff(), num_vars),
-            0u32..=30,
-            prop_oneof![Just(Relation::Le), Just(Relation::Ge)],
-        ),
-        num_rows,
-    );
-    let objective = proptest::collection::vec(coeff().prop_map(f64::abs), num_vars);
-    (witness, rows, objective).prop_map(move |(witness, rows, objective)| {
-        let rows = rows
-            .into_iter()
-            .map(|(coeffs, slack, relation)| {
-                let at_witness: f64 = coeffs.iter().zip(&witness).map(|(c, x)| c * x).sum();
-                let slack = slack as f64 / 10.0;
-                let rhs = match relation {
-                    Relation::Le => at_witness + slack,
-                    Relation::Ge => at_witness - slack,
-                    Relation::Eq => at_witness,
-                };
-                Row {
-                    coeffs: coeffs.iter().copied().enumerate().collect(),
-                    relation,
-                    rhs,
-                }
-            })
+impl WitnessLp {
+    fn build(&self) -> (Model, Vec<sherlock_lp::VarId>) {
+        let mut m = Model::new();
+        let ids: Vec<_> = self
+            .upper
+            .iter()
+            .enumerate()
+            .map(|(j, &hi)| m.add_var(format!("x{j}"), 0.0, hi))
             .collect();
-        RandomLp {
-            problem: Problem {
-                num_vars,
-                rows,
-                objective,
-            },
-            witness,
+        for (coeffs, is_le, rhs) in &self.rows {
+            let mut e = LinExpr::zero();
+            for (j, &c) in coeffs.iter().enumerate() {
+                if c != 0.0 {
+                    e.add_term(ids[j], c);
+                }
+            }
+            if *is_le {
+                m.constrain_le(e, *rhs);
+            } else {
+                m.constrain_ge(e, *rhs);
+            }
         }
-    })
-}
-
-fn feasible(p: &Problem, x: &[f64]) -> bool {
-    if x.iter().any(|&v| v < -EPS) {
-        return false;
-    }
-    p.rows.iter().all(|row| {
-        let lhs: f64 = row.coeffs.iter().map(|&(j, c)| c * x[j]).sum();
-        match row.relation {
-            Relation::Le => lhs <= row.rhs + EPS,
-            Relation::Ge => lhs >= row.rhs - EPS,
-            Relation::Eq => (lhs - row.rhs).abs() <= EPS,
+        let mut obj = LinExpr::zero();
+        for (j, &c) in self.objective.iter().enumerate() {
+            if c != 0.0 {
+                obj.add_term(ids[j], c);
+            }
         }
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// With nonnegative objective coefficients the LP is bounded, so the
-    /// solver must return an optimum that is feasible and at least as good
-    /// as the construction witness.
-    #[test]
-    fn solution_is_feasible_and_beats_witness(lp in (1usize..=4, 0usize..=5)
-        .prop_flat_map(|(v, r)| random_lp(v, r)))
-    {
-        let (x, obj) = solve(&lp.problem).expect("constructed LPs are feasible and bounded");
-        prop_assert!(feasible(&lp.problem, &x), "infeasible solution {x:?}");
-        let witness_obj: f64 = lp
-            .problem
-            .objective
-            .iter()
-            .zip(&lp.witness)
-            .map(|(c, x)| c * x)
-            .sum();
-        prop_assert!(obj <= witness_obj + EPS, "obj {obj} worse than witness {witness_obj}");
-        let recomputed: f64 = lp
-            .problem
-            .objective
-            .iter()
-            .zip(&x)
-            .map(|(c, x)| c * x)
-            .sum();
-        prop_assert!((obj - recomputed).abs() < 1e-5);
+        m.minimize(obj);
+        (m, ids)
     }
 
-    /// Duplicating an existing row never changes the optimal objective.
-    #[test]
-    fn redundant_rows_do_not_change_optimum(lp in (1usize..=3, 1usize..=4)
-        .prop_flat_map(|(v, r)| random_lp(v, r)))
-    {
-        let (_, obj) = solve(&lp.problem).expect("solvable");
-        let mut doubled = lp.problem.clone();
+    fn witness_objective(&self) -> f64 {
+        self.objective
+            .iter()
+            .zip(&self.witness)
+            .map(|(c, x)| c * x)
+            .sum()
+    }
+
+    fn feasible(&self, x: &[f64]) -> bool {
+        if x.iter()
+            .zip(&self.upper)
+            .any(|(&v, &hi)| v < -EPS || v > hi + EPS)
+        {
+            return false;
+        }
+        self.rows.iter().all(|(coeffs, is_le, rhs)| {
+            let lhs: f64 = coeffs.iter().zip(x).map(|(c, v)| c * v).sum();
+            if *is_le {
+                lhs <= rhs + EPS
+            } else {
+                lhs >= rhs - EPS
+            }
+        })
+    }
+}
+
+/// A coefficient on a 0.1 grid in [-5, 5].
+fn coeff(g: &mut Gen) -> f64 {
+    g.u64_in(0, 101) as f64 / 10.0 - 5.0
+}
+
+fn gen_witness_lp(g: &mut Gen) -> WitnessLp {
+    let n = g.usize_in(1, 5);
+    let upper: Vec<f64> = (0..n).map(|_| g.u64_in(2, 9) as f64).collect();
+    let witness: Vec<f64> = upper
+        .iter()
+        .map(|&hi| g.u64_in(0, (hi * 2.0) as u64 + 1) as f64 / 2.0)
+        .collect();
+    let n_rows = g.usize_in(0, 6);
+    let rows = (0..n_rows)
+        .map(|_| {
+            let coeffs: Vec<f64> = (0..n).map(|_| coeff(g)).collect();
+            let at_witness: f64 = coeffs.iter().zip(&witness).map(|(c, x)| c * x).sum();
+            let slack = g.u64_in(0, 31) as f64 / 10.0;
+            let is_le = g.bool(0.5);
+            let rhs = if is_le {
+                at_witness + slack
+            } else {
+                at_witness - slack
+            };
+            (coeffs, is_le, rhs)
+        })
+        .collect();
+    let objective = (0..n).map(|_| coeff(g).abs()).collect();
+    WitnessLp {
+        upper,
+        witness,
+        rows,
+        objective,
+    }
+}
+
+/// Shrink by dropping rows or zeroing coefficients; the witness stays valid
+/// for every candidate because removing/weakening constraints only enlarges
+/// the feasible region.
+fn shrink_witness_lp(s: &WitnessLp) -> Vec<WitnessLp> {
+    let mut out = Vec::new();
+    for i in 0..s.rows.len() {
+        let mut t = s.clone();
+        t.rows.remove(i);
+        out.push(t);
+    }
+    for j in 0..s.objective.len() {
+        if s.objective[j] != 0.0 {
+            let mut t = s.clone();
+            t.objective[j] = 0.0;
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// The solver must return a feasible optimum at least as good as the
+/// construction witness, and the reported objective must recompute from the
+/// variable values.
+#[test]
+fn solution_is_feasible_and_beats_witness() {
+    let cfg = Config {
+        cases: 256,
+        ..Config::default()
+    };
+    check(&cfg, gen_witness_lp, shrink_witness_lp, |lp| {
+        let (m, ids) = lp.build();
+        let sol = m
+            .solve()
+            .map_err(|e| format!("constructed LP failed to solve: {e}"))?;
+        let x: Vec<f64> = ids.iter().map(|&v| sol.value(v)).collect();
+        if !lp.feasible(&x) {
+            return Err(format!("infeasible solution {x:?}"));
+        }
+        let witness_obj = lp.witness_objective();
+        if sol.objective > witness_obj + EPS {
+            return Err(format!(
+                "objective {} worse than witness {witness_obj}",
+                sol.objective
+            ));
+        }
+        let recomputed: f64 = lp.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
+        if (sol.objective - recomputed).abs() > 1e-5 {
+            return Err(format!(
+                "objective {} does not recompute ({recomputed})",
+                sol.objective
+            ));
+        }
+        Ok(())
+    });
+}
+
+/// Duplicating an existing row never changes the optimal objective (and
+/// exercises presolve's duplicate-row dedup on the sparse path).
+#[test]
+fn redundant_rows_do_not_change_optimum() {
+    let cfg = Config {
+        cases: 192,
+        seed: 0xd0be,
+        ..Config::default()
+    };
+    check(&cfg, gen_witness_lp, shrink_witness_lp, |lp| {
+        if lp.rows.is_empty() {
+            return Ok(());
+        }
+        let obj = lp.build().0.solve().map_err(|e| e.to_string())?.objective;
+        let mut doubled = lp.clone();
         doubled.rows.push(doubled.rows[0].clone());
-        let (_, obj2) = solve(&doubled).expect("still solvable");
-        prop_assert!((obj - obj2).abs() < 1e-5, "{obj} vs {obj2}");
-    }
-
-    /// Scaling the objective scales the optimum.
-    #[test]
-    fn objective_scaling(lp in (1usize..=3, 0usize..=4)
-        .prop_flat_map(|(v, r)| random_lp(v, r)), k in 1u32..=5)
-    {
-        let (_, obj) = solve(&lp.problem).expect("solvable");
-        let mut scaled = lp.problem.clone();
-        for c in &mut scaled.objective {
-            *c *= k as f64;
+        let obj2 = doubled
+            .build()
+            .0
+            .solve()
+            .map_err(|e| e.to_string())?
+            .objective;
+        if (obj - obj2).abs() > 1e-5 {
+            return Err(format!("{obj} vs {obj2} after duplicating a row"));
         }
-        let (_, obj2) = solve(&scaled).expect("still solvable");
-        prop_assert!((obj * k as f64 - obj2).abs() < 1e-4, "{obj}*{k} vs {obj2}");
+        Ok(())
+    });
+}
+
+/// Scaling the objective scales the optimum.
+#[test]
+fn objective_scaling() {
+    let cfg = Config {
+        cases: 192,
+        seed: 0x5ca1e,
+        ..Config::default()
+    };
+    check(&cfg, gen_witness_lp, shrink_witness_lp, |lp| {
+        let k = 1.0 + (lp.rows.len() % 5) as f64;
+        let obj = lp.build().0.solve().map_err(|e| e.to_string())?.objective;
+        let mut scaled = lp.clone();
+        for c in &mut scaled.objective {
+            *c *= k;
+        }
+        let obj2 = scaled
+            .build()
+            .0
+            .solve()
+            .map_err(|e| e.to_string())?
+            .objective;
+        if (obj * k - obj2).abs() > 1e-4 {
+            return Err(format!("{obj}*{k} vs {obj2}"));
+        }
+        Ok(())
+    });
+}
+
+/// Pin every variable with an equality row, then add hinge and abs penalty
+/// terms over random expressions: the optimal objective must equal the
+/// hand-computed `w_h·max(0, e_h(x)) + w_a·|e_a(x)|`, and the auxiliary
+/// variables must land exactly on those values.
+#[test]
+fn hinge_and_abs_compose_correctly() {
+    #[derive(Clone, Debug)]
+    struct HingeCase {
+        /// Pinned value per variable.
+        point: Vec<f64>,
+        /// Expression under the hinge: coefficients plus a constant term.
+        hinge: (Vec<f64>, f64),
+        /// Expression under the abs penalty.
+        abs: (Vec<f64>, f64),
+        hinge_weight: f64,
+        abs_weight: f64,
     }
+    let cfg = Config {
+        cases: 256,
+        seed: 0xab5,
+        ..Config::default()
+    };
+    check(
+        &cfg,
+        |g| {
+            let n = g.usize_in(1, 4);
+            let expr = |g: &mut Gen| ((0..n).map(|_| coeff(g)).collect::<Vec<f64>>(), coeff(g));
+            HingeCase {
+                point: (0..n).map(|_| g.u64_in(0, 13) as f64 / 2.0 - 3.0).collect(),
+                hinge: expr(g),
+                abs: expr(g),
+                hinge_weight: g.u64_in(1, 7) as f64 / 2.0,
+                abs_weight: g.u64_in(1, 7) as f64 / 2.0,
+            }
+        },
+        |c| {
+            // Shrink toward zero coefficients/constants.
+            let mut out = Vec::new();
+            for j in 0..c.hinge.0.len() {
+                if c.hinge.0[j] != 0.0 {
+                    let mut t = c.clone();
+                    t.hinge.0[j] = 0.0;
+                    out.push(t);
+                }
+                if c.abs.0[j] != 0.0 {
+                    let mut t = c.clone();
+                    t.abs.0[j] = 0.0;
+                    out.push(t);
+                }
+            }
+            if c.hinge.1 != 0.0 {
+                let mut t = c.clone();
+                t.hinge.1 = 0.0;
+                out.push(t);
+            }
+            if c.abs.1 != 0.0 {
+                let mut t = c.clone();
+                t.abs.1 = 0.0;
+                out.push(t);
+            }
+            out
+        },
+        |case| {
+            let mut m = Model::new();
+            let ids: Vec<_> = case
+                .point
+                .iter()
+                .enumerate()
+                .map(|(j, _)| m.add_var(format!("p{j}"), -4.0, 4.0))
+                .collect();
+            for (&v, &x) in ids.iter().zip(&case.point) {
+                m.constrain_eq(LinExpr::from(v), x);
+            }
+            let mk = |coeffs: &[f64], constant: f64| {
+                let mut e = LinExpr::zero();
+                for (j, &c) in coeffs.iter().enumerate() {
+                    if c != 0.0 {
+                        e.add_term(ids[j], c);
+                    }
+                }
+                e.add_constant(constant);
+                e
+            };
+            let h = m.add_hinge(mk(&case.hinge.0, case.hinge.1), case.hinge_weight);
+            let a = m.add_abs(mk(&case.abs.0, case.abs.1), case.abs_weight);
+            let sol = m.solve().map_err(|e| e.to_string())?;
+
+            let eval = |(coeffs, constant): &(Vec<f64>, f64)| -> f64 {
+                coeffs
+                    .iter()
+                    .zip(&case.point)
+                    .map(|(c, x)| c * x)
+                    .sum::<f64>()
+                    + constant
+            };
+            let hinge_val = eval(&case.hinge).max(0.0);
+            let abs_val = eval(&case.abs).abs();
+            let expected = case.hinge_weight * hinge_val + case.abs_weight * abs_val;
+            if (sol.objective - expected).abs() > EPS {
+                return Err(format!(
+                    "objective {} != w_h·max(0,e_h) + w_a·|e_a| = {expected}",
+                    sol.objective
+                ));
+            }
+            if (sol.value(h) - hinge_val).abs() > EPS {
+                return Err(format!("hinge var {} != {hinge_val}", sol.value(h)));
+            }
+            if (sol.value(a) - abs_val).abs() > EPS {
+                return Err(format!("abs var {} != {abs_val}", sol.value(a)));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Presolve is a fixpoint: re-presolving an already-presolved model changes
+/// nothing (`presolve(presolve(m)) == presolve(m)`), including on models
+/// with fixed variables, duplicate rows, and singleton rows.
+#[test]
+fn presolve_is_idempotent() {
+    let cfg = Config {
+        cases: 256,
+        seed: 0x1de3,
+        ..Config::default()
+    };
+    check(
+        &cfg,
+        |g| {
+            let mut lp = gen_witness_lp(g);
+            // Salt with reductions for presolve to find: a duplicate row, a
+            // singleton row, and a fixed variable.
+            if !lp.rows.is_empty() {
+                let i = g.usize_in(0, lp.rows.len());
+                lp.rows.push(lp.rows[i].clone());
+            }
+            let j = g.usize_in(0, lp.upper.len());
+            let mut singleton = vec![0.0; lp.upper.len()];
+            singleton[j] = 1.0;
+            lp.rows.push((singleton, true, lp.witness[j] + 1.0));
+            if g.bool(0.5) {
+                let k = g.usize_in(0, lp.upper.len());
+                lp.upper[k] = lp.witness[k];
+                let mut fix = vec![0.0; lp.upper.len()];
+                fix[k] = 1.0;
+                lp.rows.push((fix, false, lp.witness[k]));
+            }
+            lp
+        },
+        shrink_witness_lp,
+        |lp| {
+            let (m, _) = lp.build();
+            let once = match m.presolved() {
+                Ok(r) => r,
+                // Presolve may prove infeasibility outright; idempotence is
+                // then vacuous.
+                Err(_) => return Ok(()),
+            };
+            let twice = once
+                .presolved()
+                .map_err(|e| format!("re-presolve of a presolved model failed: {e}"))?;
+            if twice != once {
+                return Err(format!(
+                    "presolve not idempotent:\nonce:  {once:?}\ntwice: {twice:?}"
+                ));
+            }
+            Ok(())
+        },
+    );
 }

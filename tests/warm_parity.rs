@@ -1,0 +1,78 @@
+//! Warm-start parity: multi-round inference with the session basis carried
+//! between rounds must render *byte-identical* reports to forcing every
+//! solve cold, across the bundled app suite and a generated fleet sample —
+//! while spending strictly fewer simplex pivots.
+//!
+//! Everything runs inside one `#[test]` because the pivot accounting reads
+//! the process-global `lp.pivots` histogram: a second concurrently-running
+//! test in this binary would pollute the warm/cold deltas.
+
+use sherlock_apps::all_apps;
+use sherlock_core::{SherLock, SherLockConfig, TestCase};
+use sherlock_fleet::{generate, GrammarConfig};
+
+const ROUNDS: usize = 3;
+const FLEET_SAMPLE: usize = 16;
+
+/// Renders a full multi-round inference and returns the report plus the
+/// `lp.pivots` and `lp.warm_hits` deltas it spent.
+fn run(tests: &[TestCase], base_seed: u64, warm: bool) -> (String, u64, u64) {
+    let pivots = sherlock_obs::histogram("lp.pivots");
+    let hits = sherlock_obs::counter("lp.warm_hits");
+    let (p0, h0) = (pivots.sum(), hits.get());
+    let mut cfg = SherLockConfig::default();
+    cfg.base_seed = base_seed;
+    cfg.warm_start = warm;
+    let report = SherLock::new(cfg)
+        .run_rounds(tests, ROUNDS)
+        .expect("inference must solve")
+        .render();
+    (report, pivots.sum() - p0, hits.get() - h0)
+}
+
+#[test]
+fn warm_start_matches_cold_and_saves_pivots() {
+    let mut warm_pivots_total = 0u64;
+    let mut cold_pivots_total = 0u64;
+    let mut warm_hits_total = 0u64;
+    let mut apps_checked = 0usize;
+
+    let mut check_app = |id: &str, tests: &[TestCase], base_seed: u64| {
+        let (cold_render, cold_pivots, _) = run(tests, base_seed, false);
+        let (warm_render, warm_pivots, warm_hits) = run(tests, base_seed, true);
+        assert_eq!(
+            cold_render, warm_render,
+            "{id}: warm-started inference diverged from cold-solved inference"
+        );
+        warm_pivots_total += warm_pivots;
+        cold_pivots_total += cold_pivots;
+        warm_hits_total += warm_hits;
+        apps_checked += 1;
+    };
+
+    for app in all_apps() {
+        check_app(app.id, &app.tests, 0);
+    }
+    for i in 0..FLEET_SAMPLE {
+        let app = generate(&GrammarConfig::default(), 0x3a3a_0000 + i as u64);
+        check_app(&app.id, &app.tests, app.seed);
+    }
+
+    assert!(
+        apps_checked >= 8 + FLEET_SAMPLE,
+        "expected the bundled suite plus the fleet sample, got {apps_checked}"
+    );
+    assert!(
+        warm_hits_total > 0,
+        "warm runs never actually warm-started a solve"
+    );
+    assert!(
+        warm_pivots_total < cold_pivots_total,
+        "warm starts must strictly reduce total pivots: \
+         warm {warm_pivots_total} vs cold {cold_pivots_total}"
+    );
+    println!(
+        "warm parity over {apps_checked} apps: pivots {warm_pivots_total} warm \
+         vs {cold_pivots_total} cold ({warm_hits_total} warm-started solves)"
+    );
+}
