@@ -9,7 +9,9 @@ use sherlock_core::{Session, SherLock, SherLockConfig};
 use sherlock_fleet::{generate_fleet, score_fleet, GrammarConfig};
 use sherlock_obs::json::Json;
 use sherlock_racer::{detect, differential, first_race, SyncSpec};
-use sherlock_sim::{ExploreConfig, Explorer, SimConfig, StrategyKind};
+use sherlock_sim::{
+    Campaign, CampaignConfig, CampaignProgress, ExploreConfig, Explorer, SimConfig, StrategyKind,
+};
 use sherlock_trace::{windows, Time, Trace};
 
 type Flags = BTreeMap<String, String>;
@@ -333,6 +335,9 @@ fn parse_strategy(flags: &Flags) -> Result<StrategyKind, String> {
 /// infers after absorbing every distinct explored trace.
 pub fn explore(positional: &[String], flags: &Flags) -> Result<(), String> {
     let app = the_app(positional)?;
+    if flags.contains_key("campaign") {
+        return explore_campaign(&app, flags);
+    }
     let runs = flag_u64(flags, "runs", 64)?;
     let base_seed = flag_u64(flags, "seed", 0)?;
     let jobs = flag_u64(flags, "jobs", 0)? as usize;
@@ -509,6 +514,274 @@ pub fn explore(positional: &[String], flags: &Flags) -> Result<(), String> {
         println!("exploration report written to {path}");
     }
     profiler.finish();
+    Ok(())
+}
+
+/// One metrics-style progress line per campaign batch (shared by the local
+/// and server-side `--campaign` paths).
+fn render_campaign_progress(
+    runs: u64,
+    max: u64,
+    distinct: u64,
+    dedup: u64,
+    rate: f64,
+    occupancy: f64,
+    arms: &[(String, u64, u64)],
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "  runs {runs:>8}/{max}  distinct {distinct:>7}  dedup {dedup:>8}  sched/s {:>8}  occ {:>5.2}%",
+        rate.round() as u64,
+        occupancy * 100.0,
+    );
+    let _ = write!(out, "  [");
+    for (i, (label, runs, fresh)) in arms.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{label} {runs}/{fresh}",
+            if i == 0 { "" } else { "  " }
+        );
+    }
+    let _ = write!(out, "]");
+    out
+}
+
+/// `sherlock explore <app> --campaign [...]` — the streaming campaign
+/// engine: a novelty-guided bandit over (strategy, depth) arms with
+/// probabilistic dedup, run locally or (with `--addr`) server-side via the
+/// daemon's `explore` verb.
+fn explore_campaign(app: &App, flags: &Flags) -> Result<(), String> {
+    let max_schedules = flag_u64(flags, "max-schedules", 2048)?;
+    let seed = flag_u64(flags, "seed", 0)?;
+    let jobs = flag_u64(flags, "jobs", 1)? as usize;
+    let batch = flag_u64(flags, "batch", 64)?;
+    let filter_bits = match flags.get("filter-bits") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u32>()
+                .map_err(|_| format!("--filter-bits expects an integer, got {v:?}"))?,
+        ),
+    };
+    let progress = flags.contains_key("progress");
+    let campaign_start = sherlock_obs::snapshot();
+
+    println!(
+        "== campaign over {} ({}) — {} schedule(s), batch {}, seed {}",
+        app.id, app.name, max_schedules, batch, seed
+    );
+
+    if let Some(addr) = flags.get("addr") {
+        // Server-side: the daemon runs the campaign against a session and
+        // streams the same per-batch frames over the wire.
+        let mut client =
+            sherlock_serve::Client::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+        let mut fields = vec![
+            ("max_schedules".to_string(), Json::from(max_schedules)),
+            ("seed".to_string(), Json::from(seed)),
+            ("jobs".to_string(), Json::from(jobs as u64)),
+            ("batch".to_string(), Json::from(batch)),
+            ("progress".to_string(), Json::Bool(progress)),
+        ];
+        if let Some(bits) = filter_bits {
+            fields.push(("filter_bits".to_string(), Json::from(u64::from(bits))));
+        }
+        if let Some(test) = flags.get("test") {
+            fields.push(("test".to_string(), Json::from(test.as_str())));
+        }
+        let session = flags
+            .get("session")
+            .cloned()
+            .unwrap_or_else(|| app.id.to_string());
+        let resp = client
+            .explore(&session, app.id, fields, |frame| {
+                let n = |k: &str| frame.get(k).and_then(Json::as_u64).unwrap_or(0);
+                let arms: Vec<(String, u64, u64)> = frame
+                    .get("arms")
+                    .and_then(|a| match a {
+                        Json::Arr(v) => Some(v),
+                        _ => None,
+                    })
+                    .map(|v| {
+                        v.iter()
+                            .map(|a| {
+                                (
+                                    a.get("label")
+                                        .and_then(Json::as_str)
+                                        .unwrap_or("?")
+                                        .to_string(),
+                                    a.get("runs").and_then(Json::as_u64).unwrap_or(0),
+                                    a.get("fresh").and_then(Json::as_u64).unwrap_or(0),
+                                )
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                println!(
+                    "{}",
+                    render_campaign_progress(
+                        n("runs"),
+                        n("max_schedules"),
+                        n("distinct"),
+                        n("dedup_hits"),
+                        n("sched_per_sec") as f64,
+                        frame
+                            .get("occupancy")
+                            .and_then(|v| match v {
+                                Json::Num(f) => Some(*f),
+                                _ => None,
+                            })
+                            .unwrap_or(0.0),
+                        &arms,
+                    )
+                );
+            })
+            .map_err(|e| format!("explore: {e}"))?;
+        if !resp.ok {
+            return Err(format!(
+                "explore failed: {}",
+                resp.error.unwrap_or_default()
+            ));
+        }
+        let n = |k: &str| resp.doc.get(k).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "{} run(s): {} distinct, {} dedup hit(s), {} deadlock(s), {} panic schedule(s)",
+            n("runs"),
+            n("distinct"),
+            n("dedup_hits"),
+            n("deadlocks"),
+            n("panics"),
+        );
+        println!(
+            "  {} sched/s, filter {} KiB, digest {}, absorbed {} into session {:?}",
+            n("sched_per_sec"),
+            n("filter_bytes") / 1024,
+            resp.doc
+                .get("distinct_digest")
+                .and_then(Json::as_str)
+                .unwrap_or("?"),
+            n("absorbed"),
+            session,
+        );
+        if let Some(path) = flags.get("out") {
+            fs::write(path, resp.doc.render_pretty())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            println!("campaign report written to {path}");
+        }
+        return Ok(());
+    }
+
+    // Local campaign over the whole test suite (one schedule = the suite
+    // sequentially, matching the server-side default).
+    let bodies: Vec<_> = app.tests.iter().map(|t| t.body()).collect();
+    let workload: std::sync::Arc<dyn Fn() + Send + Sync> = std::sync::Arc::new(move || {
+        for body in &bodies {
+            body();
+        }
+    });
+    let ccfg = CampaignConfig {
+        max_schedules,
+        base_seed: seed,
+        jobs,
+        batch,
+        filter_bits,
+        ..CampaignConfig::default()
+    };
+    let result = Campaign::new(ccfg).run_with_progress(workload, |p: &CampaignProgress| {
+        if progress {
+            let arms: Vec<(String, u64, u64)> = p
+                .arms
+                .iter()
+                .map(|(label, runs, fresh, _)| (label.clone(), *runs, *fresh))
+                .collect();
+            println!(
+                "{}",
+                render_campaign_progress(
+                    p.runs,
+                    p.max_schedules,
+                    p.distinct,
+                    p.dedup_hits,
+                    p.sched_per_sec,
+                    p.occupancy,
+                    &arms,
+                )
+            );
+        }
+    });
+
+    println!(
+        "{} run(s): {} distinct, {} dedup hit(s), {} deadlock(s), {} panic schedule(s)",
+        result.runs, result.distinct, result.dedup_hits, result.deadlocks, result.panics,
+    );
+    println!(
+        "  {:.0} sched/s over {:.2?}, filter {} KiB at {:.2}% occupancy (fp bound {:.2e}), digest {:016x}",
+        result.sched_per_sec,
+        result.elapsed,
+        result.filter_bytes / 1024,
+        result.filter_occupancy * 100.0,
+        result.est_fp_rate,
+        result.distinct_digest,
+    );
+    for arm in &result.arms {
+        println!(
+            "  arm {:<10} {:>8} run(s)  {:>7} fresh  ({:.1}% fresh)",
+            arm.label,
+            arm.runs,
+            arm.fresh,
+            if arm.runs > 0 {
+                arm.fresh as f64 / arm.runs as f64 * 100.0
+            } else {
+                0.0
+            }
+        );
+    }
+    let delta = sherlock_obs::snapshot().delta(&campaign_start);
+    for (name, v) in delta.counters_with_prefix("explore.") {
+        println!("  {name:<40} {v:>10}");
+    }
+
+    if let Some(path) = flags.get("out") {
+        let arms: Vec<Json> = result
+            .arms
+            .iter()
+            .map(|a| {
+                Json::Obj(vec![
+                    ("label".to_string(), Json::from(a.label.as_str())),
+                    ("runs".to_string(), Json::from(a.runs)),
+                    ("fresh".to_string(), Json::from(a.fresh)),
+                ])
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            ("app".to_string(), Json::Str(app.id.to_string())),
+            ("max_schedules".to_string(), Json::from(max_schedules)),
+            ("seed".to_string(), Json::from(seed)),
+            ("runs".to_string(), Json::from(result.runs)),
+            ("distinct".to_string(), Json::from(result.distinct)),
+            ("dedup_hits".to_string(), Json::from(result.dedup_hits)),
+            ("deadlocks".to_string(), Json::from(result.deadlocks)),
+            ("panics".to_string(), Json::from(result.panics)),
+            (
+                "distinct_digest".to_string(),
+                Json::Str(format!("{:016x}", result.distinct_digest)),
+            ),
+            ("sched_per_sec".to_string(), Json::Num(result.sched_per_sec)),
+            (
+                "filter_bytes".to_string(),
+                Json::from(result.filter_bytes as u64),
+            ),
+            (
+                "filter_occupancy".to_string(),
+                Json::Num(result.filter_occupancy),
+            ),
+            ("est_fp_rate".to_string(), Json::Num(result.est_fp_rate)),
+            ("arms".to_string(), Json::Arr(arms)),
+            ("telemetry".to_string(), delta.to_json()),
+        ]);
+        fs::write(path, doc.render_pretty()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("campaign report written to {path}");
+    }
     Ok(())
 }
 

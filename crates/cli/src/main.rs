@@ -131,6 +131,19 @@ USAGE:
       inferred after absorbing the explored traces). Exits nonzero on any
       spec disagreement.
 
+  sherlock explore <app> --campaign [--max-schedules N] [--batch N]
+                   [--seed N] [--jobs N] [--filter-bits N] [--progress]
+                   [--addr HOST:PORT] [--session KEY] [--test NAME]
+                   [--out report.json]
+      Streaming campaign engine: a novelty-guided bandit over scheduling
+      arms (random walk, PCT depths, round-robin) with probabilistic
+      schedule dedup — memory stays bounded by the filter (--filter-bits
+      sets log2 bits; default auto-sizes), and runs are deterministic for
+      any --jobs. --progress prints one metrics-style line per batch. With
+      --addr, the campaign runs server-side against a daemon session via
+      the explore verb (distinct traces are absorbed into --session,
+      default the app id) with the same progress frames streamed back.
+
   sherlock solve <trace.json>... [--lambda X] [--near-ms N]
       Run window extraction and the Solver over previously saved traces.
 

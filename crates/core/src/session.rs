@@ -289,6 +289,31 @@ impl Session {
         stats
     }
 
+    /// Feeds a batch of traces into the session — the campaign-engine path,
+    /// where serve's `explore` verb absorbs every distinct schedule a
+    /// campaign discovered. Returns the aggregate [`RoundStats`] summed over
+    /// the batch. Equivalent to calling [`absorb_trace`](Self::absorb_trace)
+    /// in order; exists so batch callers get one span and one counter bump
+    /// instead of per-trace bookkeeping at the call site.
+    pub fn absorb_traces<'a>(&mut self, traces: impl IntoIterator<Item = &'a Trace>) -> RoundStats {
+        let _s = obs::span("session.absorb_batch");
+        let mut total = RoundStats::default();
+        let mut n = 0u64;
+        for trace in traces {
+            let stats = self.absorb_trace(trace);
+            total.events += stats.events;
+            total.windows_extracted += stats.windows_extracted;
+            total.racy_windows += stats.racy_windows;
+            total.confirmations += stats.confirmations;
+            total.exclusions += stats.exclusions;
+            total.panics += stats.panics;
+            n += 1;
+        }
+        obs::counter!("session.absorb_batches").incr();
+        obs::counter!("session.batch_traces_absorbed").add(n);
+        total
+    }
+
     /// Solves over the accumulated observations, memoized: when nothing was
     /// absorbed since the last solve the cached report is returned without
     /// touching the LP.

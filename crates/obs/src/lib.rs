@@ -45,8 +45,9 @@ mod span;
 mod trace_ctx;
 
 pub use metrics::{
-    bucket_bounds, bucket_index, counter, fmt_ns, histogram, snapshot, span_stat, Counter,
-    HistSnap, Histogram, Snapshot, SpanSnap, SpanStat, NUM_BUCKETS, SUBBUCKETS_PER_OCTAVE,
+    bucket_bounds, bucket_index, counter, counter_named, fmt_ns, histogram, histogram_named,
+    snapshot, span_stat, Counter, HistSnap, Histogram, Snapshot, SpanSnap, SpanStat, NUM_BUCKETS,
+    SUBBUCKETS_PER_OCTAVE,
 };
 pub use sink::{
     flush_jsonl, init_from_env, jsonl_enabled, jsonl_line, log, log_enabled, set_jsonl_file,

@@ -197,6 +197,23 @@ pub fn counter(name: &'static str) -> &'static Counter {
     map.entry(name).or_insert_with(|| Box::leak(Box::default()))
 }
 
+/// Interns a counter under a runtime-constructed name (e.g. a per-arm
+/// series like `explore.arm.pct_d3.runs`). The name string is leaked on
+/// first use and reused afterwards, so the cost is bounded by the number of
+/// *distinct* names — callers must keep the name space small (labels, not
+/// payloads). Prefer [`counter!`](crate::counter!) for static names.
+pub fn counter_named(name: &str) -> &'static Counter {
+    let mut map = registry()
+        .counters
+        .lock()
+        .expect("metric registry poisoned");
+    if let Some(c) = map.get(name) {
+        return c;
+    }
+    let key: &'static str = Box::leak(name.to_string().into_boxed_str());
+    map.entry(key).or_insert_with(|| Box::leak(Box::default()))
+}
+
 /// Interns the histogram `name`, returning its process-wide handle.
 pub fn histogram(name: &'static str) -> &'static Histogram {
     let mut map = registry()
@@ -204,6 +221,20 @@ pub fn histogram(name: &'static str) -> &'static Histogram {
         .lock()
         .expect("metric registry poisoned");
     map.entry(name).or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// Interns a histogram under a runtime-constructed name. Same leak-once
+/// contract as [`counter_named`].
+pub fn histogram_named(name: &str) -> &'static Histogram {
+    let mut map = registry()
+        .histograms
+        .lock()
+        .expect("metric registry poisoned");
+    if let Some(h) = map.get(name) {
+        return h;
+    }
+    let key: &'static str = Box::leak(name.to_string().into_boxed_str());
+    map.entry(key).or_insert_with(|| Box::leak(Box::default()))
 }
 
 /// Interns the span aggregate `name` (used by the span layer).
@@ -723,6 +754,20 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn named_interning_matches_static_interning() {
+        let a = counter_named("test.named.a") as *const Counter;
+        let b = counter_named("test.named.a") as *const Counter;
+        assert_eq!(a, b, "same dynamic name must intern to one handle");
+        // A dynamic name and a static name that agree are the same counter.
+        counter_named("test.named.shared").add(2);
+        counter("test.named.shared").add(3);
+        assert_eq!(counter_named("test.named.shared").get(), 5);
+        histogram_named("test.named.hist").observe(7);
+        assert_eq!(snapshot().histograms["test.named.hist"].count, 1);
+        assert_eq!(snapshot().counters["test.named.a"], 0);
     }
 
     #[test]

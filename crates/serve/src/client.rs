@@ -161,6 +161,40 @@ impl Client {
         self.call("race_check", session, extra)
     }
 
+    /// Server-side `explore` campaign against bundled app `app`. `extra`
+    /// carries optional fields (`max_schedules`, `seed`, `jobs`, `batch`,
+    /// `filter_bits`, `test`, `progress`, `absorb`); `on_progress` is
+    /// invoked for every incremental `"progress": true` frame before the
+    /// final response is returned. Do not pipeline an explore with
+    /// `progress: true` alongside other requests on this connection — the
+    /// frames would be consumed as their responses.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn explore(
+        &mut self,
+        session: &str,
+        app: &str,
+        extra: Vec<(String, Json)>,
+        mut on_progress: impl FnMut(&Json),
+    ) -> io::Result<ParsedResponse> {
+        let mut fields = vec![("app".to_string(), Json::from(app))];
+        fields.extend(extra);
+        let line = self.request_line("explore", session, fields);
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()?;
+        loop {
+            let resp = self.read_response()?;
+            if resp.progress {
+                on_progress(&resp.doc);
+                continue;
+            }
+            return Ok(resp);
+        }
+    }
+
     /// Server-wide `stats`.
     ///
     /// # Errors

@@ -12,8 +12,8 @@
 //!
 //! * `id` — echoed verbatim in the response (any JSON value; `null` when
 //!   omitted). Clients use it to correlate.
-//! * `type` — one of `absorb_trace`, `solve`, `race_check`, `stats`,
-//!   `metrics`, `ping`, `shutdown`.
+//! * `type` — one of `absorb_trace`, `solve`, `race_check`, `explore`,
+//!   `stats`, `metrics`, `ping`, `shutdown`.
 //! * `session` — the session-store key (accumulated observations live per
 //!   key); defaults to `"default"`. Ignored by
 //!   `stats`/`metrics`/`shutdown`.
@@ -55,6 +55,33 @@ pub enum RequestBody {
     /// Live introspection: a full metric snapshot (global + per-session
     /// counters, histogram quantiles, worker-pool queue depths).
     Metrics,
+    /// Run a novelty-guided schedule campaign server-side against a bundled
+    /// app's workload (see `sherlock_sim::campaign`); optionally absorb the
+    /// distinct discovered traces into the session and stream per-batch
+    /// progress frames (`"progress": true` lines carrying the request id)
+    /// before the final response.
+    Explore {
+        /// Bundled-app id (`App-1`..`App-8`) or name.
+        app: String,
+        /// Optional unit-test name within the app; omitted means one
+        /// schedule runs the app's whole test suite sequentially.
+        test: Option<String>,
+        /// Total schedules to run.
+        max_schedules: u64,
+        /// Campaign base seed (run `r` uses `seed + r`).
+        seed: u64,
+        /// Campaign worker threads (server-side; default 1).
+        jobs: usize,
+        /// Runs per bandit batch.
+        batch: u64,
+        /// log2 of dedup-filter bits; omitted auto-sizes from
+        /// `max_schedules`.
+        filter_bits: Option<u32>,
+        /// Stream per-batch progress frames.
+        progress: bool,
+        /// Absorb distinct traces into the session after the campaign.
+        absorb: bool,
+    },
     /// Liveness check; `delay_ms` occupies a worker for that long (load
     /// tests use it to saturate the pool deterministically).
     Ping {
@@ -72,6 +99,7 @@ impl RequestBody {
             RequestBody::AbsorbTrace { .. } => "absorb_trace",
             RequestBody::Solve => "solve",
             RequestBody::RaceCheck { .. } => "race_check",
+            RequestBody::Explore { .. } => "explore",
             RequestBody::Stats => "stats",
             RequestBody::Metrics => "metrics",
             RequestBody::Ping { .. } => "ping",
@@ -141,6 +169,49 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 Some(_) => return Err("\"app\" must be a string".into()),
             },
         },
+        "explore" => {
+            let opt_u64 = |key: &str, default: u64| -> Result<u64, String> {
+                match doc.get(key) {
+                    None | Some(Json::Null) => Ok(default),
+                    Some(v) => v
+                        .as_u64()
+                        .ok_or_else(|| format!("{key:?} must be a nonnegative integer")),
+                }
+            };
+            let opt_bool = |key: &str, default: bool| -> Result<bool, String> {
+                match doc.get(key) {
+                    None | Some(Json::Null) => Ok(default),
+                    Some(Json::Bool(b)) => Ok(*b),
+                    Some(_) => Err(format!("{key:?} must be a boolean")),
+                }
+            };
+            RequestBody::Explore {
+                app: doc
+                    .get("app")
+                    .and_then(Json::as_str)
+                    .ok_or("missing string \"app\"")?
+                    .to_string(),
+                test: match doc.get("test") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::Str(s)) => Some(s.clone()),
+                    Some(_) => return Err("\"test\" must be a string".into()),
+                },
+                max_schedules: opt_u64("max_schedules", 1024)?,
+                seed: opt_u64("seed", 0)?,
+                jobs: opt_u64("jobs", 1)? as usize,
+                batch: opt_u64("batch", 64)?,
+                filter_bits: match doc.get("filter_bits") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(
+                        v.as_u64()
+                            .ok_or("\"filter_bits\" must be a nonnegative integer")?
+                            as u32,
+                    ),
+                },
+                progress: opt_bool("progress", false)?,
+                absorb: opt_bool("absorb", true)?,
+            }
+        }
         "stats" => RequestBody::Stats,
         "metrics" => RequestBody::Metrics,
         "ping" => RequestBody::Ping {
@@ -166,6 +237,24 @@ pub fn ok_response(id: &Json, typ: &str, mut fields: Vec<(String, Json)>) -> Str
         ("id".to_string(), id.clone()),
         ("ok".to_string(), Json::Bool(true)),
         ("type".to_string(), Json::from(typ)),
+    ];
+    members.append(&mut fields);
+    Json::Obj(members).render()
+}
+
+/// Builds an incremental progress frame (no trailing newline): shaped like
+/// a success response but carrying `"progress": true`, so clients that read
+/// line-by-line can tell it apart from the request's final response. Frames
+/// are written directly to the connection as they happen — they bypass the
+/// per-connection response-ordering buffer, so a pipelined client may see
+/// frames for one request interleaved between other requests' responses
+/// (each frame is still one complete line carrying its request's id).
+pub fn progress_frame(id: &Json, typ: &str, mut fields: Vec<(String, Json)>) -> String {
+    let mut members = vec![
+        ("id".to_string(), id.clone()),
+        ("ok".to_string(), Json::Bool(true)),
+        ("type".to_string(), Json::from(typ)),
+        ("progress".to_string(), Json::Bool(true)),
     ];
     members.append(&mut fields);
     Json::Obj(members).render()
@@ -201,6 +290,8 @@ pub struct ParsedResponse {
     pub ok: bool,
     /// Explicit-backpressure marker (`error == "busy"`).
     pub busy: bool,
+    /// Incremental progress frame (not the request's final response).
+    pub progress: bool,
     /// Error message when `ok` is false.
     pub error: Option<String>,
     /// The full response document.
@@ -224,6 +315,7 @@ pub fn parse_response(line: &str) -> Result<ParsedResponse, String> {
         id: doc.get("id").cloned().unwrap_or(Json::Null),
         ok,
         busy: matches!(doc.get("busy"), Some(Json::Bool(true))),
+        progress: matches!(doc.get("progress"), Some(Json::Bool(true))),
         error: doc.get("error").and_then(Json::as_str).map(str::to_string),
         doc,
     })
@@ -268,6 +360,78 @@ mod tests {
             .unwrap_err()
             .contains("trace"));
         assert!(parse_request(r#"{"type":"solve","session":""}"#).is_err());
+    }
+
+    #[test]
+    fn parses_explore_requests() {
+        let r = parse_request(r#"{"id":1,"type":"explore","app":"App-3"}"#).unwrap();
+        match r.body {
+            RequestBody::Explore {
+                app,
+                test,
+                max_schedules,
+                seed,
+                jobs,
+                batch,
+                filter_bits,
+                progress,
+                absorb,
+            } => {
+                assert_eq!(app, "App-3");
+                assert_eq!(test, None);
+                assert_eq!(max_schedules, 1024);
+                assert_eq!(seed, 0);
+                assert_eq!(jobs, 1);
+                assert_eq!(batch, 64);
+                assert_eq!(filter_bits, None);
+                assert!(!progress);
+                assert!(absorb, "absorb defaults on");
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+
+        let r = parse_request(
+            r#"{"type":"explore","app":"App-1","test":"t1","max_schedules":200,
+                "seed":7,"jobs":2,"batch":32,"filter_bits":18,"progress":true,
+                "absorb":false}"#,
+        )
+        .unwrap();
+        match r.body {
+            RequestBody::Explore {
+                test,
+                max_schedules,
+                filter_bits,
+                progress,
+                absorb,
+                ..
+            } => {
+                assert_eq!(test.as_deref(), Some("t1"));
+                assert_eq!(max_schedules, 200);
+                assert_eq!(filter_bits, Some(18));
+                assert!(progress && !absorb);
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+
+        assert!(parse_request(r#"{"type":"explore"}"#)
+            .unwrap_err()
+            .contains("app"));
+        assert!(parse_request(r#"{"type":"explore","app":"App-1","batch":-1}"#).is_err());
+    }
+
+    #[test]
+    fn progress_frames_are_distinguishable() {
+        let frame = progress_frame(
+            &Json::Num(4.0),
+            "explore",
+            vec![("runs".to_string(), Json::from(64u64))],
+        );
+        let p = parse_response(&frame).unwrap();
+        assert!(p.ok && p.progress && !p.busy);
+        assert_eq!(p.doc.get("runs").unwrap().as_u64(), Some(64));
+        // Final responses never carry the marker.
+        let done = parse_response(&ok_response(&Json::Num(4.0), "explore", vec![])).unwrap();
+        assert!(done.ok && !done.progress);
     }
 
     #[test]

@@ -48,8 +48,10 @@ use sherlock_obs as obs;
 use sherlock_obs::json::Json;
 use sherlock_racer::{detect, differential, SyncSpec};
 
+use sherlock_sim::{Campaign, CampaignConfig, CampaignProgress};
+
 use crate::protocol::{
-    busy_response, error_response, ok_response, parse_request, Request, RequestBody,
+    busy_response, error_response, ok_response, parse_request, progress_frame, Request, RequestBody,
 };
 use crate::store::SessionStore;
 
@@ -188,6 +190,29 @@ impl Conn {
                     self.open.store(false, Ordering::Relaxed);
                 }
             }
+        }
+    }
+
+    /// Writes one progress frame immediately, bypassing the response-order
+    /// buffer — incremental frames must reach the client *before* their
+    /// request's final response, which ordered delivery can't express. The
+    /// stream lock keeps each frame one unsplit line; frames may land
+    /// between other requests' response lines (documented in
+    /// [`progress_frame`]).
+    fn emit(&self, line: &str) {
+        if !self.open.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut s = self
+            .stream
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if s.write_all(line.as_bytes())
+            .and_then(|()| s.write_all(b"\n"))
+            .and_then(|()| s.flush())
+            .is_err()
+        {
+            self.open.store(false, Ordering::Relaxed);
         }
     }
 }
@@ -681,7 +706,7 @@ fn process_job(shared: &Shared, session: &mut Session, job: Job) {
         // nested session/solver spans hang off it in the reconstruction.
         let _req = obs::span("serve.request");
         let typ = request.body.type_name();
-        let outcome = catch_unwind(AssertUnwindSafe(|| handle(session, &request)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| handle(session, &request, &conn)));
         match outcome {
             Ok(Ok(fields)) => (ok_response(&request.id, typ, fields), true),
             Ok(Err(msg)) => (error_response(&request.id, &msg), false),
@@ -708,8 +733,13 @@ fn process_job(shared: &Shared, session: &mut Session, job: Job) {
     shared.pending.fetch_sub(1, Ordering::SeqCst);
 }
 
-/// The session-targeted request handlers.
-fn handle(session: &mut Session, request: &Request) -> Result<Vec<(String, Json)>, String> {
+/// The session-targeted request handlers. `conn` is only used by `explore`
+/// to emit incremental progress frames.
+fn handle(
+    session: &mut Session,
+    request: &Request,
+    conn: &Conn,
+) -> Result<Vec<(String, Json)>, String> {
     match &request.body {
         RequestBody::AbsorbTrace { trace } => {
             let stats = session.absorb_trace(trace);
@@ -800,6 +830,135 @@ fn handle(session: &mut Session, request: &Request) -> Result<Vec<(String, Json)
                 ));
             }
             Ok(fields)
+        }
+        RequestBody::Explore {
+            app,
+            test,
+            max_schedules,
+            seed,
+            jobs,
+            batch,
+            filter_bits,
+            progress,
+            absorb,
+        } => {
+            let app = app_by_id(app).ok_or_else(|| format!("unknown application {app:?}"))?;
+            let workload: std::sync::Arc<dyn Fn() + Send + Sync> = match test {
+                Some(name) => app
+                    .tests
+                    .iter()
+                    .find(|t| t.name() == name)
+                    .ok_or_else(|| format!("unknown test {name:?} in {}", app.id))?
+                    .body(),
+                None => {
+                    // One schedule = the whole suite sequentially, so a
+                    // single campaign covers every test's interleavings.
+                    let bodies: Vec<_> = app.tests.iter().map(|t| t.body()).collect();
+                    std::sync::Arc::new(move || {
+                        for body in &bodies {
+                            body();
+                        }
+                    })
+                }
+            };
+            let ccfg = CampaignConfig {
+                max_schedules: *max_schedules,
+                base_seed: *seed,
+                jobs: (*jobs).max(1),
+                batch: *batch,
+                filter_bits: *filter_bits,
+                // Absorbing needs the distinct traces themselves; otherwise
+                // a few exemplars suffice.
+                report_cap: if *absorb { 4096 } else { 16 },
+                ..CampaignConfig::default()
+            };
+            let id = request.id.clone();
+            let on_batch = |p: &CampaignProgress| {
+                if !*progress {
+                    return;
+                }
+                let arms: Vec<Json> = p
+                    .arms
+                    .iter()
+                    .map(|(label, runs, fresh, weight)| {
+                        Json::Obj(vec![
+                            ("label".to_string(), Json::from(label.as_str())),
+                            ("runs".to_string(), Json::from(*runs)),
+                            ("fresh".to_string(), Json::from(*fresh)),
+                            ("weight".to_string(), Json::from(*weight)),
+                        ])
+                    })
+                    .collect();
+                conn.emit(&progress_frame(
+                    &id,
+                    "explore",
+                    vec![
+                        ("runs".to_string(), Json::from(p.runs)),
+                        ("max_schedules".to_string(), Json::from(p.max_schedules)),
+                        ("distinct".to_string(), Json::from(p.distinct)),
+                        ("dedup_hits".to_string(), Json::from(p.dedup_hits)),
+                        (
+                            "sched_per_sec".to_string(),
+                            Json::Num(p.sched_per_sec.round()),
+                        ),
+                        ("occupancy".to_string(), Json::Num(p.occupancy)),
+                        ("arms".to_string(), Json::Arr(arms)),
+                    ],
+                ));
+            };
+            let result = Campaign::new(ccfg).run_with_progress(workload, on_batch);
+
+            let mut absorbed = 0u64;
+            if *absorb {
+                session.absorb_traces(result.reports.iter().map(|r| &r.trace));
+                absorbed = result.reports.len() as u64;
+            }
+            let arms: Vec<Json> = result
+                .arms
+                .iter()
+                .map(|a| {
+                    Json::Obj(vec![
+                        ("label".to_string(), Json::from(a.label.as_str())),
+                        ("runs".to_string(), Json::from(a.runs)),
+                        ("fresh".to_string(), Json::from(a.fresh)),
+                    ])
+                })
+                .collect();
+            Ok(vec![
+                ("app".to_string(), Json::from(app.id)),
+                ("runs".to_string(), Json::from(result.runs)),
+                ("distinct".to_string(), Json::from(result.distinct)),
+                ("dedup_hits".to_string(), Json::from(result.dedup_hits)),
+                ("deadlocks".to_string(), Json::from(result.deadlocks)),
+                ("panics".to_string(), Json::from(result.panics)),
+                (
+                    "distinct_digest".to_string(),
+                    Json::Str(format!("{:016x}", result.distinct_digest)),
+                ),
+                (
+                    "sched_per_sec".to_string(),
+                    Json::Num(result.sched_per_sec.round()),
+                ),
+                (
+                    "elapsed_ms".to_string(),
+                    Json::from(result.elapsed.as_millis() as u64),
+                ),
+                (
+                    "filter_bytes".to_string(),
+                    Json::from(result.filter_bytes as u64),
+                ),
+                (
+                    "filter_occupancy".to_string(),
+                    Json::Num(result.filter_occupancy),
+                ),
+                ("est_fp_rate".to_string(), Json::Num(result.est_fp_rate)),
+                ("absorbed".to_string(), Json::from(absorbed)),
+                (
+                    "traces_absorbed".to_string(),
+                    Json::from(session.traces_absorbed()),
+                ),
+                ("arms".to_string(), Json::Arr(arms)),
+            ])
         }
         RequestBody::Ping { delay_ms } => {
             if *delay_ms > 0 {

@@ -1,0 +1,124 @@
+//! End-to-end tests of the server-side `explore` verb: a real daemon runs a
+//! novelty-guided campaign against a bundled app, streams progress frames,
+//! absorbs the distinct traces into the session, and surfaces the
+//! `explore.*` flight-recorder series through the `metrics` verb.
+
+use sherlock_obs::json::Json;
+use sherlock_serve::{spawn, Client, ServeConfig};
+
+fn small_config() -> ServeConfig {
+    let mut cfg = ServeConfig::default();
+    cfg.addr = "127.0.0.1:0".to_string();
+    cfg.workers = 2;
+    cfg
+}
+
+#[test]
+fn explore_runs_campaign_and_absorbs() {
+    let server = spawn(small_config()).expect("spawn");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let mut frames = 0u64;
+    let mut last_runs = 0u64;
+    let resp = client
+        .explore(
+            "exp1",
+            "App-1",
+            vec![
+                ("max_schedules".to_string(), Json::from(48u64)),
+                ("seed".to_string(), Json::from(11u64)),
+                ("batch".to_string(), Json::from(16u64)),
+                ("progress".to_string(), Json::Bool(true)),
+            ],
+            |frame| {
+                frames += 1;
+                let runs = frame.get("runs").unwrap().as_u64().unwrap();
+                assert!(runs > last_runs, "progress frames advance");
+                last_runs = runs;
+                assert!(frame.get("arms").is_some());
+                assert!(frame.get("sched_per_sec").is_some());
+            },
+        )
+        .expect("explore");
+    assert!(resp.ok, "explore failed: {:?}", resp.error);
+    assert_eq!(frames, 3, "48 runs at batch 16 → 3 frames");
+    assert_eq!(resp.doc.get("runs").unwrap().as_u64(), Some(48));
+    let distinct = resp.doc.get("distinct").unwrap().as_u64().unwrap();
+    assert!(distinct >= 1);
+    let absorbed = resp.doc.get("absorbed").unwrap().as_u64().unwrap();
+    assert_eq!(absorbed, distinct, "every distinct trace absorbed");
+    assert_eq!(
+        resp.doc.get("traces_absorbed").unwrap().as_u64(),
+        Some(distinct),
+        "session accumulated the campaign's distinct traces"
+    );
+    assert!(resp.doc.get("distinct_digest").unwrap().as_str().is_some());
+    assert!(resp.doc.get("filter_bytes").unwrap().as_u64().unwrap() > 0);
+
+    // The absorbed session solves.
+    let solve = client.solve("exp1").expect("solve");
+    assert!(solve.ok, "solve after explore failed: {:?}", solve.error);
+
+    // Flight-recorder series are visible through the metrics verb.
+    let metrics = client.metrics().expect("metrics");
+    let counters = metrics.doc.get("counters").unwrap();
+    assert!(
+        counters.get("explore.dedup_hits").is_some(),
+        "explore.dedup_hits series missing from metrics"
+    );
+    assert!(
+        counters.get("explore.arm_selections").is_some(),
+        "explore.arm_selections series missing from metrics"
+    );
+    let histograms = metrics.doc.get("histograms").unwrap();
+    assert!(
+        histograms.get("explore.sched_per_sec").is_some(),
+        "explore.sched_per_sec series missing from metrics"
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn explore_replay_is_deterministic_server_side() {
+    let server = spawn(small_config()).expect("spawn");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let fields = || {
+        vec![
+            ("max_schedules".to_string(), Json::from(32u64)),
+            ("seed".to_string(), Json::from(5u64)),
+            ("test".to_string(), Json::from("racy_metric_counter")),
+            ("absorb".to_string(), Json::Bool(false)),
+        ]
+    };
+    let a = client
+        .explore("ra", "App-1", fields(), |_| {})
+        .expect("explore a");
+    let b = client
+        .explore("rb", "App-1", fields(), |_| {})
+        .expect("explore b");
+    assert!(a.ok && b.ok, "{:?} {:?}", a.error, b.error);
+    assert_eq!(
+        a.doc.get("distinct_digest").unwrap().as_str(),
+        b.doc.get("distinct_digest").unwrap().as_str(),
+        "same (config, seed) must replay to the same distinct-hash set"
+    );
+    assert_eq!(
+        a.doc.get("distinct").unwrap().as_u64(),
+        b.doc.get("distinct").unwrap().as_u64()
+    );
+    // absorb:false leaves the session untouched.
+    assert_eq!(a.doc.get("absorbed").unwrap().as_u64(), Some(0));
+    assert_eq!(a.doc.get("traces_absorbed").unwrap().as_u64(), Some(0));
+
+    // Unknown apps and tests are structured errors, not dead connections.
+    let bad = client
+        .explore("rx", "App-99", vec![], |_| {})
+        .expect("explore bad");
+    assert!(!bad.ok);
+    assert!(bad.error.unwrap().contains("unknown application"));
+
+    server.shutdown();
+    server.join();
+}

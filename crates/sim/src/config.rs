@@ -110,6 +110,38 @@ impl DelayPlan {
     }
 }
 
+/// Which transport carries simulated threads (see `crate::fiber`).
+///
+/// Both transports drive the *same* scheduler loop and consume the seeded
+/// RNG in the same order, so traces are byte-identical across backends
+/// (asserted by `tests/backend_parity.rs`); only the cost of a context
+/// switch differs (~20 ns userspace stack swap vs. two OS context switches).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SimBackend {
+    /// Fibers where supported (x86-64 unix), OS threads elsewhere. The
+    /// `SHERLOCK_SIM_BACKEND` environment variable (`fibers`/`os`) overrides
+    /// this variant only — an explicit config choice always wins.
+    #[default]
+    Auto,
+    /// Stackful fibers: userspace context switching on pooled stacks.
+    /// Falls back to OS threads on targets without the assembly switch.
+    Fibers,
+    /// One OS thread per simulated thread (the historical transport).
+    OsThreads,
+}
+
+impl SimBackend {
+    /// Parses `auto` / `fibers` / `fiber` / `os` / `os-threads` / `threads`.
+    pub fn parse(s: &str) -> Option<SimBackend> {
+        match s {
+            "auto" => Some(SimBackend::Auto),
+            "fiber" | "fibers" => Some(SimBackend::Fibers),
+            "os" | "os-threads" | "threads" => Some(SimBackend::OsThreads),
+            _ => None,
+        }
+    }
+}
+
 /// Full configuration of one simulated run.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -134,6 +166,9 @@ pub struct SimConfig {
     /// Scheduling strategy. [`StrategyKind::RandomWalk`] reproduces the
     /// historical seeded-uniform scheduler byte-for-byte.
     pub strategy: StrategyKind,
+    /// Thread transport. Traces are byte-identical across backends; this
+    /// only selects the mechanics (and cost) of a context switch.
+    pub backend: SimBackend,
 }
 
 impl SimConfig {
@@ -148,6 +183,7 @@ impl SimConfig {
             instrument: InstrumentConfig::default(),
             delay_plan: DelayPlan::none(),
             strategy: StrategyKind::RandomWalk,
+            backend: SimBackend::Auto,
         }
     }
 }

@@ -2,15 +2,28 @@
 //!
 //! One simulated run replays exactly one interleaving per `(workload, seed)`;
 //! the [`Explorer`] fans the same workload out across many seeds — one
-//! kernel per seed, spread over a pool of OS worker threads, results funneled
-//! back through a channel — and deduplicates the outcomes by
-//! [`Trace::stable_hash`], so "how many *distinct* schedules did we
-//! actually cover" is a first-class number rather than a guess.
+//! kernel per seed, spread over a pool of OS worker threads — and
+//! deduplicates the outcomes by [`Trace::stable_hash`], so "how many
+//! *distinct* schedules did we actually cover" is a first-class number
+//! rather than a guess.
+//!
+//! Results are **streamed**, not accumulated: a collector commits each run
+//! in run-index order the moment its predecessors have arrived (a reorder
+//! buffer bounded by worker skew), dedup goes through a compact
+//! [`ScheduleFilter`] instead of an exact set, and both per-run summaries
+//! and retained distinct reports honor configurable caps — so memory is
+//! O(filter + caps), independent of campaign length. The filter trades
+//! exactness for space: a false positive makes a genuinely new schedule
+//! count as a duplicate, at the measured rate reported in
+//! [`ExploreResult::est_fp_rate`] (~1e-4 at default sizing).
 //!
 //! Determinism is preserved end-to-end: every run's seed is a pure function
-//! of `(base_seed, run index)`, and results are re-sorted by run index before
-//! deduplication, so the distinct-schedule set is independent of worker
-//! count and OS scheduling of the workers themselves.
+//! of `(base_seed, run index)`, and in-order commit makes the distinct-hash
+//! sequence independent of worker count and OS scheduling of the workers
+//! themselves.
+//!
+//! For novelty-guided campaigns over multiple strategy arms, see
+//! [`crate::campaign`].
 //!
 //! [`Trace::stable_hash`]: sherlock_trace::Trace::stable_hash
 
@@ -22,6 +35,7 @@ use std::sync::Arc;
 use sherlock_obs::counter;
 
 use crate::config::SimConfig;
+use crate::filter::ScheduleFilter;
 use crate::kernel::{Outcome, RunReport, Sim};
 use crate::strategy::StrategyKind;
 
@@ -36,6 +50,16 @@ pub struct ExploreConfig {
     pub strategy: StrategyKind,
     /// Worker OS threads; 0 means `std::thread::available_parallelism`.
     pub jobs: usize,
+    /// Per-run summaries retained (first N in run order); `None` keeps all —
+    /// the historical behavior, fine for small runs, unbounded for campaigns.
+    pub summary_cap: Option<usize>,
+    /// Distinct [`RunReport`]s retained (first N in first-seen order);
+    /// `None` keeps all. Hash-only exploration (`Some(0)`) still reports
+    /// every distinct hash via [`ExploreResult::distinct_hashes`].
+    pub report_cap: Option<usize>,
+    /// log2 of the dedup filter's bit count; `None` auto-sizes from `runs`
+    /// at ~16 bits/run.
+    pub filter_bits: Option<u32>,
     /// Template for each run's [`SimConfig`] (its `seed` and `strategy`
     /// fields are overwritten per run).
     pub sim: SimConfig,
@@ -48,12 +72,16 @@ impl Default for ExploreConfig {
             base_seed: 0,
             strategy: StrategyKind::RandomWalk,
             jobs: 0,
+            summary_cap: None,
+            report_cap: None,
+            filter_bits: None,
             sim: SimConfig::default(),
         }
     }
 }
 
-/// Per-run summary kept for every explored schedule (distinct or not).
+/// Per-run summary kept for explored schedules (distinct or not), subject to
+/// [`ExploreConfig::summary_cap`].
 #[derive(Clone, Debug)]
 pub struct ScheduleSummary {
     /// Index of the run within the campaign.
@@ -77,40 +105,87 @@ pub struct ScheduleSummary {
 /// The result of one exploration campaign.
 #[derive(Debug, Default)]
 pub struct ExploreResult {
-    /// One summary per run, sorted by run index.
+    /// Per-run summaries, in run order (first `summary_cap` runs).
     pub summaries: Vec<ScheduleSummary>,
-    /// The first [`RunReport`] per distinct trace hash, in run-index order.
+    /// The first [`RunReport`] per distinct trace hash, in first-seen order
+    /// (first `report_cap` of them).
     pub distinct: Vec<RunReport>,
+    /// Every distinct trace hash, in first-seen order — complete even when
+    /// report/summary retention is capped.
+    pub distinct_hashes: Vec<u64>,
+    /// Runs executed.
+    pub runs: u64,
+    /// Runs whose trace hash the filter had already seen.
+    pub dedup_hits: u64,
+    /// Distinct schedules that deadlocked.
+    pub deadlocks: u64,
+    /// Distinct schedules with at least one panicking thread.
+    pub panics: u64,
+    /// Dedup filter footprint in bytes.
+    pub filter_bytes: usize,
+    /// Fraction of filter bits set at the end of the campaign.
+    pub filter_occupancy: f64,
+    /// Measured false-positive bound at final occupancy (the rate at which
+    /// genuinely new schedules were miscounted as duplicates, worst case).
+    pub est_fp_rate: f64,
 }
 
 impl ExploreResult {
     /// Number of runs executed.
     pub fn runs(&self) -> u64 {
-        self.summaries.len() as u64
+        self.runs
     }
 
     /// Trace hashes of the distinct schedules, in first-seen order.
     pub fn distinct_hashes(&self) -> Vec<u64> {
-        self.distinct
-            .iter()
-            .map(|r| r.trace.stable_hash())
-            .collect()
+        self.distinct_hashes.clone()
     }
 
     /// Distinct schedules that deadlocked.
     pub fn deadlocks(&self) -> usize {
-        self.distinct
-            .iter()
-            .filter(|r| matches!(r.outcome, Outcome::Deadlock(_)))
-            .count()
+        self.deadlocks as usize
     }
 
     /// Distinct schedules with at least one panicking thread.
     pub fn panics(&self) -> usize {
-        self.distinct
-            .iter()
-            .filter(|r| !r.panics.is_empty())
-            .count()
+        self.panics as usize
+    }
+
+    fn commit(
+        &mut self,
+        cfg: &ExploreConfig,
+        filter: &mut ScheduleFilter,
+        i: u64,
+        report: RunReport,
+    ) {
+        let hash = report.trace.stable_hash();
+        let is_new = filter.insert(hash);
+        self.runs += 1;
+        if cfg.summary_cap.is_none_or(|cap| self.summaries.len() < cap) {
+            self.summaries.push(ScheduleSummary {
+                run_index: i,
+                seed: cfg.base_seed.wrapping_add(i),
+                trace_hash: hash,
+                steps: report.steps,
+                events: report.trace.len(),
+                deadlocked: matches!(report.outcome, Outcome::Deadlock(_)),
+                panicked: !report.panics.is_empty(),
+            });
+        }
+        if is_new {
+            self.distinct_hashes.push(hash);
+            if matches!(report.outcome, Outcome::Deadlock(_)) {
+                self.deadlocks += 1;
+            }
+            if !report.panics.is_empty() {
+                self.panics += 1;
+            }
+            if cfg.report_cap.is_none_or(|cap| self.distinct.len() < cap) {
+                self.distinct.push(report);
+            }
+        } else {
+            self.dedup_hits += 1;
+        }
     }
 }
 
@@ -147,10 +222,16 @@ impl Explorer {
         };
         let jobs = jobs.min(runs.max(1) as usize).max(1);
 
+        let mut filter = match cfg.filter_bits {
+            Some(bits) => ScheduleFilter::with_log2_bits(bits),
+            None => ScheduleFilter::for_expected(runs),
+        };
+        let mut result = ExploreResult::default();
+
         let next = AtomicU64::new(0);
         let (tx, rx) = channel::<(u64, RunReport)>();
 
-        let collected: Vec<(u64, RunReport)> = std::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..jobs {
                 let tx = tx.clone();
                 let next = &next;
@@ -173,38 +254,31 @@ impl Explorer {
                 });
             }
             drop(tx);
-            rx.into_iter().collect()
+            // Streaming in-order commit: workers race to the channel, but
+            // every run is folded into the result in run-index order, so the
+            // distinct set is a deterministic function of (workload, config)
+            // and memory stays bounded by worker skew rather than run count.
+            let mut pending: BTreeMap<u64, RunReport> = BTreeMap::new();
+            let mut next_commit: u64 = 0;
+            for (i, report) in rx {
+                pending.insert(i, report);
+                while let Some(ready) = pending.remove(&next_commit) {
+                    result.commit(cfg, &mut filter, next_commit, ready);
+                    next_commit += 1;
+                }
+            }
         });
 
-        // Workers race to the channel; re-keying by run index makes the
-        // distinct set a deterministic function of (workload, config).
-        let mut by_index: BTreeMap<u64, RunReport> = collected.into_iter().collect();
-        let mut summaries = Vec::with_capacity(by_index.len());
-        let mut seen: BTreeMap<u64, ()> = BTreeMap::new();
-        let mut distinct = Vec::new();
-        for (i, report) in std::mem::take(&mut by_index) {
-            let hash = report.trace.stable_hash();
-            summaries.push(ScheduleSummary {
-                run_index: i,
-                seed: cfg.base_seed.wrapping_add(i),
-                trace_hash: hash,
-                steps: report.steps,
-                events: report.trace.len(),
-                deadlocked: matches!(report.outcome, Outcome::Deadlock(_)),
-                panicked: !report.panics.is_empty(),
-            });
-            if seen.insert(hash, ()).is_none() {
-                distinct.push(report);
-            }
-        }
-        runs_counter.add(summaries.len() as u64);
-        counter!("explore.runs").add(summaries.len() as u64);
-        counter!("explore.distinct_traces").add(distinct.len() as u64);
-        counter!("explore.duplicate_traces").add(summaries.len() as u64 - distinct.len() as u64);
-        ExploreResult {
-            summaries,
-            distinct,
-        }
+        result.filter_bytes = filter.bytes();
+        result.filter_occupancy = filter.occupancy();
+        result.est_fp_rate = filter.est_fp_rate();
+
+        runs_counter.add(result.runs);
+        counter!("explore.runs").add(result.runs);
+        counter!("explore.distinct_traces").add(result.distinct_hashes.len() as u64);
+        counter!("explore.duplicate_traces").add(result.dedup_hits);
+        counter!("explore.dedup_hits").add(result.dedup_hits);
+        result
     }
 }
 
@@ -250,10 +324,7 @@ mod tests {
         let mut cfg = ExploreConfig::default();
         cfg.runs = 8;
         cfg.jobs = 2;
-        // Strategy that ignores the seed entirely: quantum'd sweep with a
-        // fixed rotation would still vary by seed, so pin the seed instead
-        // by exploring one run repeatedly via base seeds... simplest: a
-        // single-threaded workload, where every interleaving is identical.
+        // A single-threaded workload: every interleaving is identical.
         let one_thread: Arc<dyn Fn() + Send + Sync> = Arc::new(|| {
             let v = TracedVar::new("Explore", "solo", 0u32);
             v.set(1);
@@ -262,6 +333,7 @@ mod tests {
         let result = Explorer::new(cfg).run(one_thread);
         assert_eq!(result.runs(), 8);
         assert_eq!(result.distinct.len(), 1, "single-threaded runs must dedup");
+        assert_eq!(result.dedup_hits, 7);
     }
 
     #[test]
@@ -274,6 +346,7 @@ mod tests {
         );
         // Summaries cover every run even when traces dedup.
         assert_eq!(result.summaries.len(), 24);
+        assert_eq!(result.distinct_hashes.len(), result.distinct.len());
     }
 
     #[test]
@@ -299,5 +372,38 @@ mod tests {
         let result = Explorer::new(cfg).run(blocked);
         assert_eq!(result.deadlocks(), 1, "deadlock dedups to one schedule");
         assert!(result.summaries.iter().all(|s| s.deadlocked));
+    }
+
+    #[test]
+    fn retention_caps_bound_memory_without_losing_counts() {
+        let mut cfg = ExploreConfig::default();
+        cfg.runs = 32;
+        cfg.jobs = 2;
+        cfg.base_seed = 100;
+        cfg.summary_cap = Some(4);
+        cfg.report_cap = Some(1);
+        let capped = Explorer::new(cfg).run(workload());
+        let uncapped = campaign(32, 2, StrategyKind::RandomWalk);
+        assert_eq!(capped.summaries.len(), 4);
+        assert_eq!(capped.distinct.len(), 1);
+        // Counts and the distinct-hash sequence are unaffected by retention.
+        assert_eq!(capped.runs(), 32);
+        assert_eq!(capped.distinct_hashes(), uncapped.distinct_hashes());
+        assert_eq!(capped.deadlocks, uncapped.deadlocks);
+        assert_eq!(capped.dedup_hits, uncapped.dedup_hits);
+    }
+
+    #[test]
+    fn hash_only_mode_retains_no_reports() {
+        let mut cfg = ExploreConfig::default();
+        cfg.runs = 16;
+        cfg.jobs = 1;
+        cfg.base_seed = 100;
+        cfg.report_cap = Some(0);
+        let result = Explorer::new(cfg).run(workload());
+        assert!(result.distinct.is_empty());
+        assert!(!result.distinct_hashes.is_empty());
+        assert!(result.filter_bytes > 0);
+        assert!(result.est_fp_rate < 1e-3);
     }
 }

@@ -1,0 +1,477 @@
+//! Stackful fibers: userspace context switching for the simulator kernel.
+//!
+//! The kernel's historical transport gives every simulated thread a real OS
+//! thread and hands the "go" token over an mpsc channel — two OS context
+//! switches (plus two futex round-trips) per scheduled step, and one OS
+//! thread spawn per simulated thread. At campaign scale (millions of
+//! schedules) that transport is the bottleneck: a typical bundled-app run is
+//! ~40 steps, so ~80 OS switches for microseconds of actual work.
+//!
+//! This module provides the fast transport: each simulated thread becomes a
+//! *fiber* — a heap-allocated stack plus the six callee-saved registers of
+//! the System-V x86-64 ABI — and the scheduler switches to it with a ~20 ns
+//! userspace stack swap instead of a channel send + park. Scheduling policy
+//! is untouched: the kernel still runs the exact same pick/advance loop and
+//! consumes the RNG in the exact same order, so traces are byte-identical
+//! across transports (asserted by `tests/backend_parity.rs`).
+//!
+//! Safety model (all enforced by the kernel, documented here):
+//!
+//! * A fiber is created, resumed, and dropped by the thread driving
+//!   `Sim::run`. The `Send` impl exists only so fibers can sit inert inside
+//!   the kernel's shared state; they are never *resumed* concurrently.
+//! * Exactly one side runs at a time: `resume` transfers control to the
+//!   fiber, which returns it via [`suspend`] or by finishing. The stack-slot
+//!   pointers are therefore never accessed concurrently.
+//! * Panics never cross the assembly boundary: the entry shim wraps the
+//!   closure in `catch_unwind` and aborts the process if anything escapes.
+//! * Stacks are pooled per OS thread and reused across runs; a fiber dropped
+//!   while still suspended leaks its stack rather than unwinding foreign
+//!   frames (the kernel always aborts fibers to completion first).
+
+/// Payload value meaning "run until your next yield point".
+pub(crate) const MSG_RUN: usize = 0;
+/// Payload value meaning "unwind and finish" (run aborted).
+pub(crate) const MSG_ABORT: usize = 1;
+
+/// Outcome of one [`Fiber::resume`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Resume {
+    /// The fiber called [`suspend`] and can be resumed again.
+    Yielded,
+    /// The fiber's entry closure returned; the fiber must not be resumed.
+    Finished,
+}
+
+#[cfg(all(target_arch = "x86_64", unix))]
+mod imp {
+    use super::Resume;
+    use std::alloc::{alloc, dealloc, Layout};
+    use std::cell::RefCell;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Fiber stack size. Simulated threads run traced application idioms —
+    /// no LP solves, no deep recursion — so this is generous; the depth
+    /// canary in `tests/backend_parity.rs` keeps us honest.
+    const STACK_SIZE: usize = 256 * 1024;
+    /// Stacks kept per OS thread for reuse across runs.
+    const POOL_CAP: usize = 64;
+
+    // The context switch. `rdi` = save slot for the outgoing stack pointer,
+    // `rsi` = incoming stack pointer, `rdx` = payload delivered to the other
+    // side (it materializes there as `rax`, the return value of the `switch`
+    // call that suspended it). Only the System-V callee-saved registers need
+    // to travel: the compiler treats `sherlock_fiber_switch` as an ordinary
+    // `extern "C"` call and already assumes caller-saved registers die.
+    std::arch::global_asm!(
+        ".text",
+        ".globl sherlock_fiber_switch",
+        ".p2align 4",
+        "sherlock_fiber_switch:",
+        "push rbp",
+        "push rbx",
+        "push r12",
+        "push r13",
+        "push r14",
+        "push r15",
+        "mov [rdi], rsp",
+        "mov rsp, rsi",
+        "mov rax, rdx",
+        "pop r15",
+        "pop r14",
+        "pop r13",
+        "pop r12",
+        "pop rbx",
+        "pop rbp",
+        "ret",
+        // First activation of a fiber: the crafted stack frame "returns"
+        // here with rsp ≡ 8 (mod 16) — exactly like a normal function entry —
+        // carrying the FiberData pointer in r12 and the first resume payload
+        // in rax. Forward both to the Rust entry shim, which never returns.
+        ".globl sherlock_fiber_start",
+        ".p2align 4",
+        "sherlock_fiber_start:",
+        "mov rdi, r12",
+        "mov rsi, rax",
+        "sub rsp, 8",
+        "call sherlock_fiber_entry",
+        "ud2",
+    );
+
+    unsafe extern "C" {
+        fn sherlock_fiber_switch(save: *mut *mut u8, target: *mut u8, payload: usize) -> usize;
+    }
+
+    /// Everything both sides of a switch need. Heap-allocated so the address
+    /// is stable; the fiber side holds a raw pointer to it.
+    struct FiberData {
+        /// Consumed on first activation.
+        entry: Option<Box<dyn FnOnce(usize) + Send>>,
+        /// Where the scheduler's stack pointer is parked while the fiber runs.
+        sched_sp: *mut u8,
+        /// Where the fiber's stack pointer is parked while it is suspended.
+        fiber_sp: *mut u8,
+        /// Set by the entry shim right before the final switch out.
+        finished: bool,
+    }
+
+    thread_local! {
+        /// Stack of fibers active on this OS thread, innermost last. A stack
+        /// (not a slot) so a fiber that itself drives a nested `Sim::run`
+        /// keeps working.
+        static ACTIVE: RefCell<Vec<*mut FiberData>> = const { RefCell::new(Vec::new()) };
+        static STACK_POOL: RefCell<Vec<FiberStack>> = const { RefCell::new(Vec::new()) };
+    }
+
+    struct FiberStack {
+        base: *mut u8,
+        layout: Layout,
+    }
+
+    impl FiberStack {
+        fn acquire() -> FiberStack {
+            if let Some(s) = STACK_POOL.with(|p| p.borrow_mut().pop()) {
+                return s;
+            }
+            let layout = Layout::from_size_align(STACK_SIZE, 16).expect("fiber stack layout");
+            let base = unsafe { alloc(layout) };
+            assert!(!base.is_null(), "fiber stack allocation failed");
+            FiberStack { base, layout }
+        }
+
+        fn release(self) {
+            STACK_POOL.with(|p| {
+                let mut pool = p.borrow_mut();
+                if pool.len() < POOL_CAP {
+                    pool.push(self);
+                }
+                // Else: drop — deallocates.
+            });
+        }
+
+        /// One past the highest usable byte; 16-aligned because the base is
+        /// 16-aligned and the size is a multiple of 16.
+        fn top(&self) -> *mut u8 {
+            unsafe { self.base.add(STACK_SIZE) }
+        }
+    }
+
+    impl Drop for FiberStack {
+        fn drop(&mut self) {
+            unsafe { dealloc(self.base, self.layout) };
+        }
+    }
+
+    /// Rust-side landing pad for `sherlock_fiber_start`. Must not unwind and
+    /// must not return (there is no frame to return into).
+    #[unsafe(no_mangle)]
+    extern "C" fn sherlock_fiber_entry(data: *mut FiberData, first: usize) -> ! {
+        let entry = unsafe { (*data).entry.take() }.expect("fiber activated twice");
+        // The closure is responsible for its own panic handling (the kernel
+        // wraps workloads in catch_unwind); this outer catch is the hard
+        // backstop that keeps unwinds off the assembly boundary.
+        let aborted = catch_unwind(AssertUnwindSafe(move || entry(first))).is_err();
+        if aborted {
+            // A panic escaped the kernel's own catch_unwind — state is
+            // unknown and the scheduler would hang on bookkeeping that never
+            // happened. Fail loudly.
+            eprintln!("sherlock-sim: panic escaped a fiber entry; aborting");
+            std::process::abort();
+        }
+        unsafe {
+            (*data).finished = true;
+            sherlock_fiber_switch(&mut (*data).fiber_sp, (*data).sched_sp, 0);
+        }
+        // The scheduler saw `finished` and will never switch back.
+        std::process::abort();
+    }
+
+    /// A suspended simulated thread: its stack and saved registers.
+    pub(crate) struct Fiber {
+        data: *mut FiberData,
+        stack: Option<FiberStack>,
+    }
+
+    // SAFETY: a Fiber is only *used* (resumed/suspended) on the OS thread
+    // driving Sim::run for its kernel; between uses it sits inert inside the
+    // kernel's Mutex-guarded state, which may be touched from other threads
+    // only to move the Fiber value itself. The raw pointers inside are never
+    // dereferenced off the driving thread while the fiber is live; on Drop,
+    // the heap Box and stack are freed (safe from any thread) only when the
+    // fiber has finished.
+    unsafe impl Send for Fiber {}
+
+    impl Fiber {
+        /// Allocates a fiber whose first resume invokes `entry` with the
+        /// first payload. Cheap: one pooled stack + one small heap box; the
+        /// closure does not run until [`Fiber::resume`].
+        pub(crate) fn new(entry: impl FnOnce(usize) + Send + 'static) -> Fiber {
+            let stack = FiberStack::acquire();
+            let data = Box::into_raw(Box::new(FiberData {
+                entry: Some(Box::new(entry)),
+                sched_sp: std::ptr::null_mut(),
+                fiber_sp: std::ptr::null_mut(),
+                finished: false,
+            }));
+            // Craft the initial frame so the restore side of
+            // `sherlock_fiber_switch` (six pops + ret) lands in
+            // `sherlock_fiber_start` with r12 = data. Slots from the top:
+            //   top-8   padding (keeps rsp ≡ 8 mod 16 at start)
+            //   top-16  "return address" -> sherlock_fiber_start
+            //   top-24  rbp = 0
+            //   top-32  rbx = 0
+            //   top-40  r12 = data
+            //   top-48  r13 = 0
+            //   top-56  r14 = 0
+            //   top-64  r15 = 0   <- initial fiber_sp
+            unsafe {
+                let top = stack.top() as *mut u64;
+                let start = sherlock_fiber_start_addr();
+                top.sub(1).write(0);
+                top.sub(2).write(start as u64);
+                top.sub(3).write(0);
+                top.sub(4).write(0);
+                top.sub(5).write(data as u64);
+                top.sub(6).write(0);
+                top.sub(7).write(0);
+                top.sub(8).write(0);
+                (*data).fiber_sp = top.sub(8) as *mut u8;
+            }
+            Fiber {
+                data,
+                stack: Some(stack),
+            }
+        }
+
+        /// Transfers control to the fiber, delivering `payload` as the return
+        /// value of the [`suspend`] that parked it (or as the entry argument
+        /// on first activation). Returns when the fiber suspends or finishes.
+        pub(crate) fn resume(&mut self, payload: usize) -> Resume {
+            assert!(
+                !unsafe { (*self.data).finished },
+                "resumed a finished fiber"
+            );
+            ACTIVE.with(|a| a.borrow_mut().push(self.data));
+            unsafe {
+                sherlock_fiber_switch(&mut (*self.data).sched_sp, (*self.data).fiber_sp, payload);
+            }
+            ACTIVE.with(|a| {
+                a.borrow_mut().pop();
+            });
+            if unsafe { (*self.data).finished } {
+                Resume::Finished
+            } else {
+                Resume::Yielded
+            }
+        }
+
+        /// Whether the entry closure has run to completion.
+        #[allow(dead_code)] // exercised by the unit tests below
+        pub(crate) fn finished(&self) -> bool {
+            unsafe { (*self.data).finished }
+        }
+    }
+
+    impl Drop for Fiber {
+        fn drop(&mut self) {
+            if unsafe { (*self.data).finished } {
+                drop(unsafe { Box::from_raw(self.data) });
+                if let Some(stack) = self.stack.take() {
+                    stack.release();
+                }
+            } else if unsafe { (*self.data).entry.is_some() } {
+                // Never activated: no foreign frames on the stack, safe to
+                // free everything (the entry closure just drops).
+                drop(unsafe { Box::from_raw(self.data) });
+                if let Some(stack) = self.stack.take() {
+                    stack.release();
+                }
+            } else {
+                // Suspended mid-run. Unwinding a foreign stack from here is
+                // not possible safely; leak stack + data. The kernel aborts
+                // all fibers to completion before dropping them, so this is
+                // a defensive branch, not a normal path.
+                sherlock_obs::counter!("kernel.fiber_leaks").add(1);
+                std::mem::forget(self.stack.take());
+            }
+        }
+    }
+
+    /// Address of the asm trampoline (taken via an extern fn declaration so
+    /// the cast stays honest about provenance).
+    fn sherlock_fiber_start_addr() -> usize {
+        unsafe extern "C" {
+            fn sherlock_fiber_start();
+        }
+        sherlock_fiber_start as *const () as usize
+    }
+
+    /// Parks the innermost active fiber and returns control to whoever
+    /// resumed it; the next `resume(payload)` returns that payload here.
+    pub(crate) fn suspend(payload: usize) -> usize {
+        let data = ACTIVE.with(|a| {
+            *a.borrow()
+                .last()
+                .expect("fiber::suspend called outside a fiber")
+        });
+        unsafe { sherlock_fiber_switch(&mut (*data).fiber_sp, (*data).sched_sp, payload) }
+    }
+
+    /// Whether the calling code is executing on a fiber stack.
+    #[allow(dead_code)] // exercised by the unit tests below
+    pub(crate) fn in_fiber() -> bool {
+        ACTIVE.with(|a| !a.borrow().is_empty())
+    }
+
+    pub(crate) const SUPPORTED: bool = true;
+}
+
+#[cfg(not(all(target_arch = "x86_64", unix)))]
+mod imp {
+    //! Stub for platforms without the assembly switch: `is_supported()` is
+    //! false, the kernel falls back to the OS-thread transport, and these
+    //! items exist only so the kernel compiles unchanged.
+    use super::Resume;
+
+    pub(crate) struct Fiber;
+
+    impl Fiber {
+        pub(crate) fn new(_entry: impl FnOnce(usize) + Send + 'static) -> Fiber {
+            unreachable!("fiber backend used on an unsupported platform")
+        }
+        pub(crate) fn resume(&mut self, _payload: usize) -> Resume {
+            unreachable!("fiber backend used on an unsupported platform")
+        }
+        pub(crate) fn finished(&self) -> bool {
+            true
+        }
+    }
+
+    pub(crate) fn suspend(_payload: usize) -> usize {
+        unreachable!("fiber backend used on an unsupported platform")
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn in_fiber() -> bool {
+        false
+    }
+
+    pub(crate) const SUPPORTED: bool = false;
+}
+
+#[allow(unused_imports)] // in_fiber is test-only on some configurations
+pub(crate) use imp::{in_fiber, suspend, Fiber};
+
+/// Whether the fiber transport is available on this target.
+pub(crate) fn is_supported() -> bool {
+    imp::SUPPORTED
+}
+
+#[cfg(all(test, target_arch = "x86_64", unix))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn fiber_runs_to_completion() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let mut f = Fiber::new(move |first| {
+            assert_eq!(first, 7);
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(f.resume(7), Resume::Finished);
+        assert!(f.finished());
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn suspend_round_trips_payloads() {
+        let log = Arc::new(MutexLog::default());
+        let l = Arc::clone(&log);
+        let mut f = Fiber::new(move |first| {
+            l.push(first);
+            let next = suspend(100);
+            l.push(next);
+            let last = suspend(200);
+            l.push(last);
+        });
+        assert_eq!(f.resume(1), Resume::Yielded);
+        assert_eq!(f.resume(2), Resume::Yielded);
+        assert_eq!(f.resume(3), Resume::Finished);
+        assert_eq!(log.take(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn many_sequential_fibers_reuse_stacks() {
+        for i in 0..1000 {
+            let mut f = Fiber::new(move |first| {
+                assert_eq!(first, i);
+                let _ = suspend(i);
+            });
+            assert_eq!(f.resume(i), Resume::Yielded);
+            assert_eq!(f.resume(0), Resume::Finished);
+        }
+    }
+
+    #[test]
+    fn nested_fibers_interleave() {
+        let mut outer = Fiber::new(|_| {
+            let mut inner = Fiber::new(|first| {
+                assert_eq!(first, 10);
+                let v = suspend(11);
+                assert_eq!(v, 12);
+            });
+            assert!(in_fiber());
+            assert_eq!(inner.resume(10), Resume::Yielded);
+            let from_sched = suspend(1);
+            assert_eq!(from_sched, 2);
+            assert_eq!(inner.resume(12), Resume::Finished);
+        });
+        assert!(!in_fiber());
+        assert_eq!(outer.resume(0), Resume::Yielded);
+        assert_eq!(outer.resume(2), Resume::Finished);
+        assert!(!in_fiber());
+    }
+
+    #[test]
+    fn never_activated_fiber_drops_cleanly() {
+        let f = Fiber::new(|_| panic!("must not run"));
+        drop(f);
+    }
+
+    #[test]
+    fn callee_saved_registers_survive_switches() {
+        // Burn through values that the compiler will park in callee-saved
+        // registers across the suspend, on both sides.
+        let mut f = Fiber::new(|first| {
+            let mut acc = first;
+            for i in 0..64usize {
+                acc = acc.wrapping_mul(31).wrapping_add(i);
+                acc = suspend(acc);
+            }
+        });
+        let mut expect = 5usize;
+        let mut r = f.resume(5);
+        let mut i = 0usize;
+        while r == Resume::Yielded {
+            expect = expect.wrapping_mul(31).wrapping_add(i);
+            i += 1;
+            // The fiber suspended with `expect`; send it right back.
+            r = f.resume(expect);
+        }
+        assert_eq!(i, 64);
+    }
+
+    #[derive(Default)]
+    struct MutexLog(std::sync::Mutex<Vec<usize>>);
+    impl MutexLog {
+        fn push(&self, v: usize) {
+            self.0.lock().unwrap().push(v);
+        }
+        fn take(&self) -> Vec<usize> {
+            std::mem::take(&mut self.0.lock().unwrap())
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Compact probabilistic schedule-dedup set.
+//!
+//! A campaign that churns through millions of schedules cannot afford an
+//! exact hash set of every `Trace::stable_hash` it has seen — that is O(1)
+//! per query but O(distinct) memory with poor locality. [`ScheduleFilter`]
+//! is a *blocked bloom filter* (Putze, Sanders & Singler, "Cache-, Hash- and
+//! Space-Efficient Bloom Filters"): the bit array is an array of 64-byte
+//! blocks, every element maps to exactly one block, and all `K` probe bits
+//! land inside it — one cache line touched per insert/query instead of `K`
+//! scattered lines.
+//!
+//! The price is one-sided error: `insert` can claim an unseen hash was seen
+//! (a false positive — the campaign undercounts distinct schedules by that
+//! rate), never the reverse. [`ScheduleFilter::est_fp_rate`] reports the
+//! *measured* bound `occupancy^K` from the actual bit occupancy, and the
+//! property test in this module bounds the realized rate against an exact
+//! oracle. At the default sizing (16 bits/element) the rate stays below
+//! ~1e-3; campaigns record it in their results rather than pretending the
+//! count is exact.
+
+/// Bits per 64-byte block.
+const BLOCK_BITS: u64 = 512;
+/// Probe bits per element. Six 9-bit indices fit in one 64-bit mix.
+const K: u32 = 6;
+
+/// SplitMix64 finalizer: full-avalanche mixing so the trace hash's bits are
+/// equidistributed across block and probe indices.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A blocked bloom filter over 64-bit schedule hashes.
+#[derive(Clone, Debug)]
+pub struct ScheduleFilter {
+    /// 64-byte blocks; block count is a power of two.
+    blocks: Vec<[u64; 8]>,
+    /// `blocks.len() - 1`, for masking the block index.
+    block_mask: u64,
+    /// Bits set so far (exact; maintained incrementally).
+    bits_set: u64,
+    /// Number of `insert` calls that found at least one unset bit.
+    admitted: u64,
+}
+
+impl ScheduleFilter {
+    /// Creates a filter of `2^log2_bits` bits (minimum one 512-bit block).
+    /// `log2_bits = 24` (2 MiB) comfortably dedups a million schedules at
+    /// ~1e-4 false-positive rate.
+    pub fn with_log2_bits(log2_bits: u32) -> ScheduleFilter {
+        let bits = 1u64 << log2_bits.clamp(9, 36);
+        let nblocks = (bits / BLOCK_BITS).max(1) as usize;
+        ScheduleFilter {
+            blocks: vec![[0u64; 8]; nblocks],
+            block_mask: nblocks as u64 - 1,
+            bits_set: 0,
+            admitted: 0,
+        }
+    }
+
+    /// Sizes a filter for an expected number of elements at ~16 bits per
+    /// element (clamped to [2^14, 2^28] bits — 2 KiB to 32 MiB).
+    pub fn for_expected(elements: u64) -> ScheduleFilter {
+        let want_bits = elements.saturating_mul(16).max(1);
+        let log2 = 64 - want_bits.leading_zeros();
+        ScheduleFilter::with_log2_bits(log2.clamp(14, 28))
+    }
+
+    /// Inserts a hash; returns `true` when it was (probably) new — i.e. at
+    /// least one of its probe bits was unset. A `false` is either a genuine
+    /// duplicate or a false positive, at a rate bounded by
+    /// [`ScheduleFilter::est_fp_rate`].
+    pub fn insert(&mut self, hash: u64) -> bool {
+        let h1 = mix(hash);
+        let block = &mut self.blocks[(h1 & self.block_mask) as usize];
+        // Independent probe stream: remix so filters bigger than 2^9 bits
+        // don't correlate block choice with probe positions.
+        let mut probes = mix(h1 ^ 0x6a09_e667_f3bc_c909);
+        let mut new = false;
+        for _ in 0..K {
+            let pos = (probes & (BLOCK_BITS - 1)) as usize;
+            probes >>= 9;
+            let bit = 1u64 << (pos & 63);
+            let word = &mut block[pos >> 6];
+            if *word & bit == 0 {
+                *word |= bit;
+                self.bits_set += 1;
+                new = true;
+            }
+        }
+        if new {
+            self.admitted += 1;
+        }
+        new
+    }
+
+    /// Whether the hash has (probably) been inserted. Never false-negative.
+    pub fn contains(&self, hash: u64) -> bool {
+        let h1 = mix(hash);
+        let block = &self.blocks[(h1 & self.block_mask) as usize];
+        let mut probes = mix(h1 ^ 0x6a09_e667_f3bc_c909);
+        for _ in 0..K {
+            let pos = (probes & (BLOCK_BITS - 1)) as usize;
+            probes >>= 9;
+            if block[pos >> 6] & (1u64 << (pos & 63)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Inserts that found at least one unset bit (≈ distinct elements,
+    /// undercounting by the false-positive rate).
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Fraction of bits set, in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        self.bits_set as f64 / self.total_bits() as f64
+    }
+
+    /// Measured false-positive bound: probability that all `K` probes of an
+    /// unseen element land on set bits, assuming the probes are uniform —
+    /// `occupancy^K` evaluated from the *actual* bit occupancy (not the
+    /// idealized `(1 - e^{-kn/m})^k`, which assumes unblocked placement).
+    pub fn est_fp_rate(&self) -> f64 {
+        self.occupancy().powi(K as i32)
+    }
+
+    /// Total filter bits.
+    pub fn total_bits(&self) -> u64 {
+        self.blocks.len() as u64 * BLOCK_BITS
+    }
+
+    /// Heap footprint of the bit array in bytes.
+    pub fn bytes(&self) -> usize {
+        self.blocks.len() * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+    use std::collections::HashSet;
+
+    #[test]
+    fn insert_then_contains_never_false_negative() {
+        let mut f = ScheduleFilter::with_log2_bits(16);
+        let mut rng = SplitMix64::new(0xf11);
+        let hashes: Vec<u64> = (0..5_000).map(|_| rng.next_u64()).collect();
+        for &h in &hashes {
+            f.insert(h);
+        }
+        for &h in &hashes {
+            assert!(f.contains(h), "inserted hash {h:#x} reported absent");
+            assert!(!f.insert(h), "re-insert of {h:#x} claimed novelty");
+        }
+    }
+
+    #[test]
+    fn fp_rate_stays_within_measured_bound() {
+        // Exact-set oracle: every `insert -> false` on a hash the oracle has
+        // not seen is a false positive. The realized rate must stay within a
+        // small multiple of the filter's own `est_fp_rate` report (sampling
+        // noise allows the slack), and within an absolute ceiling.
+        let mut f = ScheduleFilter::with_log2_bits(18); // 256 Kbit
+        let mut oracle: HashSet<u64> = HashSet::new();
+        let mut rng = SplitMix64::new(0xdead_beef);
+        let mut false_positives = 0u64;
+        let mut fresh = 0u64;
+        for _ in 0..20_000 {
+            let h = rng.next_u64();
+            let oracle_new = oracle.insert(h);
+            let filter_new = f.insert(h);
+            if oracle_new {
+                fresh += 1;
+                if !filter_new {
+                    false_positives += 1;
+                }
+            } else {
+                assert!(!filter_new, "oracle duplicate {h:#x} claimed novelty");
+            }
+        }
+        let measured = false_positives as f64 / fresh as f64;
+        let reported = f.est_fp_rate();
+        assert!(
+            measured <= reported * 3.0 + 1e-3,
+            "measured FP rate {measured:.5} exceeds 3x reported bound {reported:.5}"
+        );
+        assert!(
+            measured < 0.02,
+            "FP rate {measured:.5} above absolute ceiling at 13 bits/element"
+        );
+        // The filter's distinct estimate tracks the oracle to the same bound.
+        let undercount = (oracle.len() as u64 - f.admitted()) as f64 / oracle.len() as f64;
+        assert!(
+            undercount < 0.02,
+            "admitted() undercounts oracle by {undercount:.5}"
+        );
+    }
+
+    #[test]
+    fn occupancy_and_bytes_are_reported() {
+        let mut f = ScheduleFilter::with_log2_bits(14);
+        assert_eq!(f.total_bits(), 1 << 14);
+        assert_eq!(f.bytes(), (1 << 14) / 8);
+        assert_eq!(f.occupancy(), 0.0);
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..500 {
+            f.insert(rng.next_u64());
+        }
+        assert!(f.occupancy() > 0.0 && f.occupancy() < 0.5);
+        assert!(f.est_fp_rate() < 0.05);
+    }
+
+    #[test]
+    fn for_expected_scales_with_elements() {
+        assert_eq!(ScheduleFilter::for_expected(100).total_bits(), 1 << 14);
+        let mid = ScheduleFilter::for_expected(1_000_000);
+        assert!(mid.total_bits() >= 1 << 24, "1M elements needs >= 16 Mbit");
+        assert_eq!(
+            ScheduleFilter::for_expected(u64::MAX / 32).total_bits(),
+            1 << 28
+        );
+    }
+
+    #[test]
+    fn tiny_filters_clamp_to_one_block() {
+        let mut f = ScheduleFilter::with_log2_bits(0);
+        assert_eq!(f.total_bits(), 512);
+        assert!(f.insert(1));
+        assert!(f.contains(1));
+    }
+}

@@ -5,9 +5,11 @@
 //! catches all of these, so their default-handler backtraces are pure noise —
 //! but a blanket `panic::set_hook(|_| {})` (what the CLI and bench binaries
 //! used to install) also silences *real* bugs on the driver thread. This hook
-//! suppresses only threads the kernel spawned, identified by their
-//! `sim-`-prefixed OS thread name, and delegates everything else to the
-//! previously installed hook.
+//! suppresses only simulated code: OS-backed sim threads are identified by
+//! their `sim-`-prefixed thread name, fiber-backed ones by the kernel's
+//! thread-local execution context (fibers run on the scheduler's own OS
+//! thread, so the name check alone would miss them). Everything else
+//! delegates to the previously installed hook.
 
 use std::panic;
 use std::sync::Once;
@@ -26,12 +28,16 @@ pub fn install_sim_panic_hook() {
         let previous = panic::take_hook();
         panic::set_hook(Box::new(move |info| {
             let current = std::thread::current();
-            match current.name() {
-                Some(name) if name.starts_with(SIM_THREAD_PREFIX) => {
-                    sherlock_obs::counter!("kernel.panics_suppressed").add(1);
-                    sherlock_obs::debug!("sim.panic", "suppressed panic on {name}: {info}");
-                }
-                _ => previous(info),
+            let simulated = matches!(
+                current.name(),
+                Some(name) if name.starts_with(SIM_THREAD_PREFIX)
+            ) || crate::kernel::in_sim_context();
+            if simulated {
+                let name = current.name().unwrap_or("fiber");
+                sherlock_obs::counter!("kernel.panics_suppressed").add(1);
+                sherlock_obs::debug!("sim.panic", "suppressed panic on {name}: {info}");
+            } else {
+                previous(info);
             }
         }));
     });

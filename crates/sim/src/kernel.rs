@@ -1,33 +1,59 @@
 //! The cooperative virtual-time scheduler.
 //!
-//! Every simulated thread is an OS thread, but exactly one executes at any
-//! instant: the scheduler hands a single "go" token to one runnable thread,
+//! Every simulated thread runs in isolation: exactly one executes at any
+//! instant. The scheduler hands a single "go" token to one runnable thread,
 //! which runs until its next traced operation (a *yield point*) and hands the
 //! token back. A seeded RNG picks the next runnable thread, so a run is a
 //! deterministic function of `(workload, SimConfig)` — the property the
 //! paper's wall-clock executions lack and the reason inference results here
 //! are exactly reproducible.
+//!
+//! Two transports carry the token (see [`crate::config::SimBackend`]):
+//!
+//! * **Fibers** (default on x86-64 unix): each simulated thread is a stackful
+//!   coroutine on the scheduler's own OS thread; the handoff is a ~20 ns
+//!   userspace stack swap (`crate::fiber`). This is what makes
+//!   campaign-scale exploration (millions of schedules) affordable.
+//! * **OS threads** (fallback + differential oracle): each simulated thread
+//!   is a real OS thread parked on a channel; the handoff costs two OS
+//!   context switches.
+//!
+//! The scheduler loop, RNG consumption, and trace emission are shared —
+//! byte-identical traces across transports are asserted by
+//! `tests/backend_parity.rs`.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use sherlock_obs::counter;
 use sherlock_trace::{AccessClass, OpRef, ThreadId, Time, Trace, TraceBuilder};
 
-use crate::config::SimConfig;
+use crate::config::{SimBackend, SimConfig};
+use crate::fiber;
 use crate::rng::SplitMix64;
 use crate::strategy::Strategy;
 
 /// Panic payload used to unwind simulated threads when a run is aborted.
 struct AbortToken;
 
+#[derive(Clone, Copy)]
 enum GoMsg {
     Run,
     Abort,
+}
+
+impl GoMsg {
+    /// Encoding used when the token travels over a fiber switch.
+    fn payload(self) -> usize {
+        match self {
+            GoMsg::Run => fiber::MSG_RUN,
+            GoMsg::Abort => fiber::MSG_ABORT,
+        }
+    }
 }
 
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,13 +64,22 @@ enum ThreadState {
     Finished,
 }
 
+/// How the go token reaches one simulated thread.
+enum Transport {
+    Os {
+        go: Sender<GoMsg>,
+        handle: Option<std::thread::JoinHandle<()>>,
+    },
+    /// `None` while the scheduler holds the fiber mid-resume.
+    Fiber(Option<fiber::Fiber>),
+}
+
 struct ThreadSlot {
     name: String,
     state: ThreadState,
     daemon: bool,
-    go: Sender<GoMsg>,
+    transport: Transport,
     join_waiters: Vec<u32>,
-    os_handle: Option<std::thread::JoinHandle<()>>,
 }
 
 pub(crate) struct KState {
@@ -58,6 +93,8 @@ pub(crate) struct KState {
     steps: u64,
     panics: Vec<PanicReport>,
     live_nondaemon: usize,
+    /// Resolved once per run; `spawn_on` uses it to pick the transport.
+    fibers: bool,
 }
 
 pub(crate) struct Kernel {
@@ -65,10 +102,17 @@ pub(crate) struct Kernel {
     to_sched: Sender<u32>,
 }
 
+enum CtxKind {
+    Os { go_rx: Receiver<GoMsg> },
+    Fiber,
+}
+
 struct Ctx {
     kernel: Arc<Kernel>,
-    tid: u32,
-    go_rx: Receiver<GoMsg>,
+    /// Fixed for an OS-thread context; retargeted before every resume for
+    /// the (shared, per-scheduler) fiber context.
+    tid: Cell<u32>,
+    kind: CtxKind,
 }
 
 thread_local! {
@@ -76,25 +120,47 @@ thread_local! {
 }
 
 fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> R {
-    CURRENT.with(|c| {
-        let b = c.borrow();
-        let ctx = b
-            .as_ref()
-            .expect("sherlock-sim operation used outside Sim::run");
-        f(ctx)
-    })
+    // Clone the Rc out and release the borrow *before* running `f`: in fiber
+    // mode `f` may suspend back to the scheduler, which then needs to mutate
+    // CURRENT while this frame is parked on the fiber stack.
+    let ctx = CURRENT
+        .with(|c| c.borrow().as_ref().map(Rc::clone))
+        .expect("sherlock-sim operation used outside Sim::run");
+    f(&ctx)
+}
+
+/// Whether the calling code is executing simulated code (either an OS-backed
+/// sim thread or a fiber resumed by a scheduler on this thread). Used by the
+/// panic hook; must never panic itself.
+pub(crate) fn in_sim_context() -> bool {
+    CURRENT
+        .try_with(|c| match c.try_borrow() {
+            Ok(b) => b.is_some(),
+            // A held borrow means we are inside a kernel service — sim code.
+            Err(_) => true,
+        })
+        .unwrap_or(false)
 }
 
 impl Ctx {
     /// Hands the token back to the scheduler and parks until re-scheduled.
     fn yield_to_scheduler(&self) {
-        self.kernel
-            .to_sched
-            .send(self.tid)
-            .expect("scheduler channel closed");
-        match self.go_rx.recv() {
-            Ok(GoMsg::Run) => {}
-            Ok(GoMsg::Abort) | Err(_) => resume_unwind(Box::new(AbortToken)),
+        match &self.kind {
+            CtxKind::Os { go_rx } => {
+                self.kernel
+                    .to_sched
+                    .send(self.tid.get())
+                    .expect("scheduler channel closed");
+                match go_rx.recv() {
+                    Ok(GoMsg::Run) => {}
+                    Ok(GoMsg::Abort) | Err(_) => resume_unwind(Box::new(AbortToken)),
+                }
+            }
+            CtxKind::Fiber => {
+                if fiber::suspend(self.tid.get() as usize) == fiber::MSG_ABORT {
+                    resume_unwind(Box::new(AbortToken));
+                }
+            }
         }
     }
 }
@@ -170,6 +236,27 @@ impl RunReport {
     }
 }
 
+/// Resolves the configured backend against the environment override and
+/// platform support.
+fn use_fibers(config: &SimConfig) -> bool {
+    fn env_backend() -> Option<SimBackend> {
+        static ENV: OnceLock<Option<SimBackend>> = OnceLock::new();
+        *ENV.get_or_init(|| {
+            std::env::var("SHERLOCK_SIM_BACKEND")
+                .ok()
+                .and_then(|s| SimBackend::parse(&s))
+        })
+    }
+    let choice = match config.backend {
+        SimBackend::Auto => env_backend().unwrap_or(SimBackend::Auto),
+        explicit => explicit,
+    };
+    match choice {
+        SimBackend::OsThreads => false,
+        SimBackend::Fibers | SimBackend::Auto => fiber::is_supported(),
+    }
+}
+
 /// A deterministic simulated execution.
 ///
 /// ```
@@ -197,6 +284,7 @@ impl Sim {
     /// exhausts its step budget). Returns the collected trace and outcome.
     pub fn run(self, root: impl FnOnce() + Send + 'static) -> RunReport {
         let (to_sched, sched_rx) = channel::<u32>();
+        let fibers = use_fibers(&self.config);
         // Strategy state is built before the root spawn so `on_spawn`
         // notifications cover every thread, root included.
         let strategy = self.config.strategy.build(self.config.seed);
@@ -211,9 +299,19 @@ impl Sim {
                 steps: 0,
                 panics: Vec::new(),
                 live_nondaemon: 0,
+                fibers,
                 config: self.config,
             }),
             to_sched,
+        });
+        // One shared context serves every fiber; its tid is retargeted
+        // before each resume. OS-backed threads build their own contexts.
+        let fiber_ctx = fibers.then(|| {
+            Rc::new(Ctx {
+                kernel: Arc::clone(&kernel),
+                tid: Cell::new(0),
+                kind: CtxKind::Fiber,
+            })
         });
         spawn_on(&kernel, "root", false, root);
 
@@ -299,12 +397,7 @@ impl Sim {
                         counter!("kernel.context_switches").add(1);
                         last_run = Some(tid);
                     }
-                    let go = {
-                        let st = kernel.state.lock().expect("kernel state poisoned");
-                        st.threads[tid as usize].go.clone()
-                    };
-                    go.send(GoMsg::Run).expect("sim thread channel closed");
-                    sched_rx.recv().expect("all sim threads vanished");
+                    dispatch(&kernel, &sched_rx, fiber_ctx.as_ref(), tid, GoMsg::Run);
                 }
                 Act::AdvanceTo(t) => {
                     let mut st = kernel.state.lock().expect("kernel state poisoned");
@@ -322,19 +415,24 @@ impl Sim {
             }
         }
 
-        abort_all(&kernel, &sched_rx);
+        abort_all(&kernel, &sched_rx, fiber_ctx.as_ref());
 
         let handles: Vec<_> = {
             let mut st = kernel.state.lock().expect("kernel state poisoned");
             st.threads
                 .iter_mut()
-                .filter_map(|s| s.os_handle.take())
+                .filter_map(|s| match &mut s.transport {
+                    Transport::Os { handle, .. } => handle.take(),
+                    Transport::Fiber(_) => None,
+                })
                 .collect()
         };
         for h in handles {
             let _ = h.join();
         }
 
+        // The shared fiber context holds the last outstanding kernel Arc.
+        drop(fiber_ctx);
         let st = Arc::try_unwrap(kernel)
             .unwrap_or_else(|_| panic!("kernel still referenced after join"))
             .state
@@ -342,6 +440,9 @@ impl Sim {
             .expect("kernel state poisoned");
         counter!("kernel.steps").add(st.steps);
         counter!("kernel.runs").add(1);
+        if fibers {
+            counter!("kernel.fiber_runs").add(1);
+        }
         RunReport {
             trace: st.trace.finish(),
             end_time: st.clock,
@@ -353,13 +454,72 @@ impl Sim {
     }
 }
 
-fn abort_all(kernel: &Arc<Kernel>, sched_rx: &Receiver<u32>) {
+/// Delivers one go token to `tid` and waits for the thread to hand it back
+/// (by yielding or finishing). The kernel lock is *not* held across the
+/// handoff — the target immediately re-enters kernel services.
+fn dispatch(
+    kernel: &Arc<Kernel>,
+    sched_rx: &Receiver<u32>,
+    fiber_ctx: Option<&Rc<Ctx>>,
+    tid: u32,
+    msg: GoMsg,
+) {
+    enum Via {
+        Os(Sender<GoMsg>),
+        Fiber(fiber::Fiber),
+    }
+    let via = {
+        let mut st = kernel.state.lock().expect("kernel state poisoned");
+        match &mut st.threads[tid as usize].transport {
+            Transport::Os { go, .. } => Via::Os(go.clone()),
+            Transport::Fiber(f) => Via::Fiber(f.take().expect("fiber resumed while running")),
+        }
+    };
+    match via {
+        Via::Os(go) => {
+            go.send(msg).expect("sim thread channel closed");
+            sched_rx.recv().expect("all sim threads vanished");
+        }
+        Via::Fiber(mut f) => {
+            let ctx = fiber_ctx.expect("fiber transport without a fiber ctx");
+            ctx.tid.set(tid);
+            // Save/restore CURRENT so a nested Sim::run driven from inside a
+            // fiber keeps its outer context.
+            let prev = CURRENT.with(|c| c.borrow_mut().replace(Rc::clone(ctx)));
+            let _ = f.resume(msg.payload());
+            CURRENT.with(|c| *c.borrow_mut() = prev);
+            let mut st = kernel.state.lock().expect("kernel state poisoned");
+            st.threads[tid as usize].transport = Transport::Fiber(Some(f));
+        }
+    }
+}
+
+fn abort_all(kernel: &Arc<Kernel>, sched_rx: &Receiver<u32>, fiber_ctx: Option<&Rc<Ctx>>) {
+    if fiber_ctx.is_some() {
+        // Resume each unfinished fiber with the abort token until its stack
+        // has fully unwound (a destructor that yields is re-aborted).
+        loop {
+            let next = {
+                let st = kernel.state.lock().expect("kernel state poisoned");
+                st.threads
+                    .iter()
+                    .position(|s| s.state != ThreadState::Finished)
+                    .map(|i| i as u32)
+            };
+            let Some(tid) = next else { break };
+            dispatch(kernel, sched_rx, fiber_ctx, tid, GoMsg::Abort);
+        }
+        return;
+    }
     let pending: Vec<Sender<GoMsg>> = {
         let st = kernel.state.lock().expect("kernel state poisoned");
         st.threads
             .iter()
             .filter(|s| s.state != ThreadState::Finished)
-            .map(|s| s.go.clone())
+            .filter_map(|s| match &s.transport {
+                Transport::Os { go, .. } => Some(go.clone()),
+                Transport::Fiber(_) => None,
+            })
             .collect()
     };
     for go in &pending {
@@ -370,7 +530,65 @@ fn abort_all(kernel: &Arc<Kernel>, sched_rx: &Receiver<u32>) {
     }
 }
 
+/// Registers a new thread slot (state bookkeeping shared by both transports).
+fn alloc_slot(st: &mut KState, name: &str, daemon: bool, transport: Transport) -> u32 {
+    let tid = u32::try_from(st.threads.len()).expect("too many sim threads");
+    st.threads.push(ThreadSlot {
+        name: name.to_string(),
+        state: ThreadState::Runnable,
+        daemon,
+        transport,
+        join_waiters: Vec::new(),
+    });
+    if !daemon {
+        st.live_nondaemon += 1;
+    }
+    st.strategy.on_spawn(tid);
+    tid
+}
+
 pub(crate) fn spawn_on(
+    kernel: &Arc<Kernel>,
+    name: &str,
+    daemon: bool,
+    f: impl FnOnce() + Send + 'static,
+) -> u32 {
+    let fibers = kernel.state.lock().expect("kernel state poisoned").fibers;
+    if fibers {
+        spawn_fiber_on(kernel, name, daemon, f)
+    } else {
+        spawn_os_on(kernel, name, daemon, f)
+    }
+}
+
+fn spawn_fiber_on(
+    kernel: &Arc<Kernel>,
+    name: &str,
+    daemon: bool,
+    f: impl FnOnce() + Send + 'static,
+) -> u32 {
+    let tname = name.to_string();
+    // Mirrors the OS-thread body below: first token decides whether the
+    // workload runs at all; the abort token unwinds via AbortToken inside
+    // `catch_unwind`; finish bookkeeping always happens. CURRENT is set by
+    // the scheduler around every resume, so `with_ctx` works here untouched.
+    let fib = fiber::Fiber::new(move |first| {
+        let panic_msg = if first == fiber::MSG_RUN {
+            match catch_unwind(AssertUnwindSafe(f)) {
+                Ok(()) => None,
+                Err(p) if p.is::<AbortToken>() => None,
+                Err(p) => Some(render_panic(&*p)),
+            }
+        } else {
+            None
+        };
+        with_ctx(|ctx| finish_current(ctx, panic_msg, &tname));
+    });
+    let mut st = kernel.state.lock().expect("kernel state poisoned");
+    alloc_slot(&mut st, name, daemon, Transport::Fiber(Some(fib)))
+}
+
+fn spawn_os_on(
     kernel: &Arc<Kernel>,
     name: &str,
     daemon: bool,
@@ -379,20 +597,15 @@ pub(crate) fn spawn_on(
     let (go_tx, go_rx) = channel::<GoMsg>();
     let tid = {
         let mut st = kernel.state.lock().expect("kernel state poisoned");
-        let tid = u32::try_from(st.threads.len()).expect("too many sim threads");
-        st.threads.push(ThreadSlot {
-            name: name.to_string(),
-            state: ThreadState::Runnable,
+        alloc_slot(
+            &mut st,
+            name,
             daemon,
-            go: go_tx,
-            join_waiters: Vec::new(),
-            os_handle: None,
-        });
-        if !daemon {
-            st.live_nondaemon += 1;
-        }
-        st.strategy.on_spawn(tid);
-        tid
+            Transport::Os {
+                go: go_tx,
+                handle: None,
+            },
+        )
     };
     let k = Arc::clone(kernel);
     let tname = name.to_string();
@@ -401,11 +614,14 @@ pub(crate) fn spawn_on(
         .spawn(move || {
             let ctx = Rc::new(Ctx {
                 kernel: k,
-                tid,
-                go_rx,
+                tid: Cell::new(tid),
+                kind: CtxKind::Os { go_rx },
             });
             CURRENT.with(|c| *c.borrow_mut() = Some(Rc::clone(&ctx)));
-            let first = ctx.go_rx.recv();
+            let first = match &ctx.kind {
+                CtxKind::Os { go_rx } => go_rx.recv(),
+                CtxKind::Fiber => unreachable!("os thread with fiber ctx"),
+            };
             let panic_msg = match first {
                 Ok(GoMsg::Run) => match catch_unwind(AssertUnwindSafe(f)) {
                     Ok(()) => None,
@@ -418,8 +634,10 @@ pub(crate) fn spawn_on(
             CURRENT.with(|c| *c.borrow_mut() = None);
         })
         .expect("failed to spawn OS thread for sim thread");
-    kernel.state.lock().expect("kernel state poisoned").threads[tid as usize].os_handle =
-        Some(handle);
+    match &mut kernel.state.lock().expect("kernel state poisoned").threads[tid as usize].transport {
+        Transport::Os { handle: h, .. } => *h = Some(handle),
+        Transport::Fiber(_) => unreachable!("os spawn produced a fiber slot"),
+    }
     tid
 }
 
@@ -434,9 +652,10 @@ fn render_panic(p: &(dyn std::any::Any + Send)) -> String {
 }
 
 fn finish_current(ctx: &Ctx, panic_msg: Option<String>, name: &str) {
+    let tid = ctx.tid.get();
     {
         let mut st = ctx.kernel.state.lock().expect("kernel state poisoned");
-        let slot = &mut st.threads[ctx.tid as usize];
+        let slot = &mut st.threads[tid as usize];
         let was_finished = slot.state == ThreadState::Finished;
         slot.state = ThreadState::Finished;
         let daemon = slot.daemon;
@@ -452,13 +671,17 @@ fn finish_current(ctx: &Ctx, panic_msg: Option<String>, name: &str) {
         }
         if let Some(msg) = panic_msg {
             st.panics.push(PanicReport {
-                thread: ThreadId(ctx.tid),
+                thread: ThreadId(tid),
                 thread_name: name.to_string(),
                 message: msg,
             });
         }
     }
-    let _ = ctx.kernel.to_sched.send(ctx.tid);
+    // Fibers return the token by returning from their entry closure; only
+    // OS-backed threads must signal the scheduler explicitly.
+    if let CtxKind::Os { .. } = ctx.kind {
+        let _ = ctx.kernel.to_sched.send(tid);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -495,7 +718,7 @@ pub(crate) fn kernel_now() -> Time {
 
 /// Index of the current simulated thread.
 pub(crate) fn kernel_current_tid() -> u32 {
-    with_ctx(|ctx| ctx.tid)
+    with_ctx(|ctx| ctx.tid.get())
 }
 
 /// Name of a simulated thread.
@@ -544,7 +767,7 @@ pub(crate) fn kernel_sleep(d: Time) {
             let mut st = ctx.kernel.state.lock().expect("kernel state poisoned");
             st.advance_clock();
             let until = st.clock.saturating_add(d);
-            st.threads[ctx.tid as usize].state = ThreadState::Sleeping(until);
+            st.threads[ctx.tid.get() as usize].state = ThreadState::Sleeping(until);
         }
         ctx.yield_to_scheduler();
     })
@@ -559,7 +782,7 @@ pub(crate) fn kernel_block_current() {
         {
             let mut st = ctx.kernel.state.lock().expect("kernel state poisoned");
             st.advance_clock();
-            st.threads[ctx.tid as usize].state = ThreadState::Blocked;
+            st.threads[ctx.tid.get() as usize].state = ThreadState::Blocked;
         }
         ctx.yield_to_scheduler();
     })
@@ -598,7 +821,7 @@ pub(crate) fn kernel_join(target: u32) {
             if st.threads[target as usize].state == ThreadState::Finished {
                 true
             } else {
-                let me = ctx.tid;
+                let me = ctx.tid.get();
                 st.threads[target as usize].join_waiters.push(me);
                 st.threads[me as usize].state = ThreadState::Blocked;
                 false
@@ -660,7 +883,7 @@ pub(crate) fn kernel_trace(op: &OpRef, object: u64, access: AccessClass) {
                     st.advance_clock();
                     let start = st.clock;
                     let until = st.clock.saturating_add(d);
-                    st.threads[ctx.tid as usize].state = ThreadState::Sleeping(until);
+                    st.threads[ctx.tid.get() as usize].state = ThreadState::Sleeping(until);
                     Some(start)
                 } else {
                     None
@@ -685,10 +908,11 @@ pub(crate) fn kernel_trace(op: &OpRef, object: u64, access: AccessClass) {
                 counter!("perturber.delays_injected").add(1);
                 sherlock_obs::histogram!("perturber.delay_ns")
                     .observe((t.saturating_sub(start)).as_nanos());
-                st.trace.push_delay(ctx.tid, op_id, start, t);
+                st.trace.push_delay(ctx.tid.get(), op_id, start, t);
             }
             counter!("kernel.events_traced").add(1);
-            st.trace.push_classified(t, ctx.tid, op_id, object, access);
+            st.trace
+                .push_classified(t, ctx.tid.get(), op_id, object, access);
         }
         ctx.yield_to_scheduler();
     })

@@ -39,8 +39,11 @@
 //! ```
 
 pub mod api;
+pub mod campaign;
 mod config;
 pub mod explore;
+mod fiber;
+pub mod filter;
 mod hook;
 mod kernel;
 pub mod prims;
@@ -48,7 +51,10 @@ pub mod rng;
 pub mod strategy;
 pub mod testutil;
 
-pub use config::{DelayPlan, InstrumentConfig, SimConfig};
+pub use campaign::{
+    arm_label, default_arms, ArmReport, Campaign, CampaignConfig, CampaignProgress, CampaignResult,
+};
+pub use config::{DelayPlan, InstrumentConfig, SimBackend, SimConfig};
 pub use explore::{ExploreConfig, ExploreResult, Explorer, ScheduleSummary};
 pub use hook::install_sim_panic_hook;
 pub use kernel::{Outcome, PanicReport, RunReport, Sim};

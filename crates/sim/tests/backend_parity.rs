@@ -1,0 +1,149 @@
+//! Differential oracle for the kernel's two thread transports.
+//!
+//! The fiber backend must be invisible to everything downstream: same RNG
+//! consumption, same virtual clock, same trace bytes. These tests run the
+//! same workloads under `SimBackend::Fibers` and `SimBackend::OsThreads`
+//! across seeds and scheduling strategies and require the full JSON
+//! rendering of the traces (timestamps included) to match exactly.
+
+use std::sync::Arc;
+
+use sherlock_sim::prims::{EventWaitHandle, Monitor, TracedVar};
+use sherlock_sim::{api, Sim, SimBackend, SimConfig, StrategyKind};
+use sherlock_trace::json::to_json;
+use sherlock_trace::Time;
+
+fn run_both(seed: u64, strategy: StrategyKind, workload: Arc<dyn Fn() + Send + Sync>) {
+    if !cfg!(all(target_arch = "x86_64", unix)) {
+        // Fiber transport unavailable: nothing to differentiate.
+        return;
+    }
+    let mut base = SimConfig::with_seed(seed);
+    base.strategy = strategy;
+
+    let mut fib_cfg = base.clone();
+    fib_cfg.backend = SimBackend::Fibers;
+    let w = Arc::clone(&workload);
+    let fib = Sim::new(fib_cfg).run(move || w());
+
+    let mut os_cfg = base;
+    os_cfg.backend = SimBackend::OsThreads;
+    let w = Arc::clone(&workload);
+    let os = Sim::new(os_cfg).run(move || w());
+
+    assert_eq!(fib.outcome, os.outcome, "outcome @ seed {seed}");
+    assert_eq!(fib.steps, os.steps, "steps @ seed {seed}");
+    assert_eq!(fib.end_time, os.end_time, "end_time @ seed {seed}");
+    assert_eq!(fib.thread_names, os.thread_names, "threads @ seed {seed}");
+    assert_eq!(
+        fib.panics.len(),
+        os.panics.len(),
+        "panic count @ seed {seed}"
+    );
+    assert_eq!(
+        to_json(&fib.trace),
+        to_json(&os.trace),
+        "trace bytes @ seed {seed} ({strategy:?})"
+    );
+}
+
+fn racy_workload() -> Arc<dyn Fn() + Send + Sync> {
+    Arc::new(|| {
+        let v = TracedVar::new("Parity", "x", 0u32);
+        let m = Monitor::new();
+        let v2 = v.clone();
+        let m2 = m.clone();
+        let a = api::spawn("writer", move || {
+            m2.enter();
+            v2.set(1);
+            m2.exit();
+        });
+        let v3 = v.clone();
+        let b = api::spawn("reader", move || {
+            let _ = v3.get();
+            v3.set(2);
+        });
+        v.set(3);
+        a.join();
+        b.join();
+    })
+}
+
+#[test]
+fn traces_are_byte_identical_across_backends() {
+    for seed in [0u64, 1, 7, 42, 1337] {
+        run_both(seed, StrategyKind::RandomWalk, racy_workload());
+    }
+}
+
+#[test]
+fn parity_holds_for_every_strategy() {
+    for strategy in [
+        StrategyKind::RandomWalk,
+        StrategyKind::Pct { depth: 3 },
+        StrategyKind::RoundRobin { quantum: 2 },
+    ] {
+        for seed in [5u64, 99] {
+            run_both(seed, strategy, racy_workload());
+        }
+    }
+}
+
+#[test]
+fn parity_holds_for_sleep_and_blocking() {
+    let workload: Arc<dyn Fn() + Send + Sync> = Arc::new(|| {
+        let ev = EventWaitHandle::new(false);
+        let ev2 = ev.clone();
+        let h = api::spawn("waiter", move || {
+            ev2.wait_one();
+        });
+        api::sleep(Time::from_micros(50));
+        ev.set();
+        h.join();
+    });
+    for seed in [3u64, 17] {
+        run_both(seed, StrategyKind::RandomWalk, Arc::clone(&workload));
+    }
+}
+
+#[test]
+fn parity_holds_for_deadlocked_runs() {
+    let workload: Arc<dyn Fn() + Send + Sync> = Arc::new(|| {
+        let ev = EventWaitHandle::new(false);
+        ev.wait_one();
+    });
+    if !cfg!(all(target_arch = "x86_64", unix)) {
+        return;
+    }
+    let mut base = SimConfig::with_seed(11);
+    base.idle_timeout = Time::from_millis(1);
+    let mut fib_cfg = base.clone();
+    fib_cfg.backend = SimBackend::Fibers;
+    let w = Arc::clone(&workload);
+    let fib = Sim::new(fib_cfg).run(move || w());
+    let mut os_cfg = base;
+    os_cfg.backend = SimBackend::OsThreads;
+    let w = Arc::clone(&workload);
+    let os = Sim::new(os_cfg).run(move || w());
+    assert!(matches!(fib.outcome, sherlock_sim::Outcome::Deadlock(_)));
+    assert_eq!(fib.outcome, os.outcome);
+    assert_eq!(to_json(&fib.trace), to_json(&os.trace));
+}
+
+#[test]
+fn parity_holds_for_panicking_threads() {
+    let workload: Arc<dyn Fn() + Send + Sync> = Arc::new(|| {
+        let v = TracedVar::new("Parity", "boom", 0u32);
+        let v2 = v.clone();
+        let h = api::spawn("asserter", move || {
+            v2.set(1);
+            assert_eq!(v2.get(), 99, "seeded failure");
+        });
+        v.set(2);
+        h.join();
+    });
+    sherlock_sim::install_sim_panic_hook();
+    for seed in [2u64, 8] {
+        run_both(seed, StrategyKind::RandomWalk, Arc::clone(&workload));
+    }
+}
