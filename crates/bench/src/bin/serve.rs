@@ -1,15 +1,24 @@
 //! `sherlock-serve` load generator: spawns the daemon in-process (or
-//! targets `--addr`), replays the eight bundled apps' traces from N
-//! concurrent clients, and reports per-request p50/p95/p99 latency plus
-//! throughput. Verifies the protocol's delivery guarantees along the way —
-//! every request gets exactly one response and responses arrive in request
-//! order per connection — and exits nonzero on any violation or protocol
-//! error. Writes `results/BENCH_serve.json` (and, when the daemon runs
+//! targets `--addr`), replays the eight bundled apps' traces — plus, with
+//! `--fleet N`, N grammar-generated fleet apps — from N concurrent
+//! clients, and reports per-request p50/p95/p99 latency plus throughput.
+//! Verifies the protocol's delivery guarantees along the way — every
+//! request gets exactly one response and responses arrive in request order
+//! per connection — and exits nonzero on any violation or protocol error.
+//!
+//! The in-process daemon runs **durable** (oplog + snapshots in a temp
+//! data directory) and the run finishes with a restart phase: the drained
+//! daemon is replaced by a fresh one over the same data directory, every
+//! client session is solved once more — rehydrate-on-miss under load — and
+//! each rehydrated spec is byte-compared against the live daemon's final
+//! spec. The report splits solve latency into *cold* (live session, state
+//! in memory) and *rehydrated* (state rebuilt from disk on first touch).
+//! Writes `results/BENCH_serve.json` (and, when the daemon runs
 //! in-process, a collapsed-stack profile `results/serve.folded`).
 //!
 //! ```text
 //! cargo run --release -p sherlock-bench --bin serve -- \
-//!     [--clients N] [--seeds N] [--workers N] [--addr HOST:PORT]
+//!     [--clients N] [--seeds N] [--workers N] [--fleet N] [--addr HOST:PORT]
 //! ```
 
 use std::process::ExitCode;
@@ -18,6 +27,7 @@ use std::time::Instant;
 use sherlock_apps::all_apps;
 use sherlock_bench::{cells, results_path, TablePrinter};
 use sherlock_core::SherLockConfig;
+use sherlock_fleet::{generate, GrammarConfig};
 use sherlock_obs::json::Json;
 use sherlock_serve::{spawn, Client, ServeConfig};
 use sherlock_sim::SimConfig;
@@ -26,10 +36,17 @@ use sherlock_trace::{json as trace_json, Trace};
 /// How often a client interleaves a `solve` between absorbs.
 const SOLVE_EVERY: usize = 4;
 
+/// One restart-phase solve: `(session label, Ok((latency, spec)) | Err)`.
+type RestartSolve = (String, Result<(u64, Option<String>), String>);
+
+/// Base seed for `--fleet` app generation (fleet app f uses `BASE + f`).
+const FLEET_BASE_SEED: u64 = 0x000f_1ee7_0000;
+
 struct Args {
     clients: usize,
     seeds: u64,
     workers: usize,
+    fleet: usize,
     addr: Option<String>,
 }
 
@@ -38,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         clients: 8,
         seeds: 2,
         workers: 0,
+        fleet: 0,
         addr: None,
     };
     let mut it = std::env::args().skip(1);
@@ -47,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
             "--clients" => args.clients = value()?.parse().map_err(|e| format!("{e}"))?,
             "--seeds" => args.seeds = value()?.parse().map_err(|e| format!("{e}"))?,
             "--workers" => args.workers = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--fleet" => args.fleet = value()?.parse().map_err(|e| format!("{e}"))?,
             "--addr" => args.addr = Some(value()?),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -71,23 +90,34 @@ struct ClientOutcome {
     requests: u64,
     busy: u64,
     errors: Vec<String>,
+    /// Round trip of the final solve against the fully live session (the
+    /// "cold" side of the cold/rehydrated split).
+    final_solve_ns: Option<u64>,
+    /// The spec that final solve returned — the restart phase must serve
+    /// it byte-identically from the rehydrated session.
+    final_spec: Option<String>,
 }
 
 /// One client's replay: absorb its app's traces (with interleaved solves),
 /// then a pipelined absorb burst (exercising server-side batching), then a
-/// final solve and race_check. Checks id echo and ordering on every
-/// response.
+/// final solve and (bundled apps only) a differential race_check. Checks
+/// id echo and ordering on every response. `rendered` carries each trace's
+/// pre-rendered JSON value (one serialization per corpus entry, shared by
+/// every client replaying it).
 fn run_client(
     addr: std::net::SocketAddr,
     session: &str,
-    app_id: &str,
+    app_id: Option<&str>,
     traces: &[Trace],
+    rendered: &[String],
 ) -> ClientOutcome {
     let mut out = ClientOutcome {
         latencies_ns: Vec::new(),
         requests: 0,
         busy: 0,
         errors: Vec::new(),
+        final_solve_ns: None,
+        final_spec: None,
     };
     let mut client = match Client::connect(addr) {
         Ok(c) => c,
@@ -100,9 +130,10 @@ fn run_client(
 
     // Phase 1: sequential absorbs with interleaved solves — each call's
     // round trip is one latency sample.
-    for (i, trace) in traces.iter().enumerate() {
+    for (i, trace_json) in rendered.iter().enumerate() {
+        let line = client.absorb_trace_line(session, trace_json);
         let start = Instant::now();
-        let r = client.absorb_trace(session, trace);
+        let r = client.call_raw(&line);
         timed(&mut out, &mut expected_id, "absorb_trace", r, start);
         if (i + 1) % SOLVE_EVERY == 0 {
             let start = Instant::now();
@@ -113,19 +144,13 @@ fn run_client(
 
     // Phase 2: the same traces as one pipelined burst — the server batches
     // them under one session lock; ordering is still guaranteed.
-    let burst: Vec<_> = traces
+    let burst: Vec<String> = rendered
         .iter()
-        .map(|t| {
-            (
-                "absorb_trace",
-                session,
-                vec![("trace".to_string(), trace_json::to_value(t))],
-            )
-        })
+        .map(|t| client.absorb_trace_line(session, t))
         .collect();
     let burst_len = burst.len();
     let start = Instant::now();
-    match client.pipeline(burst) {
+    match client.pipeline_raw(&burst) {
         Ok(responses) => {
             let per_request =
                 u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX) / burst_len as u64;
@@ -151,13 +176,28 @@ fn run_client(
         Err(e) => out.errors.push(format!("burst: {e}")),
     }
 
-    // Phase 3: final solve + differential race_check against ground truth.
+    // Phase 3: final solve + (bundled apps) differential race_check
+    // against ground truth. The solve's latency and spec feed the restart
+    // phase's cold/rehydrated comparison.
     let start = Instant::now();
     let r = client.solve(session);
+    if let Ok(resp) = &r {
+        if resp.ok {
+            out.final_solve_ns =
+                Some(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            out.final_spec = resp
+                .doc
+                .get("spec")
+                .and_then(Json::as_str)
+                .map(str::to_string);
+        }
+    }
     timed(&mut out, &mut expected_id, "final solve", r, start);
-    let start = Instant::now();
-    let r = client.race_check(session, &traces[0], Some(app_id));
-    timed(&mut out, &mut expected_id, "race_check", r, start);
+    if let Some(app_id) = app_id {
+        let start = Instant::now();
+        let r = client.race_check(session, &traces[0], Some(app_id));
+        timed(&mut out, &mut expected_id, "race_check", r, start);
+    }
     out
 }
 
@@ -205,27 +245,58 @@ fn main() -> ExitCode {
         }
     };
 
-    // Pre-generate the replay corpus: every app's tests × `seeds` seeds.
+    // Pre-generate the replay corpus: every bundled app's tests × `seeds`
+    // seeds, plus `--fleet` grammar-generated apps (those have no bundled
+    // ground truth, so their entries skip the differential race_check).
     let apps = all_apps();
     let cfg = SherLockConfig::default();
-    let mut corpus: Vec<(String, Vec<Trace>)> = Vec::with_capacity(apps.len());
-    for app in &apps {
+    // (id, bundled, traces, pre-rendered trace JSON values). Rendering once
+    // here keeps per-call serialization off every client's hot path.
+    let mut corpus: Vec<(String, bool, Vec<Trace>, Vec<String>)> =
+        Vec::with_capacity(apps.len() + args.fleet);
+    let runs_for = |tests: &[sherlock_core::TestCase]| {
         let mut traces = Vec::new();
         for seed in 0..args.seeds {
-            for (i, test) in app.tests.iter().enumerate() {
+            for (i, test) in tests.iter().enumerate() {
                 let mut sim_cfg =
                     SimConfig::with_seed(seed.wrapping_mul(1031).wrapping_add(i as u64));
                 sim_cfg.instrument = cfg.instrument.clone();
                 traces.push(test.run(sim_cfg).trace);
             }
         }
-        corpus.push((app.id.to_string(), traces));
+        let rendered = traces
+            .iter()
+            .map(|t| trace_json::to_value(t).render())
+            .collect();
+        (traces, rendered)
+    };
+    for app in &apps {
+        let (traces, rendered) = runs_for(&app.tests);
+        corpus.push((app.id.to_string(), true, traces, rendered));
     }
-    let total_traces: usize = corpus.iter().map(|(_, t)| t.len()).sum();
+    for f in 0..args.fleet {
+        let app = generate(&GrammarConfig::default(), FLEET_BASE_SEED + f as u64);
+        let (traces, rendered) = runs_for(&app.tests);
+        corpus.push((app.id.clone(), false, traces, rendered));
+    }
+    let total_traces: usize = corpus.iter().map(|(_, _, t, _)| t.len()).sum();
 
-    // Either target an external daemon or spawn one in-process. In the
-    // in-process case the daemon's span stacks land in this process's
-    // registry, so a collapsed-stack profile of the run can be exported.
+    // Either target an external daemon or spawn one in-process. The
+    // in-process daemon runs durable (oplog + snapshots in a temp data
+    // directory) so the run can finish with a restart + rehydration phase;
+    // its span stacks also land in this process's registry, so a
+    // collapsed-stack profile of the run can be exported.
+    let data_dir =
+        std::env::temp_dir().join(format!("sherlock-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let serve_cfg = || {
+        let mut scfg = ServeConfig::default();
+        scfg.addr = "127.0.0.1:0".to_string();
+        scfg.workers = args.workers;
+        scfg.max_sessions = args.clients.max(64);
+        scfg.data_dir = Some(data_dir.clone());
+        scfg
+    };
     let obs_base = sherlock_obs::snapshot();
     let (addr, spawned) = match &args.addr {
         Some(addr) => {
@@ -235,31 +306,38 @@ fn main() -> ExitCode {
             (addr, None)
         }
         None => {
-            let mut scfg = ServeConfig::default();
-            scfg.addr = "127.0.0.1:0".to_string();
-            scfg.workers = args.workers;
-            scfg.max_sessions = args.clients.max(64);
-            let server = spawn(scfg).expect("spawn daemon");
+            let server = spawn(serve_cfg()).expect("spawn daemon");
             (server.addr(), Some(server))
         }
     };
     println!(
-        "BENCH_serve: {} clients x {} apps, {total_traces} traces per replay round, daemon at {addr}",
+        "BENCH_serve: {} clients x {} apps ({} bundled + {} fleet), {total_traces} traces per replay round, daemon at {addr}",
         args.clients,
-        apps.len()
+        corpus.len(),
+        apps.len(),
+        args.fleet,
     );
 
-    // Fan the clients out; client c replays app c % 8 into its own session.
+    // Fan the clients out; client c replays corpus entry c % len into its
+    // own session.
     let wall = Instant::now();
     let outcomes: Vec<(String, ClientOutcome)> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for c in 0..args.clients {
-            let (app_id, traces) = &corpus[c % corpus.len()];
+            let (app_id, bundled, traces, rendered) = &corpus[c % corpus.len()];
             let session = format!("{app_id}-client{c}");
             let label = session.clone();
             handles.push((
                 label,
-                scope.spawn(move || run_client(addr, &session, app_id, traces)),
+                scope.spawn(move || {
+                    run_client(
+                        addr,
+                        &session,
+                        bundled.then_some(app_id.as_str()),
+                        traces,
+                        rendered,
+                    )
+                }),
             ));
         }
         handles
@@ -279,6 +357,70 @@ fn main() -> ExitCode {
         server.shutdown();
         server.join()
     });
+
+    // Restart phase (in-process only): a fresh daemon over the same data
+    // directory serves every session again — each first solve pays
+    // rehydration (snapshot load + oplog replay) — and must return the
+    // byte-identical spec the live daemon solved last.
+    let mut rehydrated_ns: Vec<u64> = Vec::new();
+    let mut restart_errors: Vec<String> = Vec::new();
+    let mut rehydrations = 0u64;
+    if in_process {
+        let server = spawn(serve_cfg()).expect("respawn daemon");
+        let restarted: Vec<RestartSolve> = std::thread::scope(|scope| {
+            let addr = server.addr();
+            let mut handles = Vec::new();
+            for c in 0..args.clients {
+                let (app_id, _, _, _) = &corpus[c % corpus.len()];
+                let session = format!("{app_id}-client{c}");
+                let label = session.clone();
+                handles.push((
+                    label,
+                    scope.spawn(move || {
+                        let mut client =
+                            Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+                        let start = Instant::now();
+                        let resp = client.solve(&session).map_err(|e| format!("solve: {e}"))?;
+                        let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        if !resp.ok {
+                            return Err(format!("solve: {}", resp.error.unwrap_or_default()));
+                        }
+                        let spec = resp
+                            .doc
+                            .get("spec")
+                            .and_then(Json::as_str)
+                            .map(str::to_string);
+                        Ok((elapsed, spec))
+                    }),
+                ));
+            }
+            handles
+                .into_iter()
+                .map(|(s, h)| (s, h.join().expect("restart client panicked")))
+                .collect()
+        });
+        for ((session, outcome), (_, live)) in restarted.iter().zip(&outcomes) {
+            match outcome {
+                Ok((ns, spec)) => {
+                    rehydrated_ns.push(*ns);
+                    if spec != &live.final_spec {
+                        restart_errors.push(format!(
+                            "[{session}] rehydrated spec differs from the live daemon's"
+                        ));
+                    }
+                }
+                Err(e) => restart_errors.push(format!("[{session}] {e}")),
+            }
+        }
+        rehydrations = Client::connect(server.addr())
+            .and_then(|mut c| c.stats())
+            .ok()
+            .and_then(|r| r.doc.get("rehydrations").and_then(Json::as_u64))
+            .unwrap_or(0);
+        server.shutdown();
+        server.join();
+        let _ = std::fs::remove_dir_all(&data_dir);
+    }
 
     // Collapsed-stack export (in-process daemon only — an external daemon's
     // spans live in its process, not ours).
@@ -306,6 +448,24 @@ fn main() -> ExitCode {
     let p99 = percentile(&latencies, 0.99);
     let throughput = requests as f64 / (wall_ns as f64 / 1e9);
 
+    // Cold vs. rehydrated solve split: the live daemon's final solves (all
+    // session state hot in memory) against the restarted daemon's first
+    // solves (each paying snapshot load + oplog replay on miss).
+    let mut cold_ns: Vec<u64> = outcomes
+        .iter()
+        .filter_map(|(_, o)| o.final_solve_ns)
+        .collect();
+    cold_ns.sort_unstable();
+    rehydrated_ns.sort_unstable();
+    let solve_split = |sorted: &[u64]| {
+        Json::Obj(vec![
+            ("p50".to_string(), Json::from(percentile(sorted, 0.50))),
+            ("p95".to_string(), Json::from(percentile(sorted, 0.95))),
+            ("p99".to_string(), Json::from(percentile(sorted, 0.99))),
+            ("samples".to_string(), Json::from(sorted.len())),
+        ])
+    };
+
     let t = TablePrinter::new(&[24, 10, 12, 12]);
     println!(
         "\n{}",
@@ -329,14 +489,25 @@ fn main() -> ExitCode {
         p95 as f64 / 1e6,
         p99 as f64 / 1e6
     );
+    if !rehydrated_ns.is_empty() {
+        println!(
+            "solve p50: cold {:.2} ms vs rehydrated {:.2} ms ({rehydrations} sessions rehydrated after restart)",
+            percentile(&cold_ns, 0.50) as f64 / 1e6,
+            percentile(&rehydrated_ns, 0.50) as f64 / 1e6,
+        );
+    }
     for e in &errors {
         eprintln!("error: {e}");
+    }
+    for e in &restart_errors {
+        eprintln!("restart error: {e}");
     }
 
     let doc = Json::Obj(vec![
         ("benchmark".to_string(), Json::from("serve")),
         ("clients".to_string(), Json::from(args.clients)),
         ("apps".to_string(), Json::from(apps.len())),
+        ("fleet_apps".to_string(), Json::from(args.fleet)),
         ("seeds_per_app".to_string(), Json::from(args.seeds)),
         ("traces_per_replay".to_string(), Json::from(total_traces)),
         ("wall_ns".to_string(), Json::from(wall_ns)),
@@ -352,6 +523,27 @@ fn main() -> ExitCode {
                 ("p99".to_string(), Json::from(p99)),
                 ("samples".to_string(), Json::from(latencies.len())),
             ]),
+        ),
+        (
+            "cold_solve_ns".to_string(),
+            if cold_ns.is_empty() {
+                Json::Null
+            } else {
+                solve_split(&cold_ns)
+            },
+        ),
+        (
+            "rehydrated_solve_ns".to_string(),
+            if rehydrated_ns.is_empty() {
+                Json::Null
+            } else {
+                solve_split(&rehydrated_ns)
+            },
+        ),
+        ("rehydrations".to_string(), Json::from(rehydrations)),
+        (
+            "restart_errors".to_string(),
+            Json::from(restart_errors.len()),
         ),
         (
             "server_stats".to_string(),
@@ -375,12 +567,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    if errors.is_empty() {
+    if errors.is_empty() && restart_errors.is_empty() {
         ExitCode::SUCCESS
     } else {
         eprintln!(
-            "{} delivery/protocol violation(s) — see above",
-            errors.len()
+            "{} delivery/protocol violation(s), {} restart violation(s) — see above",
+            errors.len(),
+            restart_errors.len()
         );
         ExitCode::FAILURE
     }

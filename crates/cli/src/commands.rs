@@ -216,6 +216,9 @@ pub fn serve(flags: &Flags) -> Result<(), String> {
     cfg.queue_capacity = flag_u64(flags, "queue-capacity", cfg.queue_capacity as u64)? as usize;
     cfg.max_sessions = flag_u64(flags, "max-sessions", cfg.max_sessions as u64)? as usize;
     cfg.batch_max = flag_u64(flags, "batch-max", cfg.batch_max as u64)? as usize;
+    cfg.data_dir = flags.get("data-dir").map(std::path::PathBuf::from);
+    cfg.shards = flag_u64(flags, "shards", cfg.shards as u64)? as usize;
+    cfg.snapshot_every = flag_u64(flags, "snapshot-every", cfg.snapshot_every)?;
 
     let server = sherlock_serve::Server::bind(cfg).map_err(|e| format!("bind: {e}"))?;
     println!("sherlock-serve listening on {}", server.local_addr());

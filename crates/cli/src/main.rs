@@ -158,6 +158,7 @@ USAGE:
 
   sherlock serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
                  [--max-sessions N] [--batch-max N] [--lambda X] [--near-ms N]
+                 [--data-dir DIR] [--shards N] [--snapshot-every N]
       Run the long-lived inference daemon (default 127.0.0.1:7477; port 0
       binds an ephemeral port). Clients speak line-delimited JSON: one
       request object per line (types absorb_trace, solve, race_check,
@@ -166,6 +167,13 @@ USAGE:
       key until the LRU cap (--max-sessions) evicts the coldest session; a
       full queue (--queue-capacity) yields explicit busy responses. A
       shutdown request drains admitted work, then the process exits.
+      With --data-dir, sessions are durable: every absorbed trace is
+      write-ahead logged to a per-session oplog, a snapshot replaces the
+      log every --snapshot-every ops (default 256), eviction spills to
+      disk, and a restarted daemon (even after kill -9) transparently
+      rehydrates a session on its next request and re-solves the identical
+      spec. --shards (default 8) splits the session map across independent
+      locks and disk subdirectories.
 
   sherlock metrics [--addr HOST:PORT] [--watch] [--interval-ms N] [--json]
       Query a running daemon's live metric snapshot (global + per-session

@@ -1,5 +1,6 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
+use sherlock_obs::json::Json;
 use sherlock_trace::durations::DurationMap;
 use sherlock_trace::windows::Window;
 use sherlock_trace::{OpId, Time};
@@ -19,7 +20,7 @@ pub struct WindowKey {
 }
 
 /// Aggregate for one window shape.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WindowAgg {
     /// Number of dynamic windows with this shape observed so far.
     pub weight: u64,
@@ -127,6 +128,181 @@ impl Observations {
     pub fn runs(&self) -> usize {
         self.runs
     }
+
+    /// Serializes the accumulated state as a [`Json`] value tree for
+    /// `sherlock-store` snapshots. Ops serialize as resolved [`OpRef`]s
+    /// (raw `OpId`s are intern-order accidents and do not survive a process
+    /// restart); map-shaped state is emitted in `OpId` order so the bytes are
+    /// deterministic within one process.
+    pub fn to_value(&self) -> Json {
+        use sherlock_trace::json::op_to_value;
+        let op = op_to_value;
+        let pair = |p: (OpId, OpId)| Json::Arr(vec![op(p.0), op(p.1)]);
+        let cands = |c: &[(OpId, u32)]| {
+            Json::Arr(
+                c.iter()
+                    .map(|&(o, n)| Json::Arr(vec![op(o), Json::from(u64::from(n))]))
+                    .collect(),
+            )
+        };
+        let windows: Vec<Json> = self
+            .windows
+            .iter()
+            .map(|(k, agg)| {
+                Json::Obj(vec![
+                    ("pair".to_string(), pair(k.pair)),
+                    ("release".to_string(), cands(&k.release)),
+                    ("acquire".to_string(), cands(&k.acquire)),
+                    ("weight".to_string(), Json::from(agg.weight)),
+                ])
+            })
+            .collect();
+        let racy: Vec<Json> = self.racy_pairs.iter().map(|&p| pair(p)).collect();
+        let exclusions: Vec<Json> = self
+            .exclusions
+            .iter()
+            .map(|&((a, b), o)| Json::Arr(vec![op(a), op(b), op(o)]))
+            .collect();
+        let mut occ: Vec<(&OpId, &OccStat)> = self.occ.iter().collect();
+        occ.sort_by_key(|(o, _)| **o);
+        let occ: Vec<Json> = occ
+            .into_iter()
+            .map(|(&o, s)| Json::Arr(vec![op(o), Json::from(s.total), Json::from(s.windows)]))
+            .collect();
+        let mut durations: Vec<(&OpId, &Vec<Time>)> = self.durations.iter().collect();
+        durations.sort_by_key(|(o, _)| **o);
+        let durations: Vec<Json> = durations
+            .into_iter()
+            .map(|(&o, samples)| {
+                let s: Vec<Json> = samples.iter().map(|t| Json::from(t.as_nanos())).collect();
+                Json::Arr(vec![op(o), Json::Arr(s)])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("windows".to_string(), Json::Arr(windows)),
+            ("racy".to_string(), Json::Arr(racy)),
+            ("exclusions".to_string(), Json::Arr(exclusions)),
+            ("occ".to_string(), Json::Arr(occ)),
+            ("durations".to_string(), Json::Arr(durations)),
+            ("runs".to_string(), Json::from(self.runs as u64)),
+        ])
+    }
+
+    /// Rebuilds observations from a value produced by [`Observations::to_value`],
+    /// re-interning every op in this process's registry. `WindowKey` candidate
+    /// vecs are re-sorted under the *new* `OpId` order so keys loaded from a
+    /// snapshot aggregate with keys produced by replayed extraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first schema violation.
+    pub fn from_value(v: &Json) -> Result<Self, String> {
+        use sherlock_trace::json::op_from_value;
+        let arr = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_array)
+                .ok_or_else(|| format!("observations: missing {name:?} array"))
+        };
+        let op = |v: &Json, ctx: &str| op_from_value(v).map_err(|e| format!("{ctx}: {e}"));
+        let pair = |v: &Json, ctx: &str| -> Result<(OpId, OpId), String> {
+            match v.as_array() {
+                Some([a, b]) => Ok((op(a, ctx)?, op(b, ctx)?)),
+                _ => Err(format!("{ctx}: pair must be a 2-array")),
+            }
+        };
+        let cands = |v: &Json, ctx: &str| -> Result<Vec<(OpId, u32)>, String> {
+            let items = v
+                .as_array()
+                .ok_or_else(|| format!("{ctx}: candidates must be an array"))?;
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                let Some([o, n]) = item.as_array() else {
+                    return Err(format!("{ctx}: candidate must be [op, count]"));
+                };
+                let n = n
+                    .as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| format!("{ctx}: bad candidate count"))?;
+                out.push((op(o, ctx)?, n));
+            }
+            out.sort_unstable();
+            Ok(out)
+        };
+
+        let mut obs = Observations::new();
+        for (i, w) in arr("windows")?.iter().enumerate() {
+            let ctx = format!("window {i}");
+            let key = WindowKey {
+                pair: pair(
+                    w.get("pair").ok_or_else(|| format!("{ctx}: no pair"))?,
+                    &ctx,
+                )?,
+                release: cands(
+                    w.get("release")
+                        .ok_or_else(|| format!("{ctx}: no release"))?,
+                    &ctx,
+                )?,
+                acquire: cands(
+                    w.get("acquire")
+                        .ok_or_else(|| format!("{ctx}: no acquire"))?,
+                    &ctx,
+                )?,
+            };
+            let weight = w
+                .get("weight")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{ctx}: missing weight"))?;
+            obs.windows.entry(key).or_default().weight += weight;
+        }
+        for (i, p) in arr("racy")?.iter().enumerate() {
+            obs.racy_pairs.insert(pair(p, &format!("racy {i}"))?);
+        }
+        for (i, e) in arr("exclusions")?.iter().enumerate() {
+            let ctx = format!("exclusion {i}");
+            let Some([a, b, o]) = e.as_array() else {
+                return Err(format!("{ctx}: must be a 3-array"));
+            };
+            obs.exclusions
+                .insert(((op(a, &ctx)?, op(b, &ctx)?), op(o, &ctx)?));
+        }
+        for (i, o) in arr("occ")?.iter().enumerate() {
+            let ctx = format!("occ {i}");
+            let Some([id, total, windows]) = o.as_array() else {
+                return Err(format!("{ctx}: must be [op, total, windows]"));
+            };
+            let s = OccStat {
+                total: total.as_u64().ok_or_else(|| format!("{ctx}: bad total"))?,
+                windows: windows
+                    .as_u64()
+                    .ok_or_else(|| format!("{ctx}: bad windows"))?,
+            };
+            obs.occ.insert(op(id, &ctx)?, s);
+        }
+        for (i, d) in arr("durations")?.iter().enumerate() {
+            let ctx = format!("duration {i}");
+            let Some([id, samples]) = d.as_array() else {
+                return Err(format!("{ctx}: must be [op, samples]"));
+            };
+            let samples = samples
+                .as_array()
+                .ok_or_else(|| format!("{ctx}: samples must be an array"))?
+                .iter()
+                .map(|t| {
+                    t.as_u64()
+                        .map(Time::from_nanos)
+                        .ok_or_else(|| format!("{ctx}: bad sample"))
+                })
+                .collect::<Result<Vec<Time>, String>>()?;
+            obs.durations.insert(op(id, &ctx)?, samples);
+        }
+        obs.runs = usize::try_from(
+            v.get("runs")
+                .and_then(Json::as_u64)
+                .ok_or("observations: missing runs")?,
+        )
+        .map_err(|_| "observations: runs out of range")?;
+        Ok(obs)
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +384,44 @@ mod tests {
         assert!(obs.is_excluded((a, b), r));
         assert!(!obs.is_excluded((b, a), r));
         assert_eq!(obs.num_exclusions(), 1);
+    }
+
+    #[test]
+    fn value_round_trip_preserves_everything() {
+        let a = OpRef::field_write("ObsRt", "x").intern();
+        let b = OpRef::field_read("ObsRt", "x").intern();
+        let c = OpRef::app_end("ObsRt", "m").intern();
+        let m = OpRef::app_begin("ObsRt", "m").intern();
+        let mut obs = Observations::new();
+        obs.add_window(&mk_window(a, b, &[(a, 1), (c, 2)], &[(b, 3)]));
+        obs.add_window(&mk_window(a, b, &[(a, 1), (c, 2)], &[(b, 3)]));
+        obs.add_window(&mk_window(a, b, &[(a, 1)], &[(b, 1)]));
+        obs.mark_racy((a, b));
+        obs.exclude_release((a, b), c);
+        let mut d = DurationMap::new();
+        d.insert(m, vec![Time::from_micros(3), Time::from_micros(1)]);
+        obs.add_durations(d);
+        obs.finish_run();
+        obs.finish_run();
+
+        let v = obs.to_value();
+        let back = Observations::from_value(&v).expect("round trip");
+        assert_eq!(back.windows(), obs.windows());
+        assert_eq!(back.racy_pairs(), obs.racy_pairs());
+        assert!(back.is_excluded((a, b), c));
+        assert_eq!(back.num_exclusions(), 1);
+        assert_eq!(back.avg_occurrence(c), obs.avg_occurrence(c));
+        assert_eq!(back.durations()[&m], obs.durations()[&m]);
+        assert_eq!(back.runs(), 2);
+        // Bytes are deterministic within one process.
+        assert_eq!(v.render(), back.to_value().render());
+    }
+
+    #[test]
+    fn from_value_rejects_malformed() {
+        assert!(Observations::from_value(&Json::Obj(vec![])).is_err());
+        let v = Json::parse(r#"{"windows":[{"pair":[1,2]}],"racy":[],"exclusions":[],"occ":[],"durations":[],"runs":0}"#).unwrap();
+        assert!(Observations::from_value(&v).is_err());
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub struct InferredOp {
 /// interpretation").
 #[derive(Clone, Debug, Default)]
 pub struct InferenceReport {
-    /// Operations inferred as synchronizations, sorted by op id then role.
+    /// Operations inferred as synchronizations, sorted by resolved operation
+    /// name (process-stable, unlike raw `OpId` intern order) with acquire
+    /// before release per op.
     pub inferred: Vec<InferredOp>,
     /// Raw probabilities per (op, role), including sub-threshold ones.
     pub probabilities: BTreeMap<(OpId, Role), f64>,

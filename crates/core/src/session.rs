@@ -314,6 +314,59 @@ impl Session {
         total
     }
 
+    /// Serializes the session's durable state for a `sherlock-store`
+    /// snapshot: the accumulated [`Observations`] plus the absorb counter.
+    ///
+    /// The memo caches, warm-start basis, and cached report are deliberately
+    /// *not* serialized — they are recomputed state, and the warm-vs-cold
+    /// byte-parity suite (`tests/warm_parity.rs`) plus the solver's
+    /// name-derived ordering guarantee a rehydrated session re-solves to a
+    /// byte-identical report without them.
+    pub fn to_snapshot_value(&self) -> obs::json::Json {
+        use obs::json::Json;
+        Json::Obj(vec![
+            ("format".to_string(), Json::from(1u64)),
+            (
+                "traces_absorbed".to_string(),
+                Json::from(self.traces_absorbed as u64),
+            ),
+            ("observations".to_string(), self.observations.to_value()),
+        ])
+    }
+
+    /// Rebuilds a session from a value produced by
+    /// [`to_snapshot_value`](Self::to_snapshot_value). The session starts
+    /// dirty (the first solve after rehydration runs the LP from scratch).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first schema violation or an
+    /// unsupported format version.
+    pub fn from_snapshot_value(
+        config: SherLockConfig,
+        v: &obs::json::Json,
+    ) -> Result<Self, String> {
+        use obs::json::Json;
+        match v.get("format").and_then(Json::as_u64) {
+            Some(1) => {}
+            other => return Err(format!("snapshot: unsupported format {other:?}")),
+        }
+        let traces_absorbed = v
+            .get("traces_absorbed")
+            .and_then(Json::as_u64)
+            .ok_or("snapshot: missing traces_absorbed")?;
+        let observations = Observations::from_value(
+            v.get("observations")
+                .ok_or("snapshot: missing observations")?,
+        )?;
+        let mut s = Session::new(config);
+        s.observations = observations;
+        s.traces_absorbed = usize::try_from(traces_absorbed)
+            .map_err(|_| "snapshot: traces_absorbed out of range")?;
+        s.dirty = true;
+        Ok(s)
+    }
+
     /// Solves over the accumulated observations, memoized: when nothing was
     /// absorbed since the last solve the cached report is returned without
     /// touching the LP.
@@ -440,6 +493,33 @@ mod tests {
             s.absorb_trace(&sample_trace(seed));
         }
         assert!(s.memo_len() <= 2);
+    }
+
+    #[test]
+    fn snapshot_round_trip_solves_identically() {
+        let mut original = Session::new(SherLockConfig::default());
+        for seed in 0..4 {
+            original.absorb_trace(&sample_trace(seed));
+        }
+        let snap = original.to_snapshot_value();
+        let mut restored =
+            Session::from_snapshot_value(SherLockConfig::default(), &snap).expect("restore");
+        assert!(restored.is_dirty());
+        assert_eq!(restored.traces_absorbed(), original.traces_absorbed());
+        assert_eq!(
+            restored.observations().runs(),
+            original.observations().runs()
+        );
+        let a = original.solve().unwrap().render();
+        let b = restored.solve().unwrap().render();
+        assert_eq!(a, b, "rehydrated session must solve byte-identical");
+    }
+
+    #[test]
+    fn snapshot_rejects_unknown_format() {
+        use obs::json::Json;
+        let v = Json::Obj(vec![("format".to_string(), Json::from(9u64))]);
+        assert!(Session::from_snapshot_value(SherLockConfig::default(), &v).is_err());
     }
 
     #[test]

@@ -77,8 +77,15 @@ fn solve_impl(
     let filter_racy = cfg.feedback.race_removal;
     let racy = obs.racy_pairs();
 
-    // Deduplicated windows surviving race removal.
-    let windows: Vec<(&crate::observations::WindowKey, f64)> = obs
+    // Deduplicated windows surviving race removal. `OpId`s are interned in
+    // first-seen order, which differs between a live process and one that
+    // rehydrated the same session from disk, so every order that feeds the
+    // model below — window row order, variable creation order, expression
+    // term order, tie-breaks — is derived from resolved operation *names*
+    // (the same process-stable key the warm-start basis and the
+    // symmetry-breaking perturbation already use). That is what makes a
+    // replayed session's report byte-identical to the original's.
+    let mut windows: Vec<(&crate::observations::WindowKey, f64)> = obs
         .windows()
         .iter()
         .filter(|(k, _)| !(filter_racy && racy.contains(&k.pair)))
@@ -92,20 +99,51 @@ fn solve_impl(
         ops.extend(k.acquire.iter().map(|&(op, _)| op));
     }
 
+    let names: BTreeMap<OpId, String> = {
+        let mut pair_ops: BTreeSet<OpId> = ops.clone();
+        for (k, _) in &windows {
+            pair_ops.insert(k.pair.0);
+            pair_ops.insert(k.pair.1);
+        }
+        pair_ops
+            .into_iter()
+            .map(|op| (op, op.resolve().to_string()))
+            .collect()
+    };
+    let name = |op: OpId| names[&op].as_str();
+    // Candidate vecs inside a `WindowKey` are sorted by `OpId`; re-key them
+    // by name so the row order (and each row's term order) is intern-order
+    // independent.
+    let window_key = |k: &crate::observations::WindowKey| {
+        let mut rel: Vec<(&str, u32)> = k.release.iter().map(|&(op, c)| (name(op), c)).collect();
+        let mut acq: Vec<(&str, u32)> = k.acquire.iter().map(|&(op, c)| (name(op), c)).collect();
+        rel.sort_unstable();
+        acq.sort_unstable();
+        (name(k.pair.0), name(k.pair.1), rel, acq)
+    };
+    windows.sort_by(|(a, _), (b, _)| window_key(a).cmp(&window_key(b)));
+
+    let mut ops_sorted: Vec<OpId> = ops.iter().copied().collect();
+    ops_sorted.sort_by_key(|&op| name(op));
+
     let mut model = Model::new();
     let mut vars: BTreeMap<(OpId, Role), VarId> = BTreeMap::new();
+    // Variable creation order: by name, acquire before release per op.
+    let mut vars_ordered: Vec<((OpId, Role), VarId)> = Vec::new();
     let mut resolved: BTreeMap<OpId, OpRef> = BTreeMap::new();
 
-    for &op in &ops {
+    for &op in &ops_sorted {
         let r = op.resolve();
         let (acq, rel) = allowed_roles(&r, cfg.hypotheses.read_acq_write_rel);
         if acq {
             let v = model.add_var(format!("{r}^acq"), 0.0, 1.0);
             vars.insert((op, Role::Acquire), v);
+            vars_ordered.push(((op, Role::Acquire), v));
         }
         if rel {
             let v = model.add_var(format!("{r}^rel"), 0.0, 1.0);
             vars.insert((op, Role::Release), v);
+            vars_ordered.push(((op, Role::Release), v));
         }
         // A release synchronization cannot be an acquire and vice versa.
         if acq && rel && cfg.hypotheses.read_acq_write_rel {
@@ -119,7 +157,8 @@ fn solve_impl(
     // Single-Role: a library API serves one synchronization type —
     // begin(l)^rel + end(l)^acq ≤ 1 (paper §4.2).
     if cfg.hypotheses.single_role {
-        for (&op, r) in &resolved {
+        for &op in &ops_sorted {
+            let r = &resolved[&op];
             if let OpRef::MethodBegin {
                 kind: MethodKind::Lib,
                 ..
@@ -148,9 +187,14 @@ fn solve_impl(
     // each candidate subtracted once regardless of its occurrence count
     // (Eq. 2).
     if cfg.hypotheses.mostly_protected {
+        let by_name = |cands: &[(OpId, u32)]| {
+            let mut c: Vec<OpId> = cands.iter().map(|&(op, _)| op).collect();
+            c.sort_by_key(|&op| name(op));
+            c
+        };
         for (k, weight) in &windows {
             let mut rel_expr = LinExpr::constant(1.0);
-            for &(op, _) in &k.release {
+            for op in by_name(&k.release) {
                 if obs.is_excluded(k.pair, op) {
                     continue;
                 }
@@ -159,7 +203,7 @@ fn solve_impl(
                 }
             }
             let mut acq_expr = LinExpr::constant(1.0);
-            for &(op, _) in &k.acquire {
+            for op in by_name(&k.acquire) {
                 if let Some(&v) = vars.get(&(op, Role::Acquire)) {
                     acq_expr.add_term(v, -1.0);
                 }
@@ -259,7 +303,7 @@ fn solve_impl(
         }
 
         let mut classes: BTreeMap<String, LinExpr> = BTreeMap::new();
-        for (&(op, role), &v) in &vars {
+        for &((op, role), v) in &vars_ordered {
             let class = resolved[&op].class().to_string();
             let e = classes.entry(class).or_insert_with(LinExpr::zero);
             match role {
@@ -290,9 +334,11 @@ fn solve_impl(
     let mut solution = run_solve(&model, &mut basis)?;
     let mut resolve_rounds: u64 = 0;
     for _ in 0..64 {
-        let fractional = vars
-            .values()
-            .map(|&v| (v, snap(solution.value(v))))
+        // Iterate in name order so an exact tie in snapped probability fixes
+        // the same variable in every process.
+        let fractional = vars_ordered
+            .iter()
+            .map(|&(_, v)| (v, snap(solution.value(v))))
             .filter(|&(_, p)| p > 0.05 && p < cfg.threshold)
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite probabilities"));
         let Some((v, _)) = fractional else { break };
@@ -304,7 +350,9 @@ fn solve_impl(
 
     let mut probabilities = BTreeMap::new();
     let mut inferred = Vec::new();
-    for (&(op, role), &v) in &vars {
+    // `vars_ordered` is already (name, role) sorted, so `inferred` — and the
+    // rendered report derived from it — is intern-order independent.
+    for &((op, role), v) in &vars_ordered {
         let p = snap(solution.value(v)).clamp(0.0, 1.0);
         probabilities.insert((op, role), p);
         if p >= cfg.threshold {
@@ -315,7 +363,6 @@ fn solve_impl(
             });
         }
     }
-    inferred.sort_by_key(|i| (i.op, i.role));
 
     sherlock_obs::histogram!("lp.variables").observe(vars.len() as u64);
     sherlock_obs::histogram!("lp.windows").observe(windows.len() as u64);

@@ -133,6 +133,37 @@ impl Client {
         )
     }
 
+    /// Builds one `absorb_trace` request line around a pre-rendered trace
+    /// value (`trace_json::to_value(t).render()`), consuming a request id.
+    /// Pairs with [`Client::call_raw`] or [`Client::pipeline_raw`] so a
+    /// load generator can serialize each trace once and replay it from
+    /// many connections without paying per-call serialization.
+    pub fn absorb_trace_line(&mut self, session: &str, rendered_trace: &str) -> String {
+        let id = self.next_id;
+        self.next_id += 1;
+        format!(
+            "{{\"id\":{id},\"type\":\"absorb_trace\",\"session\":{},\"trace\":{rendered_trace}}}",
+            Json::from(session).render()
+        )
+    }
+
+    /// Writes pre-built request lines as one burst, then reads every
+    /// response, in request order.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn pipeline_raw(&mut self, lines: &[String]) -> io::Result<Vec<ParsedResponse>> {
+        let mut burst = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+        for line in lines {
+            burst.push_str(line);
+            burst.push('\n');
+        }
+        self.stream.write_all(burst.as_bytes())?;
+        self.stream.flush()?;
+        (0..lines.len()).map(|_| self.read_response()).collect()
+    }
+
     /// `solve` over `session`'s accumulated observations.
     ///
     /// # Errors

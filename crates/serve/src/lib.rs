@@ -13,7 +13,9 @@
 //!
 //! * [`protocol`] — line-delimited JSON requests/responses (zero
 //!   dependencies; built on `sherlock_obs::json`).
-//! * [`store`] — the bounded LRU session store.
+//! * `sherlock_store` — the durable sharded session tier (re-exported
+//!   here): per-session oplogs, periodic snapshots, rehydrate-on-miss,
+//!   spill-to-disk eviction.
 //! * [`server`] — listener, per-connection readers, per-session mailboxes,
 //!   the worker pool with request batching, backpressure, deadlines, and
 //!   graceful drain.
@@ -23,8 +25,7 @@
 pub mod client;
 pub mod protocol;
 pub mod server;
-pub mod store;
 
 pub use client::Client;
 pub use server::{spawn, ServeConfig, ServeSummary, Server, ShutdownHandle, SpawnedServer};
-pub use store::SessionStore;
+pub use sherlock_store::{SessionStore, StoreOptions};

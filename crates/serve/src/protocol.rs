@@ -124,6 +124,41 @@ pub struct Request {
 /// Session key used when a request omits `session`.
 pub const DEFAULT_SESSION: &str = "default";
 
+/// Longest accepted session key, in bytes. Keys become metric labels and
+/// (with a data directory) on-disk names; unbounded keys would let one
+/// client bloat both.
+pub const MAX_SESSION_KEY_LEN: usize = 128;
+
+/// Validates a client-supplied session key before it reaches the store.
+///
+/// The durable store escapes keys into filesystem-safe names on its own
+/// (defense in depth), but hostile keys are rejected at the protocol edge
+/// with a structured error so a confused client learns immediately instead
+/// of silently writing under a mangled name: no path separators, no `..`,
+/// no control bytes, bounded length.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the first violation.
+pub fn validate_session_key(key: &str) -> Result<(), String> {
+    if key.is_empty() {
+        return Err("\"session\" must be a non-empty string".into());
+    }
+    if key.len() > MAX_SESSION_KEY_LEN {
+        return Err(format!("\"session\" exceeds {MAX_SESSION_KEY_LEN} bytes"));
+    }
+    if key.contains('/') || key.contains('\\') {
+        return Err("\"session\" must not contain path separators".into());
+    }
+    if key.contains("..") {
+        return Err("\"session\" must not contain \"..\"".into());
+    }
+    if key.chars().any(|c| c.is_control()) {
+        return Err("\"session\" must not contain control characters".into());
+    }
+    Ok(())
+}
+
 /// Parses one protocol line.
 ///
 /// # Errors
@@ -138,7 +173,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let id = doc.get("id").cloned().unwrap_or(Json::Null);
     let session = match doc.get("session") {
         None => DEFAULT_SESSION.to_string(),
-        Some(Json::Str(s)) if !s.is_empty() => s.clone(),
+        Some(Json::Str(s)) => {
+            validate_session_key(s).inspect_err(|_| {
+                sherlock_obs::counter!("serve.bad_session_key").incr();
+            })?;
+            s.clone()
+        }
         Some(_) => return Err("\"session\" must be a non-empty string".into()),
     };
     let deadline_ms = match doc.get("deadline_ms") {
@@ -360,6 +400,35 @@ mod tests {
             .unwrap_err()
             .contains("trace"));
         assert!(parse_request(r#"{"type":"solve","session":""}"#).is_err());
+    }
+
+    #[test]
+    fn hostile_session_keys_are_rejected_with_structured_errors() {
+        let reject = |key: &str, needle: &str| {
+            let line = format!(
+                r#"{{"type":"solve","session":{}}}"#,
+                Json::from(key).render()
+            );
+            let err = parse_request(&line).unwrap_err();
+            assert!(err.contains(needle), "{key:?}: {err}");
+        };
+        reject("..", "..");
+        reject("a..b", "..");
+        reject("../other", "path separator");
+        reject("a/b", "path separator");
+        reject("a\\b", "path separator");
+        reject("tab\there", "control");
+        reject("nul\u{0}", "control");
+        reject(&"x".repeat(MAX_SESSION_KEY_LEN + 1), "exceeds");
+        // The counter tracks every rejection above.
+        assert!(sherlock_obs::counter!("serve.bad_session_key").get() >= 6);
+
+        // Ordinary keys — including dots that are not `..` — still pass.
+        for key in ["default", "App-3", "my.app.v2", "x"] {
+            assert!(validate_session_key(key).is_ok(), "{key:?}");
+        }
+        let r = parse_request(r#"{"type":"solve","session":"my.app.v2"}"#).unwrap();
+        assert_eq!(r.session, "my.app.v2");
     }
 
     #[test]

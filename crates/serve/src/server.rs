@@ -38,22 +38,23 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use sherlock_apps::app_by_id;
-use sherlock_core::{Session, SherLockConfig};
+use sherlock_core::SherLockConfig;
 use sherlock_obs as obs;
 use sherlock_obs::json::Json;
 use sherlock_racer::{detect, differential, SyncSpec};
+use sherlock_store::{SessionHandle, SessionStore, StoreOptions};
 
 use sherlock_sim::{Campaign, CampaignConfig, CampaignProgress};
 
 use crate::protocol::{
     busy_response, error_response, ok_response, parse_request, progress_frame, Request, RequestBody,
 };
-use crate::store::SessionStore;
 
 /// Configuration of one daemon instance.
 #[derive(Clone, Debug)]
@@ -69,18 +70,30 @@ pub struct ServeConfig {
     pub max_sessions: usize,
     /// Maximum jobs a worker takes per session-lock acquisition.
     pub batch_max: usize,
+    /// Root directory for session oplogs and snapshots. `None` (the
+    /// default) keeps every session in memory only — eviction and restart
+    /// then lose state, the pre-durability behavior.
+    pub data_dir: Option<PathBuf>,
+    /// Session-store shards (independent map locks and disk directories).
+    pub shards: usize,
+    /// Absorbed traces logged per session between snapshots.
+    pub snapshot_every: u64,
     /// Inference configuration shared by all sessions.
     pub sherlock: SherLockConfig,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
+        let store = StoreOptions::default();
         ServeConfig {
             addr: "127.0.0.1:7477".to_string(),
             workers: 0,
             queue_capacity: 256,
-            max_sessions: 64,
+            max_sessions: store.max_sessions,
             batch_max: 16,
+            data_dir: None,
+            shards: store.shards,
+            snapshot_every: store.snapshot_every,
             sherlock: SherLockConfig::default(),
         }
     }
@@ -105,8 +118,10 @@ pub struct ServeSummary {
     pub batches: u64,
     /// Sessions live at shutdown.
     pub sessions: usize,
-    /// Sessions evicted by the LRU cap.
+    /// Sessions evicted (spilled to disk when durable) by the LRU cap.
     pub evictions: u64,
+    /// Sessions rehydrated from disk.
+    pub rehydrations: u64,
 }
 
 impl ServeSummary {
@@ -131,6 +146,7 @@ impl ServeSummary {
             ("batches".to_string(), Json::from(self.batches)),
             ("sessions".to_string(), Json::from(self.sessions)),
             ("evictions".to_string(), Json::from(self.evictions)),
+            ("rehydrations".to_string(), Json::from(self.rehydrations)),
         ])
     }
 }
@@ -334,7 +350,15 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let store = SessionStore::new(cfg.sherlock.clone(), cfg.max_sessions);
+        let store = SessionStore::open(
+            cfg.sherlock.clone(),
+            StoreOptions {
+                max_sessions: cfg.max_sessions,
+                shards: cfg.shards,
+                data_dir: cfg.data_dir.clone(),
+                snapshot_every: cfg.snapshot_every,
+            },
+        )?;
         Ok(Server {
             shared: Arc::new(Shared {
                 cfg,
@@ -454,6 +478,10 @@ impl Server {
             let _ = h.join();
         }
 
+        // All workers joined: every session is quiescent, so one final
+        // snapshot pass makes a clean restart rehydrate without log replay.
+        shared.store.persist_all();
+
         ServeSummary {
             connections: shared.connections.load(Ordering::Relaxed),
             requests: shared.requests.load(Ordering::Relaxed),
@@ -464,6 +492,7 @@ impl Server {
             batches: shared.batches.load(Ordering::Relaxed),
             sessions: shared.store.len(),
             evictions: shared.store.evictions(),
+            rehydrations: shared.store.rehydrations(),
         }
     }
 }
@@ -678,7 +707,7 @@ fn worker_loop(shared: &Shared) {
 
 /// Runs one job against its (already locked) session and sends exactly one
 /// response.
-fn process_job(shared: &Shared, session: &mut Session, job: Job) {
+fn process_job(shared: &Shared, session: &mut SessionHandle<'_>, job: Job) {
     let Job {
         conn,
         seq,
@@ -736,7 +765,7 @@ fn process_job(shared: &Shared, session: &mut Session, job: Job) {
 /// The session-targeted request handlers. `conn` is only used by `explore`
 /// to emit incremental progress frames.
 fn handle(
-    session: &mut Session,
+    session: &mut SessionHandle<'_>,
     request: &Request,
     conn: &Conn,
 ) -> Result<Vec<(String, Json)>, String> {
@@ -980,7 +1009,9 @@ fn stats_response(shared: &Shared, id: &Json) -> String {
     let counters: Vec<(String, Json)> = snap
         .counters
         .iter()
-        .filter(|(k, _)| k.starts_with("serve.") || k.starts_with("session."))
+        .filter(|(k, _)| {
+            k.starts_with("serve.") || k.starts_with("session.") || k.starts_with("store.")
+        })
         .map(|(k, &v)| (k.clone(), Json::from(v)))
         .collect();
     let latency = snap.histograms.get("serve.request_ns");
@@ -999,6 +1030,10 @@ fn stats_response(shared: &Shared, id: &Json) -> String {
             (
                 "evictions".to_string(),
                 Json::from(shared.store.evictions()),
+            ),
+            (
+                "rehydrations".to_string(),
+                Json::from(shared.store.rehydrations()),
             ),
             (
                 "pending".to_string(),
@@ -1121,6 +1156,10 @@ fn metrics_response(shared: &Shared, id: &Json) -> String {
             (
                 "evictions".to_string(),
                 Json::from(shared.store.evictions()),
+            ),
+            (
+                "rehydrations".to_string(),
+                Json::from(shared.store.rehydrations()),
             ),
             ("queue_depths".to_string(), queue_depths),
             ("per_session".to_string(), per_session),

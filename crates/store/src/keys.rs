@@ -1,0 +1,56 @@
+//! Filesystem-safe encoding of session keys.
+//!
+//! Session keys become on-disk directory names, so the store never trusts
+//! them raw: every byte outside `[A-Za-z0-9_-]` is percent-encoded
+//! (including `.`, which removes any possibility of `.`/`..` path
+//! components, and `%` itself, which makes the encoding injective). The
+//! protocol layer additionally *rejects* hostile keys with a structured
+//! error before they reach the store; this escape is defense in depth for
+//! embedders driving the store directly.
+
+/// Escapes `key` into a string safe to use as a single directory name.
+/// Injective: distinct keys never collide after escaping.
+pub fn escape_key(key: &str) -> String {
+    let mut out = String::with_capacity(key.len());
+    for b in key.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_' | b'-' => out.push(b as char),
+            _ => {
+                out.push('%');
+                out.push_str(&format!("{b:02X}"));
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push_str("%00");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_keys_pass_through() {
+        assert_eq!(escape_key("default"), "default");
+        assert_eq!(escape_key("App-1_session9"), "App-1_session9");
+    }
+
+    #[test]
+    fn hostile_bytes_are_escaped() {
+        assert_eq!(escape_key("../etc"), "%2E%2E%2Fetc");
+        assert_eq!(escape_key("a/b\\c"), "a%2Fb%5Cc");
+        assert_eq!(escape_key("dot.dot"), "dot%2Edot");
+        assert_eq!(escape_key("per%cent"), "per%25cent");
+        assert_eq!(escape_key("nul\0tab\t"), "nul%00tab%09");
+        assert_eq!(escape_key(""), "%00");
+    }
+
+    #[test]
+    fn escaping_is_injective_on_tricky_pairs() {
+        // `%2F` as literal text must not collide with an escaped `/`.
+        assert_ne!(escape_key("%2F"), escape_key("/"));
+        assert_ne!(escape_key("a.b"), escape_key("a%2Eb"));
+    }
+}

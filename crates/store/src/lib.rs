@@ -1,0 +1,33 @@
+//! Durable sharded session tier for SherLock's long-running services.
+//!
+//! The paper's inference quality comes from *accumulating* observation
+//! windows across many explored schedules, which makes session state the
+//! most valuable thing a `sherlock-serve` daemon holds — and, before this
+//! crate, the most fragile: a restart or an LRU eviction silently threw it
+//! away and clients started over from zero constraints.
+//!
+//! This crate makes session state durable and bounded-memory at once:
+//!
+//! * [`framing`] — length-prefixed, CRC-guarded record framing that
+//!   tolerates torn tails (a writer killed mid-append never corrupts the
+//!   prefix).
+//! * [`oplog`] — the per-session append-only log of absorbed traces,
+//!   recovered on open.
+//! * [`keys`] — injective filesystem-safe escaping of session keys.
+//! * [`store`] — the sharded [`SessionStore`]: write-ahead logging,
+//!   periodic snapshots, rehydrate-on-miss, and spill-to-disk eviction.
+//!
+//! Rehydration is *exact*: a session rebuilt from snapshot + log replay
+//! re-solves byte-identical to the never-evicted original, because every
+//! ordering the solver feeds the LP is derived from resolved operation
+//! names rather than process-local intern ids (see
+//! `sherlock_core::solver`).
+
+pub mod framing;
+pub mod keys;
+pub mod oplog;
+pub mod store;
+
+pub use keys::escape_key;
+pub use oplog::Oplog;
+pub use store::{SessionHandle, SessionStore, StoreOptions};

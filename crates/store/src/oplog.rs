@@ -1,0 +1,171 @@
+//! The per-session append-only oplog file.
+//!
+//! One oplog holds the session's absorbed traces since its last snapshot,
+//! one framed record per absorb (see [`crate::framing`]). Appends are
+//! write-then-flush — the daemon survives `kill -9` because the page cache
+//! holds flushed bytes even if the process never returns; an `fsync` per
+//! record would also survive power loss but costs ~1ms per absorb, and the
+//! session tier's contract is process-crash durability (the paper's
+//! accumulated constraints are an optimization, so the failure mode of a
+//! lost final record is a re-explored schedule, not corruption).
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::framing::{encode_record, recover, Recovered};
+
+/// An open, recovered oplog positioned for appends.
+pub struct Oplog {
+    file: File,
+    path: PathBuf,
+    len: u64,
+}
+
+impl Oplog {
+    /// Opens `path` (creating it if absent), scans it for the longest valid
+    /// record prefix, truncates any torn tail, and returns the log handle
+    /// plus the recovered payloads in append order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; a *corrupt* log is not an error (the
+    /// valid prefix is recovered and the tail discarded).
+    pub fn open(path: &Path) -> io::Result<(Oplog, Recovered)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let recovered = recover(&bytes);
+        if recovered.torn {
+            file.set_len(recovered.valid_len)?;
+        }
+        file.seek(SeekFrom::Start(recovered.valid_len))?;
+        let len = recovered.valid_len;
+        Ok((
+            Oplog {
+                file,
+                path: path.to_path_buf(),
+                len,
+            },
+            recovered,
+        ))
+    }
+
+    /// Appends one framed record and flushes it; returns the bytes written
+    /// (frame overhead included).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; the in-memory length is only advanced
+    /// on success, so a failed append leaves the next one positioned over
+    /// the partial frame (which recovery would discard anyway).
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
+        let frame = encode_record(payload);
+        self.file.seek(SeekFrom::Start(self.len))?;
+        self.file.write_all(&frame)?;
+        self.file.flush()?;
+        self.len += frame.len() as u64;
+        Ok(frame.len() as u64)
+    }
+
+    /// Drops every record (after a snapshot has captured their effects).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn truncate(&mut self) -> io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.len = 0;
+        Ok(())
+    }
+
+    /// Current valid byte length.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The file path (diagnostics and tests).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sherlock-oplog-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn append_reopen_recovers_in_order() {
+        let dir = tmp_dir("order");
+        let path = dir.join("oplog.bin");
+        {
+            let (mut log, r) = Oplog::open(&path).unwrap();
+            assert!(r.payloads.is_empty());
+            log.append(b"one").unwrap();
+            log.append(b"two").unwrap();
+        }
+        let (log, r) = Oplog::open(&path).unwrap();
+        assert_eq!(r.payloads, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert!(!r.torn);
+        assert!(!log.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("oplog.bin");
+        let keep = {
+            let (mut log, _) = Oplog::open(&path).unwrap();
+            log.append(b"keep").unwrap();
+            log.append(b"torn").unwrap();
+            log.len()
+        };
+        // Chop mid-way through the second record.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(keep - 2).unwrap();
+        drop(f);
+        let (log, r) = Oplog::open(&path).unwrap();
+        assert_eq!(r.payloads, vec![b"keep".to_vec()]);
+        assert!(r.torn);
+        assert_eq!(log.len(), std::fs::metadata(&path).unwrap().len());
+        // The next append lands cleanly after the recovered prefix.
+        let mut log = log;
+        log.append(b"after").unwrap();
+        let (_, r) = Oplog::open(&path).unwrap();
+        assert_eq!(r.payloads, vec![b"keep".to_vec(), b"after".to_vec()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncate_empties_the_log() {
+        let dir = tmp_dir("trunc");
+        let path = dir.join("oplog.bin");
+        let (mut log, _) = Oplog::open(&path).unwrap();
+        log.append(b"gone").unwrap();
+        log.truncate().unwrap();
+        assert!(log.is_empty());
+        log.append(b"fresh").unwrap();
+        let (_, r) = Oplog::open(&path).unwrap();
+        assert_eq!(r.payloads, vec![b"fresh".to_vec()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -39,6 +39,23 @@ pub fn to_value(trace: &Trace) -> Json {
     ])
 }
 
+/// Serializes one interned op as its externally-tagged [`OpRef`] value (the
+/// same shape ops take inside serialized events). Snapshot files in
+/// `sherlock-store` reuse this so op references survive re-interning.
+pub fn op_to_value(op: OpId) -> Json {
+    op_to_json(op)
+}
+
+/// Parses an op value produced by [`op_to_value`], re-interning it in this
+/// process's registry.
+///
+/// # Errors
+///
+/// Returns a message describing the schema violation.
+pub fn op_from_value(v: &Json) -> Result<OpId, String> {
+    parse_op(Some(v), "op")
+}
+
 fn op_to_json(op: OpId) -> Json {
     let (tag, members) = match op.resolve() {
         OpRef::FieldRead { class, field } => (

@@ -1,0 +1,233 @@
+//! Durable-session parity: a session rebuilt from its oplog (and/or
+//! snapshot) must re-solve **byte-identical** to the session that absorbed
+//! the traces live — for every bundled app and a spread of generated fleet
+//! apps, both in-process and over the real TCP protocol across a daemon
+//! restart.
+//!
+//! This is the acceptance test for the durable session tier: rehydration
+//! replays traces into a *new process state* where operation ids intern in
+//! a different order, so byte-parity here proves the whole solve pipeline
+//! orders its work by resolved operation names rather than intern order
+//! (see `sherlock_core::solver`). A final test proves LRU eviction with a
+//! data directory is a spill, not a loss.
+
+use std::path::PathBuf;
+
+use sherlock_apps::all_apps;
+use sherlock_core::SherLockConfig;
+use sherlock_fleet::{generate, GrammarConfig};
+use sherlock_serve::{spawn, Client, ServeConfig};
+use sherlock_sim::SimConfig;
+use sherlock_store::{SessionStore, StoreOptions};
+use sherlock_trace::Trace;
+
+/// Fleet members alongside the 8 bundled apps: the two corpus-pinned seeds
+/// plus two fresh ones, so parity is not an artifact of goldens.
+const FLEET_SEEDS: [u64; 4] = [0x901d_0001, 0xf1ee7, 0xacef_5eed, 42];
+
+struct Workload {
+    key: String,
+    traces: Vec<Trace>,
+}
+
+/// Every bundled app and fleet seed, one instrumented run per unit test.
+fn workloads() -> Vec<Workload> {
+    let cfg = SherLockConfig::default();
+    let mut out = Vec::new();
+    let mut push = |key: String, tests: &[sherlock_core::TestCase]| {
+        let traces = tests
+            .iter()
+            .enumerate()
+            .map(|(i, test)| {
+                let mut sim = SimConfig::with_seed(0xD00D + i as u64);
+                sim.instrument = cfg.instrument.clone();
+                test.run(sim).trace
+            })
+            .collect();
+        out.push(Workload { key, traces });
+    };
+    for app in all_apps() {
+        push(app.id.to_string(), &app.tests);
+    }
+    for seed in FLEET_SEEDS {
+        let app = generate(&GrammarConfig::default(), seed);
+        push(app.id.clone(), &app.tests);
+    }
+    out
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sherlock-durable-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// In-process: absorb + solve live, drop the store with **no** graceful
+/// persist (pure oplog — the crash path), reopen, and the rehydrated
+/// session's solve must render byte-identically. A low snapshot cadence
+/// makes most workloads exercise the snapshot-plus-log-tail path too.
+#[test]
+fn rehydrated_sessions_solve_byte_identically_in_process() {
+    let dir = tmp_dir("inproc");
+    let options = StoreOptions {
+        data_dir: Some(dir.clone()),
+        snapshot_every: 2,
+        ..StoreOptions::default()
+    };
+    let loads = workloads();
+
+    let mut live = Vec::new();
+    {
+        let store = SessionStore::open(SherLockConfig::default(), options.clone()).unwrap();
+        for w in &loads {
+            let spec = store.with_session(&w.key, |s| {
+                for t in &w.traces {
+                    s.absorb_trace(t);
+                }
+                s.solve().expect("live solve").render()
+            });
+            live.push(spec);
+        }
+        // Dropped without persist_all: rehydration must work from whatever
+        // the write-ahead appends and cadence snapshots left behind.
+    }
+
+    let store = SessionStore::open(SherLockConfig::default(), options).unwrap();
+    for (w, live_spec) in loads.iter().zip(&live) {
+        let rebuilt = store.with_session(&w.key, |s| {
+            assert_eq!(s.traces_absorbed(), w.traces.len(), "{}", w.key);
+            s.solve().expect("rehydrated solve").render()
+        });
+        assert_eq!(
+            &rebuilt, live_spec,
+            "{}: rehydrated solve diverged from the live session",
+            w.key
+        );
+    }
+    assert_eq!(
+        store.rehydrations(),
+        loads.len() as u64,
+        "every session came back from disk"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Over TCP: a daemon absorbs and solves, drains, and a **new** daemon
+/// process-state over the same data directory serves the identical spec on
+/// a bare `solve` — the client never re-sends a trace. The restarted
+/// daemon's `stats` verb must expose the `store.*` counters with
+/// `store.rehydrations` counting every session.
+#[test]
+fn daemon_restart_serves_identical_specs_over_tcp() {
+    let dir = tmp_dir("tcp");
+    let cfg = |addr: String| {
+        let mut c = ServeConfig::default();
+        c.addr = addr;
+        c.workers = 2;
+        c.data_dir = Some(dir.clone());
+        c
+    };
+    let loads = workloads();
+
+    let mut live = Vec::new();
+    {
+        let server = spawn(cfg("127.0.0.1:0".into())).expect("spawn first daemon");
+        let mut client = Client::connect(server.addr()).expect("connect");
+        for w in &loads {
+            for t in &w.traces {
+                let r = client.absorb_trace(&w.key, t).expect("absorb");
+                assert!(r.ok, "{}: absorb failed: {:?}", w.key, r.error);
+            }
+            let solve = client.solve(&w.key).expect("solve");
+            assert!(solve.ok, "{}: solve failed: {:?}", w.key, solve.error);
+            live.push(solve.doc.get("spec").unwrap().as_str().unwrap().to_string());
+        }
+        server.shutdown();
+        server.join();
+    }
+
+    let server = spawn(cfg("127.0.0.1:0".into())).expect("spawn second daemon");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    for (w, live_spec) in loads.iter().zip(&live) {
+        let solve = client.solve(&w.key).expect("solve after restart");
+        assert!(solve.ok, "{}: solve failed: {:?}", w.key, solve.error);
+        assert_eq!(
+            solve.doc.get("spec").unwrap().as_str().unwrap(),
+            live_spec,
+            "{}: restarted daemon served a different spec",
+            w.key
+        );
+        assert_eq!(
+            solve.doc.get("traces_absorbed").unwrap().as_u64().unwrap(),
+            w.traces.len() as u64,
+            "{}: rehydration lost traces",
+            w.key
+        );
+    }
+    let stats = client.stats().expect("stats");
+    let counters = stats.doc.get("counters").expect("stats counters");
+    let rehydrations = counters
+        .get("store.rehydrations")
+        .and_then(sherlock_obs::json::Json::as_u64)
+        .expect("store.rehydrations counter present in stats");
+    assert!(
+        rehydrations >= loads.len() as u64,
+        "expected every session rehydrated, saw {rehydrations}"
+    );
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Eviction with a data directory is a spill: forcing the cap to 1 makes
+/// every session bounce in and out of memory, and each still solves exactly
+/// like an unbounded store absorbing the same traces.
+#[test]
+fn spill_to_disk_eviction_preserves_solve_parity() {
+    let dir = tmp_dir("spill");
+    let loads: Vec<Workload> = workloads().into_iter().take(4).collect();
+
+    let unbounded = SessionStore::open(
+        SherLockConfig::default(),
+        StoreOptions {
+            max_sessions: 0,
+            ..StoreOptions::default()
+        },
+    )
+    .unwrap();
+    let bounced = SessionStore::open(
+        SherLockConfig::default(),
+        StoreOptions {
+            max_sessions: 1,
+            data_dir: Some(dir.clone()),
+            ..StoreOptions::default()
+        },
+    )
+    .unwrap();
+
+    // Interleave by trace so every session is evicted (spilled) and
+    // rehydrated repeatedly mid-stream.
+    let max_traces = loads.iter().map(|w| w.traces.len()).max().unwrap();
+    for i in 0..max_traces {
+        for w in &loads {
+            if let Some(t) = w.traces.get(i) {
+                unbounded.with_session(&w.key, |s| {
+                    s.absorb_trace(t);
+                });
+                bounced.with_session(&w.key, |s| {
+                    s.absorb_trace(t);
+                });
+            }
+        }
+    }
+    assert!(
+        bounced.evictions() > 0 && bounced.rehydrations() > 0,
+        "the cap of 1 must force spills and rehydrations"
+    );
+    for w in &loads {
+        let want = unbounded.with_session(&w.key, |s| s.solve().expect("solve").render());
+        let got = bounced.with_session(&w.key, |s| s.solve().expect("solve").render());
+        assert_eq!(got, want, "{}: spilled session diverged", w.key);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
