@@ -7,9 +7,28 @@
 //! protocol layer additionally *rejects* hostile keys with a structured
 //! error before they reach the store; this escape is defense in depth for
 //! embedders driving the store directly.
+//!
+//! Escaping can triple a key's length (every byte → `%XX`), and Linux
+//! caps a single directory name at `NAME_MAX` = 255 bytes. Names that
+//! would exceed [`MAX_ESCAPED_LEN`] are therefore truncated and suffixed
+//! with `~` plus the FNV-1a hash of the *full* raw key. Short names never
+//! contain `~` (it escapes to `%7E`), so the two forms cannot collide;
+//! two over-long keys collide only if they share the truncated prefix
+//! *and* a 64-bit hash — negligible next to the protocol's 128-byte key
+//! cap.
 
-/// Escapes `key` into a string safe to use as a single directory name.
-/// Injective: distinct keys never collide after escaping.
+/// Longest escaped directory name [`escape_key`] produces. Well below
+/// Linux `NAME_MAX` (255) so every accepted key yields a legal name on
+/// any common filesystem.
+pub const MAX_ESCAPED_LEN: usize = 200;
+
+/// `~` + 16 hex digits of FNV-1a over the full key.
+const HASH_SUFFIX_LEN: usize = 17;
+
+/// Escapes `key` into a string safe to use as a single directory name,
+/// at most [`MAX_ESCAPED_LEN`] bytes long. Injective for any key whose
+/// escaped form fits the bound (over-long keys are disambiguated by a
+/// 64-bit hash of the whole key — see the module docs).
 pub fn escape_key(key: &str) -> String {
     let mut out = String::with_capacity(key.len());
     for b in key.bytes() {
@@ -24,7 +43,21 @@ pub fn escape_key(key: &str) -> String {
     if out.is_empty() {
         out.push_str("%00");
     }
+    if out.len() > MAX_ESCAPED_LEN {
+        out.truncate(MAX_ESCAPED_LEN - HASH_SUFFIX_LEN);
+        out.push('~');
+        out.push_str(&format!("{:016x}", fnv1a(key.as_bytes())));
+    }
     out
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -52,5 +85,28 @@ mod tests {
         // `%2F` as literal text must not collide with an escaped `/`.
         assert_ne!(escape_key("%2F"), escape_key("/"));
         assert_ne!(escape_key("a.b"), escape_key("a%2Eb"));
+    }
+
+    #[test]
+    fn escaped_names_never_exceed_name_max() {
+        // The protocol's worst case: a max-length key of bytes that all
+        // escape 1→3, which unbounded would be 384 bytes > NAME_MAX.
+        let worst = "/".repeat(128);
+        let name = escape_key(&worst);
+        assert_eq!(name.len(), MAX_ESCAPED_LEN);
+        assert!(name.len() < 255, "fits Linux NAME_MAX");
+        // And far beyond the protocol cap, for direct embedders.
+        assert_eq!(escape_key(&"é".repeat(4096)).len(), MAX_ESCAPED_LEN);
+    }
+
+    #[test]
+    fn long_keys_stay_distinct_and_stable() {
+        let a = "/".repeat(127) + "a";
+        let b = "/".repeat(127) + "b";
+        assert_ne!(escape_key(&a), escape_key(&b), "hash suffix disambiguates");
+        assert_eq!(escape_key(&a), escape_key(&a), "deterministic");
+        // Truncated names end in `~hash`; short names cannot contain `~`.
+        assert!(escape_key(&a).contains('~'));
+        assert_eq!(escape_key("~"), "%7E");
     }
 }

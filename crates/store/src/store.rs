@@ -28,11 +28,29 @@
 //!
 //! # Eviction
 //!
-//! Evicting a durable session is a *spill*: its state is already on disk
-//! (oplog since the last snapshot), an opportunistic snapshot makes the
-//! next rehydration cheap, and the next request under the key transparently
+//! Evicting a durable session is a *spill*: a snapshot captures its state,
+//! the log is truncated, and the next request under the key transparently
 //! rebuilds it. Only without a data directory does eviction lose state
 //! (the pre-durability LRU behavior).
+//!
+//! # Concurrency protocol
+//!
+//! Exactly one [`Entry`] per key ever exists, and the key's on-disk files
+//! are only touched under that entry's session lock:
+//!
+//! * A miss *reserves* the key by inserting a [`Slot::Vacant`] entry under
+//!   the shard's map lock (allocation only, no I/O). The first
+//!   `with_session` holder then opens — possibly rehydrates — the state
+//!   under the session lock. Losing a create race therefore costs an
+//!   allocation, never a second oplog handle on the same file.
+//! * Eviction re-checks the victim under its shard's map lock and skips it
+//!   if any worker still holds a reference (`Arc::strong_count > 1`): a
+//!   live handle keeps appending to the entry it already owns, and that
+//!   entry stays authoritative in the map. The spill snapshot runs *before*
+//!   the `remove`, while the map lock excludes new lookups for the key, so
+//!   a rehydrator can never observe the half-spilled window (new snapshot
+//!   renamed, log not yet truncated) — by the time the key misses, the
+//!   spill is complete and the oplog handle is closed.
 
 use std::collections::HashMap;
 use std::io;
@@ -95,8 +113,17 @@ struct SessionState {
     durable: Option<Durable>,
 }
 
+/// What the per-session lock guards: a reserved-but-unopened key, or the
+/// live state.
+enum Slot {
+    /// The key is claimed in the shard map but no on-disk files have been
+    /// touched; the first `with_session` holder opens the state.
+    Vacant,
+    Ready(Box<SessionState>),
+}
+
 struct Entry {
-    state: Mutex<SessionState>,
+    state: Mutex<Slot>,
     touched: AtomicU64,
 }
 
@@ -387,7 +414,17 @@ impl SessionStore {
         let mut session = None;
         let snap_path = dir.join("snapshot.json");
         let mut had_state = false;
-        if let Ok(text) = std::fs::read_to_string(&snap_path) {
+        let snapshot_text = match std::fs::read_to_string(&snap_path) {
+            Ok(text) => Some(text),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            // Any other error (permissions, transient EIO) means a snapshot
+            // may exist that we failed to read. Propagate so the session
+            // degrades to memory-only: rehydrating from the log alone while
+            // staying durable would let the next snapshot overwrite the
+            // good snapshot.json with the reduced state.
+            Err(e) => return Err(e),
+        };
+        if let Some(text) = snapshot_text {
             match parse_snapshot(&self.config, &text) {
                 Ok((s, last_op)) => {
                     session = Some(s);
@@ -450,27 +487,29 @@ impl SessionStore {
         if self.max_sessions > 0 && self.len() >= self.max_sessions {
             self.evict_lru();
         }
-        // Build (and possibly rehydrate) outside the map lock — replay can
-        // take a while and must not stall the shard.
-        let state = self.open_state(shard, key);
         let mut map = lock_map(shard);
         if let Some(entry) = map.get(key) {
-            // Lost a create race; the winner's handles are authoritative.
+            // Lost a create race; the winner's entry is authoritative. No
+            // on-disk files were touched, so losing is free.
             self.touch(entry);
             return Arc::clone(entry);
         }
+        // Reserve the key with a vacant slot (allocation only — the map
+        // lock is never held across I/O). The first `with_session` holder
+        // opens the on-disk state under the entry's session lock, so only
+        // one thread ever opens a given session's oplog.
         obs::counter!("store.sessions.created").incr();
         let entry = Arc::new(Entry {
-            state: Mutex::new(state),
+            state: Mutex::new(Slot::Vacant),
             touched: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
         });
         map.insert(key.to_string(), Arc::clone(&entry));
         entry
     }
 
-    /// Evicts the globally least-recently-touched session. Shard locks are
-    /// taken one at a time (never nested), so eviction cannot deadlock with
-    /// concurrent lookups.
+    /// Evicts the globally least-recently-touched idle session. Shard locks
+    /// are taken one at a time (never nested), so eviction cannot deadlock
+    /// with concurrent lookups.
     fn evict_lru(&self) {
         let mut oldest: Option<(usize, String, u64)> = None;
         for (i, shard) in self.shards.iter().enumerate() {
@@ -483,18 +522,32 @@ impl SessionStore {
             }
         }
         let Some((i, key, _)) = oldest else { return };
-        let removed = lock_map(&self.shards[i]).remove(&key);
-        let Some(entry) = removed else { return };
+        let mut map = lock_map(&self.shards[i]);
+        let Some(entry) = map.get(&key) else { return };
+        // A strong count above 1 means some worker holds (or is acquiring)
+        // a handle to this session. Removing it now would let a later miss
+        // rehydrate from files the live handle still appends to — two
+        // oplog handles on one file. Skip this round; the store runs over
+        // budget by at most the number of in-flight requests.
+        if Arc::strong_count(entry) > 1 {
+            return;
+        }
+        // Spill snapshot *before* the remove, while the map lock excludes
+        // lookups for this key: a rehydrator can only start once the key
+        // misses, by which point snapshot + truncate are both done — it can
+        // never observe the new snapshot with the untruncated log, whose
+        // replay it would otherwise lose on its next snapshot. The strong
+        // count of 1 guarantees the session lock is free, so `try_lock`
+        // cannot fail; it is used to stay deadlock-proof regardless.
+        if let Ok(mut slot) = entry.state.try_lock() {
+            if let Slot::Ready(state) = &mut *slot {
+                snapshot_locked(state);
+            }
+        }
+        map.remove(&key); // drops the only Arc: the oplog handle closes here
+        drop(map);
         self.evictions.fetch_add(1, Ordering::Relaxed);
         obs::counter!("store.sessions.evicted").incr();
-        // Opportunistic spill snapshot so the next rehydration skips log
-        // replay. `try_lock`: if a worker still holds the session (it will
-        // finish its batch on the orphaned entry), the oplog already covers
-        // everything — skipping the snapshot is safe, just slower to
-        // rehydrate.
-        if let Ok(mut state) = entry.state.try_lock() {
-            snapshot_locked(&mut state);
-        };
     }
 
     /// Runs `f` with exclusive access to the session stored under `key`,
@@ -503,11 +556,20 @@ impl SessionStore {
     /// session never block other sessions.
     pub fn with_session<R>(&self, key: &str, f: impl FnOnce(&mut SessionHandle<'_>) -> R) -> R {
         let entry = self.get_or_create(key);
-        let mut state = entry
+        let mut slot = entry
             .state
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let mut handle = SessionHandle { state: &mut state };
+        if matches!(*slot, Slot::Vacant) {
+            // First holder of a reserved key: open (possibly rehydrate) the
+            // state. Runs under the session lock but *not* the map lock, so
+            // long replays never stall the shard.
+            *slot = Slot::Ready(Box::new(self.open_state(self.shard_of(key), key)));
+        }
+        let Slot::Ready(state) = &mut *slot else {
+            unreachable!("slot initialized above")
+        };
+        let mut handle = SessionHandle { state };
         f(&mut handle)
     }
 
@@ -517,11 +579,13 @@ impl SessionStore {
         for shard in &self.shards {
             let entries: Vec<Arc<Entry>> = lock_map(shard).values().cloned().collect();
             for entry in entries {
-                let mut state = entry
+                let mut slot = entry
                     .state
                     .lock()
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
-                snapshot_locked(&mut state);
+                if let Slot::Ready(state) = &mut *slot {
+                    snapshot_locked(state);
+                }
             }
         }
     }
@@ -746,6 +810,102 @@ mod tests {
                 "{key} oplog truncated"
             );
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_use_sessions_are_not_evicted() {
+        let store = SessionStore::in_memory(SherLockConfig::default(), 1);
+        store.with_session("held", |_| {
+            // "held" has a live handle, so the miss for "other" must not
+            // evict it out from under us.
+            store.with_session("other", |_| ());
+        });
+        assert_eq!(store.evictions(), 0);
+        assert_eq!(store.len(), 2, "over budget beats evicting a held session");
+        store.with_session("third", |_| ());
+        assert_eq!(store.evictions(), 1, "idle sessions evict normally");
+    }
+
+    #[test]
+    fn concurrent_absorbs_under_eviction_pressure_lose_nothing() {
+        // Regression for the spill/rehydrate race: with max_sessions far
+        // below the live key count and a snapshot after every op, sessions
+        // continually spill and rehydrate while other threads absorb. Every
+        // logged op must survive to a fresh store.
+        const THREADS: usize = 4;
+        const KEYS: usize = 6;
+        const ITERS: usize = 24;
+        let dir = tmp_dir("race");
+        let options = StoreOptions {
+            max_sessions: 2,
+            snapshot_every: 1,
+            data_dir: Some(dir.clone()),
+            ..StoreOptions::default()
+        };
+        let trace = sample_trace(42);
+        let store = SessionStore::open(SherLockConfig::default(), options.clone()).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for i in 0..ITERS {
+                        store.with_session(&format!("k{}", i % KEYS), |s| {
+                            s.absorb_trace(&trace);
+                        });
+                    }
+                });
+            }
+        });
+        drop(store);
+
+        let reopened = SessionStore::open(SherLockConfig::default(), options).unwrap();
+        for k in 0..KEYS {
+            reopened.with_session(&format!("k{k}"), |s| {
+                assert_eq!(
+                    s.traces_absorbed(),
+                    THREADS * ITERS / KEYS,
+                    "k{k} lost absorbed traces across spill/rehydrate"
+                );
+            });
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreadable_snapshot_degrades_to_memory_only() {
+        let dir = tmp_dir("unreadable");
+        let options = StoreOptions {
+            data_dir: Some(dir.clone()),
+            ..StoreOptions::default()
+        };
+        let store = SessionStore::open(SherLockConfig::default(), options.clone()).unwrap();
+        store.with_session("app", |s| {
+            s.absorb_trace(&sample_trace(7));
+        });
+        store.persist_all();
+        drop(store);
+        let session_dir = (0..StoreOptions::default().shards)
+            .map(|i| dir.join(format!("shard-{i:02}")).join("app"))
+            .find(|p| p.exists())
+            .expect("session directory exists");
+        // Make snapshot.json readable-as-a-path but unreadable-as-a-file
+        // (EISDIR), standing in for EACCES/EIO: the snapshot may hold good
+        // state we just cannot see right now.
+        let snap = session_dir.join("snapshot.json");
+        std::fs::remove_file(&snap).unwrap();
+        std::fs::create_dir(&snap).unwrap();
+
+        let store = SessionStore::open(SherLockConfig::default(), options).unwrap();
+        store.with_session("app", |s| {
+            assert_eq!(s.traces_absorbed(), 0, "degraded, not wedged");
+            s.absorb_trace(&sample_trace(8));
+        });
+        store.persist_all();
+        // Memory-only degradation must leave the on-disk state untouched —
+        // a transient read error must never become permanent data loss by
+        // overwriting the (possibly good) snapshot with reduced state.
+        assert!(snap.is_dir(), "snapshot path not overwritten");
+        assert_eq!(store.rehydrations(), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
